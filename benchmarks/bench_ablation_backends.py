@@ -1,0 +1,85 @@
+"""Ablation — DESIGN.md's two-semantics decision: count-level vs agent-level.
+
+The library runs AC-processes either as exact count-level multinomial
+chains (Section 2.2 of the paper) or as literal agent-level protocols.
+DESIGN.md claims the count backend is (a) exactly the same process in
+distribution and (b) much cheaper for narrow color spaces, while the
+agent backend wins when ``k ≈ n``.  This bench quantifies both claims —
+the per-round costs and the distributional agreement of the resulting
+consensus times.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import mann_whitney_less
+from repro.core import Configuration
+from repro.engine import Consensus, repeat_first_passage
+from repro.experiments import Table
+from repro.processes import ThreeMajority
+
+from conftest import emit
+
+N = 4096
+REPETITIONS = 25
+
+
+def _time_per_round(backend: str, config: Configuration, rounds: int) -> float:
+    process = ThreeMajority()
+    rng = np.random.default_rng(0)
+    if backend == "counts":
+        counts = config.counts_array().copy()
+        start = time.perf_counter()
+        for _ in range(rounds):
+            counts = process.step_counts(counts, rng)
+        return (time.perf_counter() - start) / rounds
+    colors = config.to_assignment()
+    start = time.perf_counter()
+    for _ in range(rounds):
+        colors = process.update(colors, rng)
+    return (time.perf_counter() - start) / rounds
+
+
+def _measure():
+    narrow = Configuration.balanced(N, 8)
+    wide = Configuration.singletons(N)
+    cost_rows = [
+        ("narrow k=8", _time_per_round("counts", narrow, 200), _time_per_round("agent", narrow, 200)),
+        ("wide k=n", _time_per_round("counts", wide, 50), _time_per_round("agent", wide, 50)),
+    ]
+    # Distributional agreement on consensus times (narrow start).
+    small = Configuration.balanced(256, 8)
+    times_counts = repeat_first_passage(
+        ThreeMajority, small, Consensus(), REPETITIONS, rng=1, backend="counts"
+    )
+    times_agent = repeat_first_passage(
+        ThreeMajority, small, Consensus(), REPETITIONS, rng=2, backend="agent"
+    )
+    p_less = mann_whitney_less(times_counts, times_agent)
+    p_greater = mann_whitney_less(times_agent, times_counts)
+    return cost_rows, (float(times_counts.mean()), float(times_agent.mean()), p_less, p_greater)
+
+
+def bench_ablation_backends(benchmark):
+    cost_rows, (mean_counts, mean_agent, p_less, p_greater) = benchmark.pedantic(
+        _measure, rounds=1, iterations=1
+    )
+    table = Table(
+        title=f"ABL  backend ablation, 3-Majority (n={N})",
+        columns=["workload", "counts s/round", "agent s/round", "agent/counts"],
+    )
+    for label, t_counts, t_agent in cost_rows:
+        table.add_row(label, t_counts, t_agent, t_agent / t_counts)
+    table.add_footnote(
+        f"consensus-time agreement (n=256, k=8): mean counts={mean_counts:.1f}, "
+        f"agent={mean_agent:.1f}, MW p-values {p_less:.2f}/{p_greater:.2f}"
+    )
+    emit(table)
+
+    narrow = cost_rows[0]
+    # The count backend must win decisively on narrow color spaces.
+    assert narrow[2] > 3 * narrow[1], narrow
+    # And the two backends must be statistically indistinguishable: neither
+    # one-sided test should be significant.
+    assert p_less > 0.01 and p_greater > 0.01

@@ -1,0 +1,90 @@
+"""E11 — §5 fault tolerance: 3-Majority under a dynamic adversary.
+
+Paper background: 2-Choices and 3-Majority are self-stabilising consensus
+protocols that tolerate an adversary corrupting a bounded set of nodes
+every round; [BCN+16] proves 3-Majority (for ``k = o(n^{1/3})``)
+tolerates corruption budgets ``O(√n / (k^{5/2} log n))`` while reaching a
+stable regime of almost-all *valid* consensus.  Section 5 poses extending
+such guarantees through the AC-framework as open.
+
+Regenerated table: 3-Majority from a balanced k-color start against three
+adversaries (plant-invalid, boost-runner-up, random noise) at multiples
+of the [BCN+16] budget scale: stabilisation rate, rounds, and validity of
+the winner.
+"""
+
+import numpy as np
+
+from repro.adversary import (
+    BoostRunnerUp,
+    PlantInvalid,
+    RandomNoise,
+    recommended_corruption_budget,
+    run_with_adversary,
+)
+from repro.core import Configuration
+from repro.experiments import Table
+from repro.processes import ThreeMajority
+
+from conftest import emit
+
+N = 1024
+K = 3
+SEEDS = range(5)
+
+
+def _measure():
+    base_budget = max(1, recommended_corruption_budget(N, K))
+    scenarios = []
+    for multiplier in (1, 4):
+        budget = base_budget * multiplier
+        scenarios.extend(
+            [
+                (f"plant-invalid F={budget}", PlantInvalid(budget, invalid_color=K + 5)),
+                (f"boost-runner-up F={budget}", BoostRunnerUp(budget)),
+                (f"random-noise F={budget}", RandomNoise(budget, K)),
+            ]
+        )
+    rows = []
+    for label, adversary in scenarios:
+        stabilized = 0
+        valid = 0
+        rounds = []
+        for seed in SEEDS:
+            result = run_with_adversary(
+                ThreeMajority(),
+                Configuration.balanced(N, K),
+                adversary,
+                rng=seed,
+                max_rounds=8000,
+                stable_fraction=0.9,
+            )
+            stabilized += int(result.stabilized)
+            valid += int(result.stabilized and result.winner_is_valid)
+            rounds.append(result.rounds)
+        rows.append((label, f"{stabilized}/{len(SEEDS)}", f"{valid}/{len(SEEDS)}", float(np.mean(rounds))))
+    return rows, base_budget
+
+
+def bench_e11_adversary(benchmark):
+    rows, base_budget = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table = Table(
+        title=(
+            f"E11  3-Majority vs dynamic adversaries (n={N}, k={K}, "
+            f"[BCN+16] budget scale ≈ {base_budget})"
+        ),
+        columns=["adversary", "stabilized", "valid winner", "mean rounds"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.add_footnote(
+        "§5 success criterion: a stable almost-all regime on a VALID color."
+    )
+    emit(table)
+
+    for label, stabilized, valid, _rounds in rows:
+        # 3-Majority must reach a valid stable regime in (almost) every run
+        # at these sub-threshold budgets.
+        assert stabilized == valid, label  # whenever stable, the winner is valid
+        broke = int(stabilized.split("/")[0])
+        assert broke >= len(SEEDS) - 1, label

@@ -1,0 +1,146 @@
+"""E12 — §1.1 related dynamics: Undecided collapse at k = n; 2-Median's
+speed and its validity failure.
+
+Paper remarks reproduced here:
+
+* **Undecided dynamics** reach consensus fast for biased starts, but "for
+  k = n all nodes become undecided with constant probability instead of
+  agreeing on a color" — the process is not a leader-election primitive.
+* **2-Median** reaches consensus in ``O(log k log log n + log n)`` rounds
+  without bias — seemingly beating everything — but requires a total
+  order on colors and "cannot guarantee validity" (footnote 5), so it is
+  not self-stabilising for Byzantine agreement.
+
+Regenerated table: (a) Undecided outcome statistics from the n-color
+start vs a biased start; (b) consensus-time comparison 2-Median vs
+3-Majority vs Voter from singletons; (c) a validity attack on 2-Median
+(planted extreme values drag the median outside the honest range) that
+3-Majority provably shrugs off.
+"""
+
+import numpy as np
+
+from repro.adversary import AdversarySchedule, PlantInvalid, run_with_adversary
+from repro.core import Configuration
+from repro.engine import consensus_time, run_agent
+from repro.experiments import Table
+from repro.processes import ThreeMajority, TwoMedian, UndecidedDynamics, Voter
+
+from conftest import emit
+
+N = 512
+SEEDS = range(12)
+
+
+def _undecided_outcomes():
+    rows = []
+    for label, config in (
+        ("singletons (k=n)", Configuration.singletons(N)),
+        ("biased k=2", Configuration.biased(N, 2, bias=int(4 * np.sqrt(N)))),
+    ):
+        dead = 0
+        consensus = 0
+        for seed in SEEDS:
+            process = UndecidedDynamics()
+            result = run_agent(
+                process, config, rng=seed, max_rounds=100_000, raise_on_limit=False
+            )
+            colors = result.final_colors
+            if process.is_dead(colors):
+                dead += 1
+            elif process.has_converged(colors):
+                consensus += 1
+        rows.append((label, f"{dead}/{len(SEEDS)}", f"{consensus}/{len(SEEDS)}"))
+    return rows
+
+
+def _speed_comparison():
+    config = Configuration.singletons(N)
+    rows = []
+    for name, factory in (
+        ("2-median", TwoMedian),
+        ("3-majority", ThreeMajority),
+        ("voter", Voter),
+    ):
+        times = [
+            consensus_time(factory(), config, rng=seed, backend="agent", max_rounds=10**6)
+            for seed in range(5)
+        ]
+        rows.append((name, float(np.mean(times))))
+    return rows
+
+
+def _validity_attack():
+    # Footnote 5's attack on ordered colors: honest values are bimodal at
+    # {0, 200}; the adversary plants the MIDPOINT value 100 for a bounded
+    # window.  2-Median's update (median of own + two samples) is pulled
+    # toward the planted middle — a value no honest node ever supported —
+    # while 3-Majority treats 100 as just another color with negligible
+    # support and always recovers onto a valid value.
+    counts = np.zeros(201, dtype=np.int64)
+    counts[0] = N // 2
+    counts[200] = N - N // 2
+    initial = Configuration(counts)
+    schedule_budget = N // 32
+    outcomes = {}
+    for name, factory in (("2-median", TwoMedian), ("3-majority", ThreeMajority)):
+        invalid_wins = 0
+        for seed in range(8):
+            result = run_with_adversary(
+                factory(),
+                initial,
+                AdversarySchedule(PlantInvalid(schedule_budget, invalid_color=100), stop=60),
+                rng=seed,
+                max_rounds=30_000,
+                stable_fraction=0.9,
+            )
+            if result.stabilized and not result.winner_is_valid:
+                invalid_wins += 1
+        outcomes[name] = invalid_wins
+    return outcomes, schedule_budget
+
+
+def _measure():
+    return _undecided_outcomes(), _speed_comparison(), _validity_attack()
+
+
+def bench_e12_related_dynamics(benchmark):
+    undecided_rows, speed_rows, (attack, budget) = benchmark.pedantic(
+        _measure, rounds=1, iterations=1
+    )
+    table_a = Table(
+        title=f"E12a  Undecided dynamics outcomes (n={N})",
+        columns=["start", "all-undecided (dead)", "valid consensus"],
+    )
+    for row in undecided_rows:
+        table_a.add_row(*row)
+    emit(table_a)
+
+    table_b = Table(
+        title=f"E12b  consensus time from n={N} distinct colors",
+        columns=["process", "mean rounds"],
+    )
+    for row in speed_rows:
+        table_b.add_row(*row)
+    table_b.add_footnote("2-Median's speed is bought with totally-ordered colors.")
+    emit(table_b)
+
+    table_c = Table(
+        title=f"E12c  validity under PlantInvalid (budget {budget}, 60 rounds)",
+        columns=["process", "runs stabilising on an INVALID value (of 8)"],
+    )
+    for name, invalid in attack.items():
+        table_c.add_row(name, invalid)
+    emit(table_c)
+
+    # (a) collapse happens with constant probability at k=n, never with bias.
+    singleton_dead = int(undecided_rows[0][1].split("/")[0])
+    biased_dead = int(undecided_rows[1][1].split("/")[0])
+    assert singleton_dead >= 1
+    assert biased_dead == 0
+    # (b) 2-median is the fastest; voter the slowest.
+    speeds = dict(speed_rows)
+    assert speeds["2-median"] < speeds["3-majority"] < speeds["voter"]
+    # (c) 3-Majority never elects the invalid color; 2-Median does, often.
+    assert attack["3-majority"] == 0
+    assert attack["2-median"] >= 2

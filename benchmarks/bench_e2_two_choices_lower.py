@@ -1,0 +1,117 @@
+"""E2 — Theorem 5: the 2-Choices symmetry-breaking lower bound.
+
+Paper claim: starting from any configuration with maximum support ``ℓ``,
+w.h.p. no color exceeds ``ℓ' = max(2ℓ, γ log n)`` for ``n / (γ ℓ')``
+rounds; from the n-color configuration, no color reaches support
+``γ log n`` for ``n / (γ² log n)`` rounds.
+
+Regenerated series:
+  (a) the *budget table* — fraction of runs in which symmetry broke within
+      the theorem's round budget (paper: ≈ 0), with the 3-Majority
+      contrast column (breaks essentially always);
+  (b) the *scaling series* — measured rounds until some color exceeds
+      ``c·log n``, fitted against ``n / log n`` growth.
+"""
+
+import math
+
+import numpy as np
+
+from repro.analysis import fit_power_law_with_log_correction
+from repro.core import Configuration
+from repro.engine import symmetry_breaking_time
+from repro.experiments import Table
+from repro.processes import ThreeMajority, TwoChoices
+
+from conftest import emit
+
+GAMMA = 3.0
+N_VALUES = [1024, 2048, 4096, 8192]
+SEEDS = range(5)
+
+
+def _budget_table():
+    table = Table(
+        title=(
+            "E2a  symmetry breaks within the Theorem-5 budget n/(γℓ')? "
+            f"(γ={GAMMA:g}, start: n distinct colors)"
+        ),
+        columns=["n", "threshold ℓ'", "budget rounds", "2-choices broke", "3-majority broke"],
+    )
+    outcomes = []
+    for n in N_VALUES:
+        threshold = max(2, int(math.ceil(GAMMA * math.log(n))))
+        budget = max(2, int(n / (GAMMA * threshold)))
+        broke_2c = 0
+        broke_3m = 0
+        for seed in SEEDS:
+            _r, fired = symmetry_breaking_time(
+                TwoChoices(),
+                Configuration.singletons(n),
+                threshold,
+                rng=seed,
+                max_rounds=budget,
+                raise_on_limit=False,
+            )
+            broke_2c += int(fired)
+            _r, fired = symmetry_breaking_time(
+                ThreeMajority(),
+                Configuration.singletons(n),
+                threshold,
+                rng=seed,
+                max_rounds=budget,
+                raise_on_limit=False,
+                backend="agent",
+            )
+            broke_3m += int(fired)
+        table.add_row(n, threshold, budget, f"{broke_2c}/{len(SEEDS)}", f"{broke_3m}/{len(SEEDS)}")
+        outcomes.append((broke_2c, broke_3m))
+    return table, outcomes
+
+
+def _scaling_series():
+    table = Table(
+        title="E2b  2-Choices rounds until max support > 3·log n (scaling)",
+        columns=["n", "mean rounds", "n/log n"],
+    )
+    means = []
+    for n in N_VALUES:
+        threshold = max(2, int(math.ceil(GAMMA * math.log(n))))
+        rounds = []
+        for seed in SEEDS:
+            r, fired = symmetry_breaking_time(
+                TwoChoices(),
+                Configuration.singletons(n),
+                threshold,
+                rng=1000 + seed,
+                max_rounds=50 * n,
+                raise_on_limit=False,
+            )
+            assert fired, "raise the horizon"
+            rounds.append(r)
+        mean = float(np.mean(rounds))
+        means.append(mean)
+        table.add_row(n, mean, n / math.log(n))
+    fit = fit_power_law_with_log_correction(
+        np.asarray(N_VALUES, dtype=float), np.asarray(means), log_exponent=-1.0
+    )
+    table.add_footnote(f"fit of mean·log(n)/n-shape: {fit.summary()}")
+    return table, fit, means
+
+
+def bench_e2_two_choices_lower(benchmark):
+    (budget_table, outcomes), (scaling_table, fit, _means) = benchmark.pedantic(
+        lambda: (_budget_table(), _scaling_series()), rounds=1, iterations=1
+    )
+    emit(budget_table)
+    emit(scaling_table)
+
+    # Theorem 5: 2-Choices essentially never breaks within the budget; the
+    # 3-Majority contrast breaks essentially always.
+    total_2c = sum(b for b, _ in outcomes)
+    total_3m = sum(b for _, b in outcomes)
+    assert total_2c <= 1, f"2-Choices broke symmetry {total_2c} times"
+    assert total_3m >= len(N_VALUES) * len(SEEDS) - 1
+    # Growth compatible with Omega(n / log n): exponent near 1 after
+    # dividing out the 1/log n.
+    assert fit.exponent > 0.75, fit.summary()

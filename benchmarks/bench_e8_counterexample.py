@@ -1,0 +1,71 @@
+"""E8 — Appendix B: the 7/12 counterexample, exactly.
+
+Paper claim (Equation (24) and surrounding text): for the comparable pair
+``(1/2, 1/2, 0, 0) ⪰ (1/2, 1/6, 1/6, 1/6)``, the ``(h+1)``-Majority image
+of the upper configuration stays ``(1/2, 1/2, 0, 0)`` by symmetry, while
+the 3-Majority image of the *lower* one puts exactly ``7/12`` on its top
+color — so the image majorization Lemma 1 would need for the h-Majority
+hierarchy (Conjecture 1) fails, by exactly ``1/12`` at prefix one.
+
+Regenerated artifacts: the exact rational α-vectors, the three terms of
+Equation (24), the dominance-framework search re-discovering the same
+violation from scratch on integer configurations, and a Monte-Carlo
+confirmation that the one-round empirical images behave as predicted.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.analysis import empirical_mean_next_counts
+from repro.core import Configuration
+from repro.core.ac_process import HMajorityFunction
+from repro.core.dominance import find_dominance_counterexample
+from repro.core.hierarchy import appendix_b_counterexample, equation_24_terms
+from repro.experiments import Table
+from repro.processes import HMajority
+
+from conftest import emit
+
+
+def _measure():
+    report = appendix_b_counterexample(h=3)
+    terms = equation_24_terms()
+    rediscovered = find_dominance_counterexample(
+        HMajorityFunction(4), HMajorityFunction(3), n_values=[12]
+    )
+    # Monte-Carlo: one agent-level 3-Majority round from (6,2,2,2) (n=12
+    # scaled up to n=1200 for tighter concentration) should put about 7/12
+    # of the nodes on color 0 in expectation.
+    config = Configuration([600, 200, 200, 200])
+    rng = np.random.default_rng(8)
+    empirical = empirical_mean_next_counts(HMajority(3), config, 2000, rng)
+    top_fraction = float(empirical[0] / 1200)
+    return report, terms, rediscovered, top_fraction
+
+
+def bench_e8_counterexample(benchmark):
+    report, terms, rediscovered, top_fraction = benchmark.pedantic(
+        _measure, rounds=1, iterations=1
+    )
+    table = Table(
+        title="E8  Appendix B: Lemma 1 cannot prove the h-Majority hierarchy",
+        columns=["quantity", "value"],
+    )
+    table.add_row("upper x̃ (4-Majority input)", str(report.x_upper))
+    table.add_row("lower x (3-Majority input)", str(report.x_lower))
+    table.add_row("x̃ ⪰ x (inputs comparable)", report.inputs_comparable)
+    table.add_row("α⁴ᴹ(x̃)", str(report.alpha_upper))
+    table.add_row("α³ᴹ(x)[0] (Equation 24)", str(report.top_mass_lower))
+    table.add_row("Equation-24 terms", " + ".join(str(t) for t in terms))
+    table.add_row("α⁴ᴹ(x̃) ⪰ α³ᴹ(x)?", report.images_majorize)
+    table.add_row("violation at prefix 1", str(report.top_mass_lower - Fraction(1, 2)))
+    table.add_row("rediscovered on n=12 ints", str(rediscovered.lower))
+    table.add_row("Monte-Carlo top fraction", top_fraction)
+    emit(table)
+
+    assert report.top_mass_lower == Fraction(7, 12)
+    assert sum(terms) == Fraction(7, 12)
+    assert report.lemma1_hypothesis_fails()
+    assert rediscovered is not None and rediscovered.gap > 0
+    assert abs(top_fraction - 7 / 12) < 0.01

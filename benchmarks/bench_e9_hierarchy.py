@@ -1,0 +1,63 @@
+"""E9 — Conjecture 1: the h-Majority hierarchy, probed empirically.
+
+Paper conjecture: ``(h+1)``-Majority is stochastically faster than
+``h``-Majority for every ``h`` (proved only for h ∈ {1, 2, 3} via
+Lemma 2; Appendix B shows the majorization machinery cannot settle the
+rest — see E8).
+
+Regenerated series: mean consensus time from a balanced 8-color start for
+h ∈ {1, 2, 3, 4, 5, 7}, expected to be non-increasing in ``h`` (with
+h = 1, 2 statistically identical: both are Voter).
+"""
+
+import numpy as np
+
+from repro.core import Configuration
+from repro.engine import Consensus, repeat_first_passage
+from repro.experiments import Table
+from repro.processes import HMajority
+
+from conftest import emit
+
+N = 512
+K = 8
+H_VALUES = [1, 2, 3, 4, 5, 7]
+REPETITIONS = 30
+
+
+def _measure():
+    config = Configuration.balanced(N, K)
+    rows = []
+    for h in H_VALUES:
+        times = repeat_first_passage(
+            lambda h=h: HMajority(h),
+            config,
+            Consensus(),
+            REPETITIONS,
+            rng=300 + h,
+            backend="agent",
+        )
+        rows.append((h, float(times.mean()), float(times.std(ddof=1) / np.sqrt(REPETITIONS))))
+    return rows
+
+
+def bench_e9_hierarchy(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table = Table(
+        title=f"E9  h-Majority consensus time, balanced k={K} start (n={N})",
+        columns=["h", "mean rounds", "sem"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.add_footnote("Conjecture 1 predicts a non-increasing column (h=1,2 identical).")
+    emit(table)
+
+    means = {h: m for h, m, _ in rows}
+    sems = {h: s for h, _, s in rows}
+    # h = 1 and h = 2 are the same process (Voter): equal within noise.
+    assert abs(means[1] - means[2]) < 4 * (sems[1] + sems[2])
+    # The conjectured hierarchy, with Monte-Carlo slack on each comparison.
+    for lo, hi in [(2, 3), (3, 4), (4, 5), (5, 7)]:
+        assert means[hi] < means[lo] + 4 * (sems[lo] + sems[hi]), (lo, hi)
+    # And the h=7 process is decisively faster than Voter.
+    assert means[7] < 0.5 * means[1]

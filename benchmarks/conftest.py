@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_e<id>_*.py`` module regenerates one experiment from
+EXPERIMENTS.md: it measures the paper's quantity under ``pytest-benchmark``
+timing, prints the paper-shaped table, and asserts the qualitative claim
+(who wins, growth exponents, exact identities).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(the ``-s`` shows the tables; EXPERIMENTS.md records a reference copy).
+"""
+
+import pytest
+
+
+def emit(renderable) -> None:
+    """Print a table/section with surrounding blank lines (visible via -s)."""
+    print()
+    print(renderable)
+    print()
+
+
+@pytest.fixture
+def report():
+    """The table printer as a fixture, for symmetry with benchmark."""
+    return emit

@@ -1,0 +1,99 @@
+"""Byzantine agreement demo: 3-Majority against dynamic adversaries (§5).
+
+Run with::
+
+    python examples/byzantine_agreement.py
+
+Pits 3-Majority against the three adversaries from the fault model the
+paper discusses in Section 5 — random noise, a stalling adversary that
+boosts the runner-up, and one that plants an *invalid* color — at
+corruption budgets around the [BCN+16] tolerance scale, then shows the
+footnote-5 contrast: the ordered-color 2-Median process electing a value
+no honest node ever held.
+"""
+
+import numpy as np
+
+from repro import Configuration, ThreeMajority, TwoMedian
+from repro.adversary import (
+    AdversarySchedule,
+    BoostRunnerUp,
+    PlantInvalid,
+    RandomNoise,
+    recommended_corruption_budget,
+    run_with_adversary,
+)
+from repro.experiments import Table
+
+
+def three_majority_resilience(n=1024, k=3, seeds=5):
+    budget = max(1, recommended_corruption_budget(n, k))
+    table = Table(
+        title=f"3-Majority under dynamic adversaries (n={n}, k={k}, budget scale {budget})",
+        columns=["adversary", "F", "stabilized", "valid winner", "mean rounds"],
+    )
+    for label, adversary in (
+        ("random noise", RandomNoise(4 * budget, k)),
+        ("boost runner-up", BoostRunnerUp(4 * budget)),
+        ("plant invalid color", PlantInvalid(4 * budget, invalid_color=k + 9)),
+    ):
+        stabilized = valid = 0
+        rounds = []
+        for seed in range(seeds):
+            result = run_with_adversary(
+                ThreeMajority(),
+                Configuration.balanced(n, k),
+                adversary,
+                rng=seed,
+                max_rounds=10_000,
+                stable_fraction=0.9,
+            )
+            stabilized += int(result.stabilized)
+            valid += int(result.stabilized and result.winner_is_valid)
+            rounds.append(result.rounds)
+        table.add_row(
+            label, adversary.budget, f"{stabilized}/{seeds}", f"{valid}/{seeds}",
+            float(np.mean(rounds)),
+        )
+    print(table.render())
+
+
+def two_median_validity_failure(n=512, seeds=8):
+    print(
+        "\nfootnote 5: 2-Median cannot guarantee validity.  Honest values sit\n"
+        "at 0 and 200; the adversary plants the midpoint 100 for 60 rounds.\n"
+    )
+    counts = np.zeros(201, dtype=np.int64)
+    counts[0] = n // 2
+    counts[200] = n - n // 2
+    initial = Configuration(counts)
+    schedule = AdversarySchedule(PlantInvalid(n // 32, invalid_color=100), stop=60)
+    table = Table(
+        title="midpoint attack outcomes",
+        columns=["process", "stabilized", "won with INVALID value"],
+    )
+    for name, factory in (("2-median", TwoMedian), ("3-majority", ThreeMajority)):
+        stabilized = invalid = 0
+        for seed in range(seeds):
+            result = run_with_adversary(
+                factory(), initial, schedule, rng=seed,
+                max_rounds=30_000, stable_fraction=0.9,
+            )
+            stabilized += int(result.stabilized)
+            invalid += int(result.stabilized and not result.winner_is_valid)
+        table.add_row(name, f"{stabilized}/{seeds}", f"{invalid}/{seeds}")
+    print(table.render())
+    print(
+        "\n2-Median's total order lets a planted middle value become the\n"
+        "median of honest extremes; 3-Majority only ever amplifies existing\n"
+        "support, so the invalid color dies once the adversary stops."
+    )
+
+
+def main() -> None:
+    three_majority_resilience()
+    two_median_validity_failure()
+
+
+if __name__ == "__main__":
+    main()

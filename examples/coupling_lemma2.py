@@ -1,0 +1,72 @@
+"""Lemma 2, executed: a coupled run of 3-Majority and Voter.
+
+Run with::
+
+    python examples/coupling_lemma2.py
+
+The paper proves (via Strassen's theorem) that a coupling *exists* under
+which 3-Majority's configuration majorizes Voter's at every round — and
+therefore never has more remaining colors.  This example *samples from
+that coupling*: at each round it enumerates both one-step multinomial
+laws, solves the Lemma-1 transportation LP, draws the next pair of
+states jointly, and prints the two trajectories side by side with the
+majorization check.
+"""
+
+import numpy as np
+
+from repro.core import Configuration, run_coupled_chains
+from repro.core.ac_process import ThreeMajorityFunction, VoterFunction
+from repro.experiments import Table
+
+
+def main() -> None:
+    n = 6
+    initial = Configuration.singletons(n)
+    rng = np.random.default_rng(11)
+    trajectory = run_coupled_chains(
+        ThreeMajorityFunction(), VoterFunction(), initial, rounds=12, rng=rng
+    )
+    table = Table(
+        title=f"coupled trajectories from {n} distinct colors (one joint sample path)",
+        columns=["round", "3-majority state", "colors", "voter state", "colors", "3M ⪰ V"],
+    )
+    from repro.core import majorizes
+
+    for t, (upper, lower) in enumerate(
+        zip(trajectory.upper_states, trajectory.lower_states)
+    ):
+        table.add_row(
+            t,
+            str(tuple(sorted(upper, reverse=True))),
+            sum(1 for v in upper if v),
+            str(tuple(sorted(lower, reverse=True))),
+            sum(1 for v in lower if v),
+            majorizes(np.asarray(upper, float), np.asarray(lower, float)),
+        )
+    print(table.render())
+    print(
+        f"\nmajorization maintained at every round: {trajectory.majorization_maintained()}"
+        f"\n3-Majority never has more colors:       {trajectory.colors_never_more()}"
+    )
+    print(
+        "\nEvery round solved the Lemma-1 Strassen LP and sampled the joint\n"
+        "law — the coupling the paper proves to exist, made executable.\n"
+        "(Exponential in n: a verification tool, not a simulator.)"
+    )
+
+    # Replay over several seeds: the guarantee is sure, not statistical.
+    for seed in range(4):
+        replay = run_coupled_chains(
+            ThreeMajorityFunction(),
+            VoterFunction(),
+            initial,
+            rounds=10,
+            rng=np.random.default_rng(seed),
+        )
+        assert replay.majorization_maintained()
+    print("replayed over 4 more seeds: majorization held surely each time.")
+
+
+if __name__ == "__main__":
+    main()

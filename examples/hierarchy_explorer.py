@@ -1,0 +1,86 @@
+"""h-Majority hierarchy explorer: Conjecture 1 and the Appendix-B wall.
+
+Run with::
+
+    python examples/hierarchy_explorer.py
+
+Three views of the general h-Majority family:
+
+1. exact rational process functions ``α^{hM}(x)`` on a fixed
+   configuration, showing the drift sharpen with ``h``;
+2. an empirical race of h ∈ {1..7} from a balanced start (Conjecture 1
+   predicts monotone speed-up);
+3. the Appendix-B counterexample — why the paper's own machinery cannot
+   prove the conjecture — with the exact ``7/12`` computation.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.core import Configuration
+from repro.core.hierarchy import (
+    appendix_b_counterexample,
+    equation_24_terms,
+    hierarchy_probability_vectors,
+)
+from repro.engine import Consensus, repeat_first_passage
+from repro.experiments import Table
+from repro.processes import HMajority
+
+
+def exact_drift_table():
+    x = [Fraction(1, 2), Fraction(1, 4), Fraction(1, 4)]
+    vectors = hierarchy_probability_vectors(x, [1, 2, 3, 5, 7])
+    table = Table(
+        title="exact α^{hM}(x) for x = (1/2, 1/4, 1/4)",
+        columns=["h", "α_1", "α_2 = α_3", "α_1 as float"],
+    )
+    for h, alpha in vectors.items():
+        table.add_row(h, str(alpha[0]), str(alpha[1]), float(alpha[0]))
+    table.add_footnote("h = 1, 2 are exactly Voter; drift to the plurality grows with h.")
+    print(table.render())
+
+
+def empirical_race(n=512, k=8, reps=15):
+    table = Table(
+        title=f"mean consensus time, balanced k={k} start (n={n}, {reps} runs)",
+        columns=["h", "mean rounds", "sem"],
+    )
+    for h in (1, 2, 3, 4, 5, 7):
+        times = repeat_first_passage(
+            lambda h=h: HMajority(h),
+            Configuration.balanced(n, k),
+            Consensus(),
+            reps,
+            rng=40 + h,
+            backend="agent",
+        )
+        table.add_row(h, float(times.mean()), float(times.std(ddof=1) / np.sqrt(reps)))
+    table.add_footnote("Conjecture 1: non-increasing in h (open for h ≥ 3 vs h + 1).")
+    print()
+    print(table.render())
+
+
+def appendix_b():
+    report = appendix_b_counterexample()
+    print("\nAppendix B: why majorization cannot prove the hierarchy\n")
+    print(f"  comparable inputs:  x̃ = {tuple(map(str, report.x_upper))}  ⪰  "
+          f"x = {tuple(map(str, report.x_lower))}")
+    print(f"  (h+1)-Majority on x̃ stays put: α = {tuple(map(str, report.alpha_upper))}")
+    terms = " + ".join(str(t) for t in equation_24_terms())
+    print(f"  3-Majority mass on x's top color (Eq. 24): {terms} = "
+          f"{report.top_mass_lower}")
+    print(f"  required α^(h+1)M(x̃) ⪰ α^hM(x): {report.images_majorize}  "
+          f"(violated by {report.top_mass_lower - Fraction(1, 2)} at prefix 1)")
+    print("\n  ⇒ Lemma 1's hypothesis fails; Conjecture 1 remains open.")
+
+
+def main() -> None:
+    exact_drift_table()
+    empirical_race()
+    appendix_b()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Leader election race: the Theorem-1 separation across system sizes.
+
+Run with::
+
+    python examples/leader_election_race.py [max_n]
+
+For a geometric sweep of ``n``, races Voter, 2-Choices and 3-Majority
+from the n-color configuration (repeating over seeds), prints the mean
+consensus times with fitted growth exponents, and renders an ASCII
+trajectory of the number of remaining colors for the largest ``n`` —
+making the "ignore vs comply" dynamics visible round by round.
+"""
+
+import sys
+
+import numpy as np
+
+from repro import Configuration, MetricRecorder, ThreeMajority, TwoChoices, Voter, run
+from repro.analysis import fit_power_law
+from repro.engine import repeat_first_passage, Consensus
+from repro.experiments import Table
+
+PROCESSES = [
+    ("voter", Voter),
+    ("2-choices", TwoChoices),
+    ("3-majority", ThreeMajority),
+]
+
+
+def scaling_table(n_values, repetitions=3, seed=7):
+    table = Table(
+        title="mean consensus time from n distinct colors",
+        columns=["n"] + [name for name, _ in PROCESSES],
+    )
+    means = {name: [] for name, _ in PROCESSES}
+    for n in n_values:
+        row = [n]
+        for name, factory in PROCESSES:
+            times = repeat_first_passage(
+                factory,
+                Configuration.singletons(n),
+                Consensus(),
+                repetitions,
+                rng=seed,
+                backend="agent",
+                max_rounds=10**7,
+            )
+            means[name].append(times.mean())
+            row.append(float(times.mean()))
+        table.add_row(*row)
+    for name, _ in PROCESSES:
+        fit = fit_power_law(np.asarray(n_values, dtype=float), np.asarray(means[name]))
+        table.add_footnote(f"{name}: {fit.summary()}")
+    return table
+
+
+def ascii_trajectory(n, width=64, seed=3):
+    print(f"\nremaining colors over time at n = {n} (log-scaled bars)\n")
+    for name, factory in PROCESSES:
+        recorder = MetricRecorder(names=("num_colors",), stride=1)
+        run(
+            factory(),
+            Configuration.singletons(n),
+            rng=seed,
+            recorder=recorder,
+            backend="agent",
+            max_rounds=10**7,
+        )
+        series = recorder.series("num_colors").astype(float)
+        # Sample the trajectory at `width` evenly spaced rounds.
+        idx = np.linspace(0, series.size - 1, num=min(width, series.size)).astype(int)
+        bars = ""
+        for value in series[idx]:
+            level = int(np.clip(np.log(value) / np.log(n) * 8, 0, 8))
+            bars += " ▁▂▃▄▅▆▇█"[level]
+        print(f"{name:>12} |{bars}| {series.size - 1} rounds")
+    print("\n(each bar column is one sampled round; height ~ log #colors)")
+
+
+def main() -> None:
+    max_n = int(sys.argv[1]) if len(sys.argv) > 1 else 4096
+    n_values = [256]
+    while n_values[-1] * 2 <= max_n:
+        n_values.append(n_values[-1] * 2)
+    print(scaling_table(n_values).render())
+    ascii_trajectory(n_values[-1])
+
+
+if __name__ == "__main__":
+    main()

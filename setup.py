@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment has setuptools but no `wheel`, so PEP-517 editable
+installs fail with "invalid command 'bdist_wheel'".  This shim lets
+``python setup.py develop`` / ``pip install -e . --no-build-isolation``
+fall back to the legacy egg-link editable install, which needs no wheel.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

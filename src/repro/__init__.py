@@ -1,0 +1,83 @@
+"""repro — a reproduction of *"Ignore or Comply? On Breaking Symmetry in
+Consensus"* (Berenbrink, Clementi, Elsässer, Kling, Mallmann-Trenn,
+Natale; PODC 2017, arXiv:1702.04921).
+
+The library implements the paper's consensus dynamics (Voter, 2-Choices,
+3-Majority, general h-Majority, plus the related 2-Median and
+Undecided-State dynamics), its anonymous-consensus-process comparison
+framework (majorization, protocol dominance, Strassen couplings), the
+coalescing-random-walks duality, dynamic adversaries, and a benchmark
+harness that validates every theorem, lemma and counterexample in the
+paper.  See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+
+Quickstart
+----------
+>>> from repro import Configuration, ThreeMajority, consensus_time
+>>> start = Configuration.singletons(256)          # leader election
+>>> consensus_time(ThreeMajority(), start, rng=7)  # doctest: +SKIP
+211
+"""
+
+from .core import (
+    ACProcessFunction,
+    Configuration,
+    HMajorityFunction,
+    ThreeMajorityFunction,
+    VoterFunction,
+    appendix_b_counterexample,
+    majorizes,
+    strassen_coupling,
+    verify_dominance_exhaustive,
+)
+from .engine import (
+    ColorsAtMost,
+    Consensus,
+    MaxSupportAbove,
+    MetricRecorder,
+    SimulationResult,
+    consensus_time,
+    reduction_time,
+    run,
+    symmetry_breaking_time,
+)
+from .processes import (
+    HMajority,
+    ThreeMajority,
+    TwoChoices,
+    TwoMedian,
+    UndecidedDynamics,
+    Voter,
+    make_process,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ACProcessFunction",
+    "ColorsAtMost",
+    "Configuration",
+    "Consensus",
+    "HMajority",
+    "HMajorityFunction",
+    "MaxSupportAbove",
+    "MetricRecorder",
+    "SimulationResult",
+    "ThreeMajority",
+    "ThreeMajorityFunction",
+    "TwoChoices",
+    "TwoMedian",
+    "UndecidedDynamics",
+    "Voter",
+    "VoterFunction",
+    "__version__",
+    "appendix_b_counterexample",
+    "consensus_time",
+    "majorizes",
+    "make_process",
+    "reduction_time",
+    "run",
+    "strassen_coupling",
+    "symmetry_breaking_time",
+    "verify_dominance_exhaustive",
+]

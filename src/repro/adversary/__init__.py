@@ -1,0 +1,22 @@
+"""Dynamic adversaries and robust (Byzantine) consensus runs (§5)."""
+
+from .adversary import (
+    Adversary,
+    AdversarySchedule,
+    BoostRunnerUp,
+    PlantInvalid,
+    RandomNoise,
+    recommended_corruption_budget,
+)
+from .robust_runner import RobustRunResult, run_with_adversary
+
+__all__ = [
+    "Adversary",
+    "AdversarySchedule",
+    "BoostRunnerUp",
+    "PlantInvalid",
+    "RandomNoise",
+    "RobustRunResult",
+    "recommended_corruption_budget",
+    "run_with_adversary",
+]

@@ -1,0 +1,119 @@
+"""Running consensus processes against a dynamic adversary.
+
+The execution model of §5: in each round the honest synchronous protocol
+step happens first (all samples observe the pre-round state), then the
+adversary rewrites the colors of at most ``F`` nodes.  The run tracks
+
+* the set of **valid** colors (those with initial honest support),
+* whether an *almost-all* consensus regime is reached: at least a
+  ``1 − ε`` fraction of nodes on one valid color, and
+* whether validity is ever violated at stabilisation (the failure mode of
+  2-Median under :class:`~repro.adversary.adversary.PlantInvalid`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.configuration import Configuration
+from ..engine.rng import RandomSource, as_generator
+from ..processes.base import AgentProcess
+from .adversary import Adversary, AdversarySchedule
+
+__all__ = ["RobustRunResult", "run_with_adversary"]
+
+
+@dataclass
+class RobustRunResult:
+    """Outcome of a run under adversarial corruption."""
+
+    process_name: str
+    adversary_repr: str
+    rounds: int
+    stabilized: bool
+    winning_color: "int | None"
+    winning_fraction: float
+    winner_is_valid: bool
+    valid_colors: frozenset
+
+    @property
+    def valid_almost_all_consensus(self) -> bool:
+        """The §5 success criterion: stabilised on a *valid* color."""
+        return self.stabilized and self.winner_is_valid
+
+
+def run_with_adversary(
+    process: AgentProcess,
+    initial: Configuration,
+    adversary: "Adversary | AdversarySchedule",
+    rng: RandomSource = None,
+    max_rounds: int = 50_000,
+    stable_fraction: float = 0.95,
+    stable_rounds: int = 3,
+) -> RobustRunResult:
+    """Run ``process`` under ``adversary`` until almost-all consensus holds.
+
+    Stabilisation requires a single color to hold at least
+    ``stable_fraction`` of the nodes for ``stable_rounds`` consecutive
+    rounds (a finite-run stand-in for the paper's "stable regime").
+    Returns a result even when the horizon is exhausted
+    (``stabilized=False``) so experiments can report stalling adversaries.
+    """
+    if not 0.5 < stable_fraction <= 1.0:
+        raise ValueError("stable_fraction must lie in (0.5, 1]")
+    if stable_rounds < 1:
+        raise ValueError("stable_rounds must be positive")
+    generator = as_generator(rng)
+    schedule = (
+        adversary
+        if isinstance(adversary, AdversarySchedule)
+        else AdversarySchedule(adversary)
+    )
+    colors = process.initial_colors(initial)
+    valid_colors = frozenset(int(c) for c in np.unique(colors))
+    n = colors.size
+    streak = 0
+    rounds = 0
+    leader, fraction = _plurality(colors)
+    while rounds < max_rounds:
+        colors = process.update(colors, generator)
+        colors = schedule.corrupt(rounds, colors, generator)
+        rounds += 1
+        leader, fraction = _plurality(colors)
+        if fraction >= stable_fraction:
+            streak += 1
+            if streak >= stable_rounds:
+                return RobustRunResult(
+                    process_name=process.name,
+                    adversary_repr=repr(schedule.adversary),
+                    rounds=rounds,
+                    stabilized=True,
+                    winning_color=leader,
+                    winning_fraction=fraction,
+                    winner_is_valid=leader in valid_colors,
+                    valid_colors=valid_colors,
+                )
+        else:
+            streak = 0
+    return RobustRunResult(
+        process_name=process.name,
+        adversary_repr=repr(schedule.adversary),
+        rounds=rounds,
+        stabilized=False,
+        winning_color=leader,
+        winning_fraction=fraction,
+        winner_is_valid=leader in valid_colors,
+        valid_colors=valid_colors,
+    )
+
+
+def _plurality(colors: np.ndarray) -> "tuple[int, float]":
+    """The plurality color and its fraction, ignoring negative sentinels."""
+    decided = colors[colors >= 0]
+    if decided.size == 0:
+        return -1, 0.0
+    counts = np.bincount(decided)
+    leader = int(np.argmax(counts))
+    return leader, float(counts[leader] / colors.size)

@@ -1,0 +1,103 @@
+"""Theory-side toolbox: bounds, drift theory, exact chains, statistics."""
+
+from .bounds import (
+    bcn14_three_majority_biased_upper,
+    bcn16_consensus_upper,
+    coalescence_expected_upper,
+    efk16_two_choices_biased_upper,
+    min_bias_three_majority,
+    min_bias_two_choices,
+    phase1_target_colors,
+    three_majority_consensus_upper,
+    two_choices_symmetry_breaking_lower,
+    two_choices_threshold,
+    voter_reduction_upper,
+)
+from .concentration import (
+    binomial_tail_exact,
+    chernoff_upper_above_2mu,
+    chernoff_upper_multiplicative,
+    phase_amplification_failure,
+    theorem5_tail_bound,
+)
+from .drift import (
+    coalescence_drift_function,
+    coalescence_time_bound,
+    estimate_coalescence_drift,
+    pairwise_meeting_probability,
+    variable_drift_bound,
+)
+from .exact_chain import ExactChainResult, PartitionChain
+from .occupancy import (
+    drift_slack_factor,
+    expected_coalescence_drop,
+    expected_occupied_nodes,
+    paper_drift_lower_bound,
+)
+from .phases import PhaseBreakdown, measure_phases
+from .spectral import (
+    SpectralProfile,
+    bgkmt16_consensus_scale,
+    ceor13_coalescence_scale,
+    spectral_profile,
+    transition_matrix,
+)
+from .expectation import (
+    empirical_mean_next_counts,
+    exact_expected_counts_ac,
+    exact_expected_counts_two_choices,
+    footnote2_identity_gap,
+)
+from .statistics import (
+    PowerLawFit,
+    fit_power_law,
+    fit_power_law_with_log_correction,
+    mann_whitney_less,
+    mean_confidence_interval,
+)
+
+__all__ = [
+    "ExactChainResult",
+    "PartitionChain",
+    "PhaseBreakdown",
+    "PowerLawFit",
+    "SpectralProfile",
+    "bcn14_three_majority_biased_upper",
+    "bcn16_consensus_upper",
+    "bgkmt16_consensus_scale",
+    "ceor13_coalescence_scale",
+    "binomial_tail_exact",
+    "chernoff_upper_above_2mu",
+    "chernoff_upper_multiplicative",
+    "coalescence_drift_function",
+    "drift_slack_factor",
+    "coalescence_expected_upper",
+    "coalescence_time_bound",
+    "efk16_two_choices_biased_upper",
+    "empirical_mean_next_counts",
+    "estimate_coalescence_drift",
+    "expected_coalescence_drop",
+    "expected_occupied_nodes",
+    "exact_expected_counts_ac",
+    "exact_expected_counts_two_choices",
+    "fit_power_law",
+    "fit_power_law_with_log_correction",
+    "footnote2_identity_gap",
+    "mann_whitney_less",
+    "measure_phases",
+    "mean_confidence_interval",
+    "min_bias_three_majority",
+    "min_bias_two_choices",
+    "pairwise_meeting_probability",
+    "paper_drift_lower_bound",
+    "phase1_target_colors",
+    "spectral_profile",
+    "phase_amplification_failure",
+    "theorem5_tail_bound",
+    "three_majority_consensus_upper",
+    "transition_matrix",
+    "two_choices_symmetry_breaking_lower",
+    "two_choices_threshold",
+    "variable_drift_bound",
+    "voter_reduction_upper",
+]

@@ -1,0 +1,109 @@
+"""Every bound in the paper, as a documented formula.
+
+Benchmarks compare measured quantities against these functions rather
+than against magic numbers, so each theorem's prediction is written down
+exactly once.  All formulas return the *scale* of the bound (the
+asymptotic expression evaluated at the given arguments, constant 1 unless
+the paper fixes one); callers supply their own empirical constants where
+needed.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "three_majority_consensus_upper",
+    "two_choices_symmetry_breaking_lower",
+    "two_choices_threshold",
+    "voter_reduction_upper",
+    "coalescence_expected_upper",
+    "bcn16_consensus_upper",
+    "phase1_target_colors",
+    "efk16_two_choices_biased_upper",
+    "bcn14_three_majority_biased_upper",
+    "min_bias_two_choices",
+    "min_bias_three_majority",
+]
+
+
+def _log(n: float) -> float:
+    return math.log(max(float(n), 2.0))
+
+
+def three_majority_consensus_upper(n: int) -> float:
+    """Theorem 4: 3-Majority consensus w.h.p. within ``O(n^{3/4} log^{7/8} n)``.
+
+    Unconditional — valid from *any* initial configuration, including the
+    n-color leader-election start.
+    """
+    return n**0.75 * _log(n) ** 0.875
+
+
+def two_choices_threshold(ell: int, n: int, gamma: float = 18.0) -> int:
+    """Theorem 5's support threshold ``ℓ' = max(2ℓ, γ log n)``."""
+    return int(max(2 * ell, math.ceil(gamma * _log(n))))
+
+
+def two_choices_symmetry_breaking_lower(n: int, ell: int, gamma: float = 18.0) -> float:
+    """Theorem 5: w.h.p. no color exceeds ``ℓ'`` for ``n / (γ ℓ')`` rounds.
+
+    For the n-color start (``ℓ = 1``) this is ``n / (γ² log n)`` up to the
+    ceiling in ``ℓ'`` — the paper's ``Ω(n / log n)`` lower bound on the
+    2-Choices consensus time.
+    """
+    ell_prime = two_choices_threshold(ell, n, gamma)
+    return n / (gamma * ell_prime)
+
+
+def voter_reduction_upper(n: int, k: int) -> float:
+    """Lemma 3: Voter reaches ``≤ k`` colors w.h.p. in ``O((n/k) log n)``."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    return (n / k) * _log(n)
+
+
+def coalescence_expected_upper(n: int, k: int) -> float:
+    """Equation (18): ``E[T^k_C] ≤ 20 n / k`` (constant included).
+
+    The one bound in the paper with an explicit constant; the E5 bench
+    checks the measured mean against it directly.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    return 20.0 * n / k
+
+
+def bcn16_consensus_upper(n: int, k: int) -> float:
+    """Theorem 8 ([BCN+16, Thm 3.1]): 3-Majority from ``k ≤ n^{1/3−ε}`` colors
+    reaches consensus w.h.p. in ``O((k² log^{1/2} n + k log n)(k + log n))``."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    log_n = _log(n)
+    return (k**2 * log_n**0.5 + k * log_n) * (k + log_n)
+
+
+def phase1_target_colors(n: int) -> int:
+    """The phase boundary of Theorem 4's proof: ``≈ n^{1/4} log^{1/8} n`` colors."""
+    return max(1, int(round(n**0.25 * _log(n) ** 0.125)))
+
+
+def efk16_two_choices_biased_upper(n: int, k: int) -> float:
+    """[EFK+16]: biased 2-Choices reaches consensus w.h.p. in ``O(k log n)``,
+    for ``k = O(n^ε)`` and bias ``Ω(√(n log n))``."""
+    return k * _log(n)
+
+
+def bcn14_three_majority_biased_upper(n: int, k: int) -> float:
+    """[BCN+14]: biased 3-Majority needs ``O(min{k, (n/log n)^{1/3}} log n)``."""
+    return min(k, (n / _log(n)) ** (1.0 / 3.0)) * _log(n)
+
+
+def min_bias_two_choices(n: int) -> float:
+    """Bias scale ``√(n log n)`` required by the biased 2-Choices results."""
+    return math.sqrt(n * _log(n))
+
+
+def min_bias_three_majority(n: int, k: int) -> float:
+    """Bias scale ``√k · √(n log n)`` from [BCN+14] (footnote 4)."""
+    return math.sqrt(k) * math.sqrt(n * _log(n))

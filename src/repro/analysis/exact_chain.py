@@ -1,0 +1,160 @@
+"""Exact Markov-chain analysis of AC-processes on small systems.
+
+An AC-process on ``n`` nodes is a Markov chain on the configuration
+space; by anonymity it projects to a chain on *integer partitions* of
+``n`` (sorted count vectors).  For small ``n`` this chain is tiny, so we
+can compute exact transition matrices, absorption (consensus) times, and
+color-reduction time distributions by linear algebra — ground truth
+against which the simulators and the paper's inequalities are tested.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..core.ac_process import ACProcessFunction
+from ..core.majorization import all_integer_partition_configs
+
+__all__ = ["PartitionChain", "ExactChainResult"]
+
+
+def _sorted_partition(vector: "tuple[int, ...]") -> "tuple[int, ...]":
+    nz = tuple(sorted((v for v in vector if v > 0), reverse=True))
+    return nz if nz else (0,)
+
+
+@dataclass(frozen=True)
+class ExactChainResult:
+    """Exact absorption analysis of an AC-process chain."""
+
+    states: tuple  # sorted partitions, index-aligned with the matrices
+    transition: np.ndarray  # row-stochastic matrix on partitions
+    expected_consensus_time: dict  # partition -> exact E[T¹]
+
+    def expected_time_from(self, partition: "tuple[int, ...]") -> float:
+        """Exact expected consensus time from a partition (sorted counts)."""
+        return self.expected_consensus_time[_sorted_partition(partition)]
+
+
+class PartitionChain:
+    """Exact chain of an AC-process on the partition space of ``n``.
+
+    The per-node adoption law ``α`` is symmetric in color labels for all
+    of the paper's processes, so the partition projection is lossless for
+    the quantities studied (numbers of colors, consensus time).
+    """
+
+    def __init__(self, process_function: ACProcessFunction, n: int):
+        if n < 1:
+            raise ValueError("n must be positive")
+        if n > 14:
+            raise ValueError(
+                "exact partition chains are intended for n <= 14 "
+                f"(state space explodes); got n={n}"
+            )
+        self.process_function = process_function
+        self.n = int(n)
+        self.states = tuple(all_integer_partition_configs(n))
+        self._index = {state: i for i, state in enumerate(self.states)}
+
+    # ------------------------------------------------------------------
+    def transition_matrix(self) -> np.ndarray:
+        """The exact row-stochastic transition matrix on partitions.
+
+        Row ``c``: enumerate all multinomial outcomes of ``Mult(n, α(c))``
+        over the supported colors of ``c`` and project each outcome to its
+        partition.  (Colors with zero support have ``α_i = 0`` for all the
+        paper's processes — no new colors are ever created — so restricting
+        the multinomial to the support is exact.)
+        """
+        size = len(self.states)
+        matrix = np.zeros((size, size))
+        for row, state in enumerate(self.states):
+            counts = np.asarray(state, dtype=np.int64)
+            alpha = self.process_function.probabilities(counts)
+            if np.any(alpha[counts == 0] > 1e-15):
+                raise ValueError(
+                    "process function revives unsupported colors; the "
+                    "partition projection would be lossy"
+                )
+            for outcome, prob in _multinomial_outcomes(self.n, alpha):
+                target = _sorted_partition(outcome)
+                matrix[row, self._index[target]] += prob
+        return matrix
+
+    def analyze(self) -> ExactChainResult:
+        """Exact expected consensus times via the fundamental-matrix solve.
+
+        Consensus states (single-part partitions) are absorbing for all of
+        the paper's processes; the expected absorption time from each
+        transient state solves ``(I − Q) t = 1``.
+        """
+        matrix = self.transition_matrix()
+        absorbing = [i for i, s in enumerate(self.states) if len(s) == 1]
+        transient = [i for i, s in enumerate(self.states) if len(s) > 1]
+        expected = {self.states[i]: 0.0 for i in absorbing}
+        if transient:
+            q = matrix[np.ix_(transient, transient)]
+            times = np.linalg.solve(np.eye(len(transient)) - q, np.ones(len(transient)))
+            for local, i in enumerate(transient):
+                expected[self.states[i]] = float(times[local])
+        return ExactChainResult(
+            states=self.states,
+            transition=matrix,
+            expected_consensus_time=expected,
+        )
+
+    def reduction_time_distribution(
+        self, start: "tuple[int, ...]", kappa: int, horizon: int
+    ) -> np.ndarray:
+        """Exact distribution of ``T^κ`` truncated at ``horizon``.
+
+        Entry ``t`` of the result is ``P[T^κ = t]`` (with any remaining
+        mass beyond the horizon *not* included; callers should pick the
+        horizon so the tail is negligible).  Used to validate Theorem 2's
+        stochastic dominance *exactly* on small systems.
+        """
+        matrix = self.transition_matrix()
+        start_key = _sorted_partition(start)
+        dist = np.zeros(len(self.states))
+        dist[self._index[start_key]] = 1.0
+        reached = np.asarray([len(s) <= kappa for s in self.states])
+        pmf = np.zeros(horizon + 1)
+        pmf[0] = dist[reached].sum()
+        dist[reached] = 0.0
+        for t in range(1, horizon + 1):
+            dist = dist @ matrix
+            pmf[t] = dist[reached].sum()
+            dist[reached] = 0.0
+        return pmf
+
+
+def _multinomial_outcomes(n: int, alpha: np.ndarray):
+    """Enumerate (outcome, probability) of ``Mult(n, alpha)`` over the support."""
+    support = [i for i, p in enumerate(alpha) if p > 0]
+    probs = [float(alpha[i]) for i in support]
+    k = len(support)
+    log_probs = [math.log(p) for p in probs]
+    log_fact = [math.lgamma(m + 1) for m in range(n + 1)]
+
+    def _rec(remaining: int, idx: int, partial: list):
+        if idx == k - 1:
+            yield partial + [remaining]
+            return
+        for take in range(remaining + 1):
+            yield from _rec(remaining - take, idx + 1, partial + [take])
+
+    full_width = alpha.size
+    for comp in _rec(n, 0, []):
+        log_p = log_fact[n]
+        for count, lp in zip(comp, log_probs):
+            log_p += count * lp - log_fact[count]
+        outcome = [0] * full_width
+        for slot, count in zip(support, comp):
+            outcome[slot] = count
+        yield tuple(outcome), math.exp(log_p)

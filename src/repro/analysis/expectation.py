@@ -1,0 +1,90 @@
+"""Exact one-step expectations — footnote 2 and Definition 2's left side.
+
+For an AC-process, ``E[P(c)] = n · α(c)`` exactly (the one-step law is
+multinomial).  2-Choices is not an AC-process, but its expectation is
+still closed-form (footnote 2):
+
+    E[c_i'] / n = x_i² + (1 − ‖x‖₂²) · x_i,   x = c/n,
+
+which *coincides with 3-Majority's process function* — the identity that
+makes the paper's separation result startling.  This module computes both
+sides exactly and provides the empirical-mean estimator used to validate
+the agent-level implementations against the formulas (experiment E7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.ac_process import ACProcessFunction
+from ..core.configuration import Configuration
+from ..engine.rng import RandomSource, as_generator
+from ..processes.base import AgentProcess, counts_from_colors
+
+__all__ = [
+    "exact_expected_counts_ac",
+    "exact_expected_counts_two_choices",
+    "footnote2_identity_gap",
+    "empirical_mean_next_counts",
+]
+
+
+def exact_expected_counts_ac(
+    process_function: ACProcessFunction, config: Configuration
+) -> np.ndarray:
+    """``E[P(c)] = n · α(c)`` for an AC-process."""
+    return config.num_nodes * process_function.probabilities_for(config)
+
+
+def exact_expected_counts_two_choices(config: Configuration) -> np.ndarray:
+    """Footnote 2 for 2-Choices: ``E[c_i'] = n(x_i² + (1 − ‖x‖₂²) x_i)``.
+
+    Derivation: node ``u`` ends on color ``i`` iff both its samples show
+    ``i`` (probability ``x_i²``, for *every* node), or its samples disagree
+    (probability ``1 − ‖x‖₂²``) and ``u`` already has color ``i`` (``c_i``
+    nodes).  Summing over nodes:
+
+        E[c_i'] = n · x_i² + (1 − ‖x‖₂²) · c_i,
+
+    which equals ``n · α^{3M}_i(c)`` — footnote 2's identity.
+    """
+    x = config.fractions()
+    n = config.num_nodes
+    norm_sq = float(np.dot(x, x))
+    return n * (x**2) + (1.0 - norm_sq) * config.counts_array()
+
+
+def footnote2_identity_gap(config: Configuration) -> float:
+    """Max absolute gap between E[2-Choices(c)] and E[3-Majority(c)].
+
+    Analytically zero for every configuration; the test-suite asserts it
+    below floating-point tolerance over random and adversarial configs.
+    """
+    from ..core.ac_process import ThreeMajorityFunction
+
+    lhs = exact_expected_counts_two_choices(config)
+    rhs = exact_expected_counts_ac(ThreeMajorityFunction(), config)
+    return float(np.abs(lhs - rhs).max())
+
+
+def empirical_mean_next_counts(
+    process: AgentProcess,
+    config: Configuration,
+    repetitions: int,
+    rng: RandomSource = None,
+) -> np.ndarray:
+    """Monte-Carlo mean of the post-round count vector (agent semantics).
+
+    Every repetition restarts from ``config`` and performs exactly one
+    synchronous round; the mean converges to the closed forms above at
+    rate ``O(1/√repetitions)``.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be positive")
+    generator = as_generator(rng)
+    base_colors = process.initial_colors(config)
+    acc = np.zeros(config.num_slots, dtype=float)
+    for _ in range(repetitions):
+        after = process.update(base_colors, generator)
+        acc += counts_from_colors(after[after >= 0], config.num_slots)
+    return acc / repetitions

@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the common interactive uses of the library:
+
+``simulate``
+    Run one process from a chosen workload and print the outcome (and,
+    with ``--trace``, the remaining-colors trajectory).
+
+``sweep``
+    A consensus-time scaling sweep over ``n`` for one process, with a
+    power-law fit — the quick-look version of benchmark E1/E3.  With
+    ``--output`` the raw sweep is saved as JSON (see
+    :mod:`repro.experiments.persistence`).
+
+``counterexample``
+    Print the Appendix-B report (the exact ``7/12`` computation).
+
+The CLI is a thin shell over the public API; everything it does is a
+few lines of library calls (shown in ``examples/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis import fit_power_law, three_majority_consensus_upper
+from .core import Configuration
+from .core.hierarchy import appendix_b_counterexample, equation_24_terms
+from .engine import Consensus, MetricRecorder, repeat_first_passage, run
+from .experiments import Table
+from .experiments.persistence import save_sweep
+from .experiments.harness import sweep_first_passage
+from .processes import available_processes, make_process
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Ignore or Comply? On Breaking Symmetry in "
+            "Consensus' (PODC 2017)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="run one process to consensus")
+    simulate.add_argument("process", help=f"one of: {', '.join(available_processes())}")
+    simulate.add_argument("--nodes", "-n", type=int, default=1024)
+    simulate.add_argument(
+        "--colors", "-k", type=int, default=None,
+        help="initial number of colors (default: n, i.e. leader election)",
+    )
+    simulate.add_argument("--bias", type=int, default=0, help="initial bias (needs -k)")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--max-rounds", type=int, default=None)
+    simulate.add_argument("--trace", action="store_true", help="print the trajectory")
+
+    sweep = sub.add_parser("sweep", help="consensus-time scaling sweep over n")
+    sweep.add_argument("process", help=f"one of: {', '.join(available_processes())}")
+    sweep.add_argument("--min-n", type=int, default=256)
+    sweep.add_argument("--max-n", type=int, default=2048)
+    sweep.add_argument("--repetitions", "-r", type=int, default=3)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--output", "-o", default=None, help="save raw sweep JSON here")
+
+    sub.add_parser("counterexample", help="print the Appendix-B 7/12 report")
+    return parser
+
+
+def _initial_configuration(args: argparse.Namespace) -> Configuration:
+    if args.colors is None:
+        if args.bias:
+            raise SystemExit("--bias requires --colors")
+        return Configuration.singletons(args.nodes)
+    if args.bias:
+        return Configuration.biased(args.nodes, args.colors, args.bias)
+    return Configuration.balanced(args.nodes, args.colors)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    process = make_process(args.process)
+    initial = _initial_configuration(args)
+    recorder = MetricRecorder(names=("num_colors", "max_support")) if args.trace else None
+    result = run(
+        process,
+        initial,
+        rng=args.seed,
+        stop=Consensus(),
+        max_rounds=args.max_rounds,
+        recorder=recorder,
+    )
+    print(
+        f"{process.name}: consensus after {result.rounds} rounds "
+        f"(n={initial.num_nodes}, start colors={initial.num_colors}, "
+        f"backend={result.backend})"
+    )
+    if recorder is not None:
+        table = Table(title="trajectory", columns=["round", "colors", "max support"])
+        data = recorder.as_dict()
+        stride = max(1, len(recorder) // 20)
+        for i in range(0, len(recorder), stride):
+            table.add_row(int(data["rounds"][i]), int(data["num_colors"][i]), int(data["max_support"][i]))
+        print(table.render())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.min_n < 2 or args.max_n < args.min_n:
+        raise SystemExit("need 2 <= min-n <= max-n")
+    n_values = [args.min_n]
+    while n_values[-1] * 2 <= args.max_n:
+        n_values.append(n_values[-1] * 2)
+    result = sweep_first_passage(
+        name=f"consensus time of {args.process} from n distinct colors",
+        process_factory=lambda n: make_process(args.process),
+        workload=lambda n: Configuration.singletons(n),
+        stop=lambda n: Consensus(),
+        n_values=n_values,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        predicted=three_majority_consensus_upper,
+        max_rounds=lambda n: 10**7,
+    )
+    print(result.to_table(predicted_label="Thm-4 scale").render())
+    if args.output:
+        save_sweep(result, args.output)
+        print(f"raw sweep saved to {args.output}")
+    return 0
+
+
+def _cmd_counterexample() -> int:
+    report = appendix_b_counterexample()
+    terms = " + ".join(str(t) for t in equation_24_terms())
+    print("Appendix B (exact rational arithmetic):")
+    print(f"  inputs      x̃ = {tuple(map(str, report.x_upper))} ⪰ x = {tuple(map(str, report.x_lower))}: {report.inputs_comparable}")
+    print(f"  α⁴ᴹ(x̃)     = {tuple(map(str, report.alpha_upper))}")
+    print(f"  α³ᴹ(x)[0]  = {terms} = {report.top_mass_lower}   (Equation 24)")
+    print(f"  α⁴ᴹ(x̃) ⪰ α³ᴹ(x): {report.images_majorize}  →  Lemma-1 hypothesis fails: {report.lemma1_hypothesis_fails()}")
+    return 0
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "counterexample":
+        return _cmd_counterexample()
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Coalescing random walks and the Voter duality (Lemma 3 / Lemma 4)."""
+
+from .duality import (
+    DualityWitness,
+    coalescence_counts_forward,
+    run_duality_coupling,
+    voter_opinion_counts_forward,
+    voter_opinions_reversed,
+    walk_positions_forward,
+)
+from .walks import CoalescenceRun, CoalescingWalks, coalescence_reduction_time
+
+__all__ = [
+    "CoalescenceRun",
+    "CoalescingWalks",
+    "DualityWitness",
+    "coalescence_counts_forward",
+    "coalescence_reduction_time",
+    "run_duality_coupling",
+    "voter_opinion_counts_forward",
+    "voter_opinions_reversed",
+    "walk_positions_forward",
+]

@@ -1,0 +1,150 @@
+"""The Voter / coalescing-random-walks duality — Lemma 4 and Figure 1.
+
+Fix a horizon ``T`` and draw, once, the pull choices
+``Y[t, u] =`` (the node ``u`` pulls from in round ``t``).  Then:
+
+* running **coalescing walks forward** for ``T`` steps, the walk started
+  at ``u`` ends at ``X_T(u) = Y[T−1](Y[T−2](··· Y[0](u)))``;
+* running **Voter** for ``T`` rounds *consuming the same choices in
+  reverse chronological order* (round 1 uses ``Y[T−1]``, round ``T`` uses
+  ``Y[0]``), node ``u``'s final opinion is the *same composition*
+  ``O(u) = Y[T−1](Y[T−2](··· Y[0](u)))``.
+
+Hence the final opinion map equals the final walk-position map *surely*
+under this coupling — in particular the number of remaining opinions
+equals the number of surviving walks, which is Lemma 4's
+``T^k_V = T^k_C``.  Because the per-round choices are i.i.d., the
+order-reversed Voter run is distributed exactly as a normal Voter run, so
+the identity transfers to the original process in distribution.
+
+This module implements the coupling on arbitrary graphs and packages the
+checks used by experiment E6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.graph import SampleableGraph
+
+__all__ = [
+    "DualityWitness",
+    "walk_positions_forward",
+    "voter_opinions_reversed",
+    "voter_opinion_counts_forward",
+    "run_duality_coupling",
+]
+
+
+def walk_positions_forward(pull_choices: np.ndarray) -> np.ndarray:
+    """Final walk positions ``X_T(u)`` under choices ``Y`` (shape (T, n)).
+
+    Step ``t`` moves the walk at node ``w`` to ``Y[t, w]``; composing over
+    all rounds yields ``X_T = Y[T−1] ∘ ··· ∘ Y[0]`` applied to the identity.
+    """
+    rounds, n = pull_choices.shape
+    positions = np.arange(n, dtype=np.int64)
+    for t in range(rounds):
+        positions = pull_choices[t][positions]
+    return positions
+
+
+def voter_opinions_reversed(pull_choices: np.ndarray) -> np.ndarray:
+    """Final Voter opinions when rounds consume ``Y`` in reverse order.
+
+    Voter semantics: in its round ``s`` node ``u`` adopts the *previous*
+    opinion of the node it pulls from.  Using mapping ``Y[T−s]`` in round
+    ``s`` gives final opinion ``O(u) = Y[T−1](··· Y[0](u))`` — identical to
+    :func:`walk_positions_forward`.  Initial opinions are the node ids
+    (the pairwise-distinct leader-election start).
+    """
+    rounds, n = pull_choices.shape
+    opinions = np.arange(n, dtype=np.int64)
+    for s in range(1, rounds + 1):
+        mapping = pull_choices[rounds - s]
+        opinions = opinions[mapping]
+    return opinions
+
+
+def voter_opinion_counts_forward(pull_choices: np.ndarray) -> np.ndarray:
+    """Remaining-opinion counts of a *normal-order* Voter run, per round.
+
+    Entry ``t`` is the number of distinct opinions after round ``t``
+    (entry 0 is ``n``).  Used for the distributional side of Lemma 4: the
+    trajectory law matches the coalescence walk-count law even though the
+    surely-equal coupling needs the reversed order.
+    """
+    rounds, n = pull_choices.shape
+    opinions = np.arange(n, dtype=np.int64)
+    counts = np.empty(rounds + 1, dtype=np.int64)
+    counts[0] = n
+    for t in range(rounds):
+        opinions = opinions[pull_choices[t]]
+        counts[t + 1] = np.unique(opinions).size
+    return counts
+
+
+@dataclass(frozen=True)
+class DualityWitness:
+    """The coupled outcome of one shared-randomness horizon-``T`` run."""
+
+    horizon: int
+    walk_positions: np.ndarray
+    voter_opinions: np.ndarray
+    walks_remaining: int
+    opinions_remaining: int
+
+    @property
+    def maps_identical(self) -> bool:
+        """Lemma 4's surely-equal statement: the two maps coincide."""
+        return bool(np.array_equal(self.walk_positions, self.voter_opinions))
+
+    @property
+    def counts_equal(self) -> bool:
+        """The weaker count identity ``|walks| = |opinions|``."""
+        return self.walks_remaining == self.opinions_remaining
+
+
+def run_duality_coupling(
+    graph: SampleableGraph, horizon: int, rng: np.random.Generator
+) -> DualityWitness:
+    """Draw shared pull choices and evaluate both processes (Figure 1).
+
+    The returned witness satisfies ``maps_identical`` (and therefore
+    ``counts_equal``) with probability one; the test-suite asserts it over
+    many seeds, horizons and graph families.
+    """
+    if horizon < 0:
+        raise ValueError("horizon must be non-negative")
+    pull_choices = graph.pull_matrix(horizon, rng)
+    walks = walk_positions_forward(pull_choices)
+    opinions = voter_opinions_reversed(pull_choices)
+    return DualityWitness(
+        horizon=horizon,
+        walk_positions=walks,
+        voter_opinions=opinions,
+        walks_remaining=int(np.unique(walks).size),
+        opinions_remaining=int(np.unique(opinions).size),
+    )
+
+
+def coalescence_counts_forward(pull_choices: np.ndarray) -> np.ndarray:
+    """Walk counts after each forward step under the shared choices.
+
+    Entry ``t`` is the number of surviving walks after ``t`` steps.
+    Compared distributionally against
+    :func:`voter_opinion_counts_forward` in the E6 bench.
+    """
+    rounds, n = pull_choices.shape
+    positions = np.arange(n, dtype=np.int64)
+    counts = np.empty(rounds + 1, dtype=np.int64)
+    counts[0] = n
+    for t in range(rounds):
+        positions = np.unique(pull_choices[t][positions])
+        counts[t + 1] = positions.size
+    return counts
+
+
+__all__.append("coalescence_counts_forward")

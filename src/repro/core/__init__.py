@@ -1,0 +1,117 @@
+"""Core framework: configurations, majorization, AC-processes, couplings.
+
+This package implements the paper's primary contribution — the anonymous
+consensus process (AC-process) comparison framework of Section 2 — plus
+the configuration-space and majorization substrate it stands on:
+
+* :mod:`repro.core.configuration` — population states and the ``⪰`` order;
+* :mod:`repro.core.majorization` — majorization / Schur-convexity toolbox;
+* :mod:`repro.core.ac_process` — Definition 1, the process functions of
+  Voter (Eq. 1), 3-Majority (Eq. 2), and general h-Majority;
+* :mod:`repro.core.dominance` — Definition 2 with exact exhaustive
+  verification (the executable Lemma 2);
+* :mod:`repro.core.coupling` — Lemma 1 / Theorems 2-3 made constructive via
+  Strassen transportation LPs and stochastic-majorization certificates;
+* :mod:`repro.core.hierarchy` — Conjecture 1 tooling and the exact
+  Appendix-B ``7/12`` counterexample.
+"""
+
+from .ac_process import (
+    ACProcessFunction,
+    HMajorityFunction,
+    PowerDriftFunction,
+    ThreeMajorityFunction,
+    VoterFunction,
+    adoption_matrix_over_rounds,
+    expected_next_counts,
+    multinomial_step,
+)
+from .configuration import Configuration
+from .coupling import (
+    CoupledTrajectory,
+    CouplingResult,
+    FiniteDistribution,
+    ReductionTimeComparison,
+    estimate_reduction_time_dominance,
+    one_step_distribution,
+    run_coupled_chains,
+    stochastic_majorization_certificate,
+    strassen_coupling,
+)
+from .dominance import (
+    DominancePair,
+    DominanceReport,
+    check_dominance_on_pair,
+    find_dominance_counterexample,
+    iter_comparable_pairs,
+    lemma2_margin,
+    verify_dominance_exhaustive,
+)
+from .hierarchy import (
+    CounterexampleReport,
+    appendix_b_counterexample,
+    equation_24_terms,
+    h_majority_probabilities_fraction,
+    hierarchy_probability_vectors,
+    three_majority_top_mass_exact,
+)
+from .majorization import (
+    all_integer_partition_configs,
+    dalton_transfer_preserves,
+    lorenz_curve,
+    majorization_gap,
+    majorizes,
+    robin_hood_chain,
+    sorted_desc,
+    standard_schur_convex_family,
+    strictly_majorizes,
+    t_transform,
+    top_j_sums,
+    weakly_submajorizes,
+)
+
+__all__ = [
+    "ACProcessFunction",
+    "Configuration",
+    "CoupledTrajectory",
+    "CouplingResult",
+    "CounterexampleReport",
+    "DominancePair",
+    "DominanceReport",
+    "FiniteDistribution",
+    "HMajorityFunction",
+    "PowerDriftFunction",
+    "ReductionTimeComparison",
+    "ThreeMajorityFunction",
+    "VoterFunction",
+    "adoption_matrix_over_rounds",
+    "all_integer_partition_configs",
+    "appendix_b_counterexample",
+    "check_dominance_on_pair",
+    "dalton_transfer_preserves",
+    "equation_24_terms",
+    "estimate_reduction_time_dominance",
+    "expected_next_counts",
+    "find_dominance_counterexample",
+    "h_majority_probabilities_fraction",
+    "hierarchy_probability_vectors",
+    "iter_comparable_pairs",
+    "lemma2_margin",
+    "lorenz_curve",
+    "majorization_gap",
+    "majorizes",
+    "multinomial_step",
+    "one_step_distribution",
+    "robin_hood_chain",
+    "run_coupled_chains",
+    "sorted_desc",
+    "standard_schur_convex_family",
+    "stochastic_majorization_certificate",
+    "strassen_coupling",
+    "strictly_majorizes",
+    "t_transform",
+    "three_majority_top_mass_exact",
+    "top_j_sums",
+    "verify_dominance_exhaustive",
+    "weakly_submajorizes",
+]

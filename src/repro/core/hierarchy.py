@@ -1,0 +1,189 @@
+"""The h-Majority hierarchy (Conjecture 1) and the Appendix-B counterexample.
+
+Section 5 of the paper conjectures that ``(h+1)``-Majority is stochastically
+faster than ``h``-Majority for every ``h``, and Appendix B shows that the
+majorization machinery of Lemma 1 *cannot* prove it: to run the Lemma-1 /
+Theorem-2 argument one would need
+
+    c ⪰ c̃   ⇒   α^{(h+1)M}(c) ⪰ α^{hM}(c̃),
+
+and Appendix B exhibits a comparable pair where this fails.  The worked
+example uses the fraction vectors
+
+    x̃ = (1/2, 1/2, 0, 0)   ⪰   x = (1/2, 1/6, 1/6, 1/6).
+
+(The paper's displayed relation has the two sides transposed — with the
+standard definition used everywhere else in the paper, ``(1/2, 1/2, 0, 0)``
+majorizes ``(1/2, 1/6, 1/6, 1/6)``, since the latter's two-prefix is
+``2/3 < 1``; the appendix's concluding sentence confirms this reading.)
+
+By symmetry, ``(h+1)``-Majority maps ``x̃`` to expected fractions
+``(1/2, 1/2, 0, 0)`` — its top-1 prefix stays ``1/2``.  But the
+``3``-Majority mass on the top color of ``x`` works out to exactly
+``7/12`` (Equation (24)): ``7/12 > 1/2``, so the image of the *majorizing*
+configuration fails to majorize the image of the *majorized* one at
+prefix length one.  Lemma 1's hypothesis is therefore unavailable, and
+the conjecture remains open.
+
+This module reproduces the computation exactly in rational arithmetic and
+packages the counterexample for the test-suite and the E8 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from .ac_process import _compositions
+from .majorization import majorizes
+
+__all__ = [
+    "CounterexampleReport",
+    "appendix_b_counterexample",
+    "three_majority_top_mass_exact",
+    "equation_24_terms",
+    "h_majority_probabilities_fraction",
+    "hierarchy_probability_vectors",
+]
+
+
+def h_majority_probabilities_fraction(x: "list[Fraction]", h: int) -> "list[Fraction]":
+    """Exact (rational) adoption distribution of plurality-of-h sampling.
+
+    Mirrors the float enumerator in :mod:`repro.core.ac_process` but with
+    :class:`fractions.Fraction` arithmetic, so the Appendix-B value comes
+    out as the literal rational ``7/12`` rather than a float approximation.
+    """
+    if h < 1:
+        raise ValueError("h must be at least 1")
+    k = len(x)
+    total = sum(x, Fraction(0))
+    if total != 1:
+        raise ValueError("x must be a probability vector of Fractions")
+    alpha = [Fraction(0) for _ in range(k)]
+    factorial = [Fraction(1)]
+    for m in range(1, h + 1):
+        factorial.append(factorial[-1] * m)
+    for comp in _compositions(h, k):
+        prob = Fraction(1)
+        coeff = factorial[h]
+        valid = True
+        for count, xi in zip(comp, x):
+            if count == 0:
+                continue
+            if xi == 0:
+                valid = False
+                break
+            prob *= xi**count
+            coeff /= factorial[count]
+        if not valid:
+            continue
+        prob *= coeff
+        top = max(comp)
+        winners = [i for i, count in enumerate(comp) if count == top]
+        share = prob / len(winners)
+        for i in winners:
+            alpha[i] += share
+    return alpha
+
+
+def equation_24_terms() -> "list[Fraction]":
+    """The three terms of Equation (24), exactly as the paper displays them.
+
+    For ``x = (1/2, 1/6, 1/6, 1/6)`` and three samples, color 1 is adopted
+    when
+
+    * all three samples show color 1:
+      ``1 · C(3,0) · (1/2)³``,
+    * exactly two samples show color 1 (the third shows any minority
+      color, total mass ``3/6``):
+      ``1 · C(3,1) · (1/2)² · (3/6)``,
+    * one sample shows color 1 and the other two show *distinct* minority
+      colors, after which the uniform tie-break picks color 1 with
+      probability ``1/3``:
+      ``(1/3) · C(3,2) · (1/2) · (3/6) · (2/6)``.
+
+    The terms sum to ``7/12``.
+    """
+    half = Fraction(1, 2)
+    term_all_three = Fraction(1) * 1 * half**3
+    term_two = Fraction(1) * 3 * half**2 * Fraction(3, 6)
+    term_one_tie = Fraction(1, 3) * 3 * half * Fraction(3, 6) * Fraction(2, 6)
+    return [term_all_three, term_two, term_one_tie]
+
+
+def three_majority_top_mass_exact() -> Fraction:
+    """Equation (24): the 3-Majority mass on color 1 from ``(1/2, 1/6, 1/6, 1/6)``.
+
+    Computed with the generic rational enumerator; the test-suite compares
+    it against both the literal ``Fraction(7, 12)`` and the sum of
+    :func:`equation_24_terms`.
+    """
+    x = [Fraction(1, 2), Fraction(1, 6), Fraction(1, 6), Fraction(1, 6)]
+    alpha = h_majority_probabilities_fraction(x, h=3)
+    return alpha[0]
+
+
+@dataclass(frozen=True)
+class CounterexampleReport:
+    """All quantities of the Appendix-B counterexample, exactly.
+
+    ``upper`` is the majorizing configuration ``(1/2, 1/2, 0, 0)`` fed to
+    ``(h+1)``-Majority; ``lower`` is the majorized ``(1/2, 1/6, 1/6, 1/6)``
+    fed to ``h``-Majority.  Lemma 1's hypothesis for the hierarchy would
+    require ``alpha_upper ⪰ alpha_lower``; the report shows it fails.
+    """
+
+    h: int
+    x_upper: tuple  # (1/2, 1/2, 0, 0)
+    x_lower: tuple  # (1/2, 1/6, 1/6, 1/6)
+    alpha_upper: tuple  # α^{(h+1)M}(x_upper) = x_upper by symmetry
+    alpha_lower: tuple  # α^{hM}(x_lower); top mass 7/12 for h = 3
+    inputs_comparable: bool  # x_upper ⪰ x_lower (True)
+    images_majorize: bool  # alpha_upper ⪰ alpha_lower (False — the point)
+    top_mass_lower: Fraction  # 7/12 for h = 3
+
+    def lemma1_hypothesis_fails(self) -> bool:
+        """True iff the inputs compare but the images do not — Appendix B's claim."""
+        return self.inputs_comparable and not self.images_majorize
+
+
+def appendix_b_counterexample(h: int = 3) -> CounterexampleReport:
+    """Reproduce Appendix B: Lemma 1 cannot establish the h-Majority hierarchy.
+
+    For the default ``h = 3`` this returns the paper's exact numbers: the
+    symmetric two-color configuration is a fixed point of 4-Majority in
+    expectation (top-1 prefix ``1/2``), while 3-Majority pushes ``7/12`` of
+    the mass onto the top color of the *majorized* four-color
+    configuration — so the required image majorization fails at prefix
+    length one, by exactly ``7/12 − 1/2 = 1/12``.
+    """
+    x_upper = [Fraction(1, 2), Fraction(1, 2), Fraction(0), Fraction(0)]
+    x_lower = [Fraction(1, 2), Fraction(1, 6), Fraction(1, 6), Fraction(1, 6)]
+    alpha_upper = h_majority_probabilities_fraction(x_upper, h=h + 1)
+    alpha_lower = h_majority_probabilities_fraction(x_lower, h=h)
+    upper_floats = np.asarray([float(v) for v in x_upper])
+    lower_floats = np.asarray([float(v) for v in x_lower])
+    alpha_upper_floats = np.asarray([float(v) for v in alpha_upper])
+    alpha_lower_floats = np.asarray([float(v) for v in alpha_lower])
+    return CounterexampleReport(
+        h=h,
+        x_upper=tuple(x_upper),
+        x_lower=tuple(x_lower),
+        alpha_upper=tuple(alpha_upper),
+        alpha_lower=tuple(alpha_lower),
+        inputs_comparable=majorizes(upper_floats, lower_floats),
+        images_majorize=majorizes(alpha_upper_floats, alpha_lower_floats),
+        top_mass_lower=alpha_lower[0],
+    )
+
+
+def hierarchy_probability_vectors(x: "list[Fraction]", h_values: "list[int]") -> dict:
+    """Exact ``α^{hM}(x)`` for several ``h`` on a common configuration.
+
+    Convenience for the hierarchy explorer example: lets callers see how
+    increasing ``h`` sharpens the drift toward the plurality color.
+    """
+    return {h: h_majority_probabilities_fraction(x, h) for h in h_values}

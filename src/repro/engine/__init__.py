@@ -1,0 +1,73 @@
+"""Round-synchronous simulation engine.
+
+* :mod:`repro.engine.rng` — deterministic seeding and stream spawning;
+* :mod:`repro.engine.simulator` — agent-level and exact count-level runs,
+  first-passage helpers for the paper's target quantities;
+* :mod:`repro.engine.stopping` — stopping conditions (consensus, ``T^κ``,
+  symmetry breaking);
+* :mod:`repro.engine.metrics` — per-round trajectory metrics;
+* :mod:`repro.engine.batch` — repetitions, summaries, CDF dominance.
+"""
+
+from .asynchronous import AsyncResult, run_asynchronous, ticks_to_round_equivalents
+from .batch import (
+    BatchSummary,
+    cdf_dominates,
+    empirical_cdf,
+    repeat_first_passage,
+    summarize,
+)
+from .metrics import METRICS, MetricRecorder
+from .rng import as_generator, derive_seed, spawn_generators
+from .simulator import (
+    RoundLimitExceeded,
+    SimulationResult,
+    consensus_time,
+    default_round_limit,
+    reduction_time,
+    run,
+    run_agent,
+    run_counts,
+    symmetry_breaking_time,
+)
+from .stopping import (
+    AllOf,
+    AnyOf,
+    BiasAtLeast,
+    ColorsAtMost,
+    Consensus,
+    MaxSupportAbove,
+    StoppingCondition,
+)
+
+__all__ = [
+    "AllOf",
+    "AsyncResult",
+    "AnyOf",
+    "BatchSummary",
+    "BiasAtLeast",
+    "ColorsAtMost",
+    "Consensus",
+    "METRICS",
+    "MaxSupportAbove",
+    "MetricRecorder",
+    "RoundLimitExceeded",
+    "SimulationResult",
+    "StoppingCondition",
+    "as_generator",
+    "cdf_dominates",
+    "consensus_time",
+    "default_round_limit",
+    "derive_seed",
+    "empirical_cdf",
+    "reduction_time",
+    "run_asynchronous",
+    "repeat_first_passage",
+    "run",
+    "run_agent",
+    "run_counts",
+    "spawn_generators",
+    "summarize",
+    "symmetry_breaking_time",
+    "ticks_to_round_equivalents",
+]

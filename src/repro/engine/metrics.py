@@ -1,0 +1,118 @@
+"""Per-round metrics of consensus trajectories.
+
+All metrics are pure functions of the count vector, matching the
+quantities the paper reasons about: the number of remaining colors (the
+object of Theorem 2), the bias (footnote 3), the maximum support (the
+``ℓ`` of Theorem 5), the collision probability ``‖x‖₂²`` (Equations (1),
+(2)), and the Shannon entropy as a smooth summary of symmetry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = [
+    "num_colors",
+    "bias",
+    "max_support",
+    "collision_probability",
+    "entropy",
+    "monochromatic_fraction",
+    "METRICS",
+    "MetricRecorder",
+]
+
+
+def num_colors(counts: np.ndarray) -> int:
+    """Number of remaining colors (non-zero entries)."""
+    return int(np.count_nonzero(counts))
+
+
+def bias(counts: np.ndarray) -> int:
+    """Gap between the supports of the top two colors (footnote 3)."""
+    if counts.size == 1:
+        return int(counts[0])
+    top_two = np.partition(counts, counts.size - 2)[-2:]
+    return int(top_two[1] - top_two[0])
+
+
+def max_support(counts: np.ndarray) -> int:
+    """Support of the plurality color (the ``ℓ`` of Theorem 5)."""
+    return int(counts.max())
+
+
+def collision_probability(counts: np.ndarray) -> float:
+    """``‖c/n‖₂²`` — the chance two uniform samples share a color."""
+    x = counts / counts.sum()
+    return float(np.dot(x, x))
+
+
+def entropy(counts: np.ndarray) -> float:
+    """Shannon entropy (nats) of the color distribution."""
+    x = counts / counts.sum()
+    nz = x[x > 0]
+    return float(-np.sum(nz * np.log(nz)))
+
+
+def monochromatic_fraction(counts: np.ndarray) -> float:
+    """Fraction of nodes on the plurality color."""
+    return float(counts.max() / counts.sum())
+
+
+#: Name → metric function registry used by recorders and reports.
+METRICS: "Dict[str, Callable[[np.ndarray], float]]" = {
+    "num_colors": num_colors,
+    "bias": bias,
+    "max_support": max_support,
+    "collision_probability": collision_probability,
+    "entropy": entropy,
+    "monochromatic_fraction": monochromatic_fraction,
+}
+
+
+class MetricRecorder:
+    """Accumulates selected metrics round by round.
+
+    Parameters
+    ----------
+    names:
+        Metric names from :data:`METRICS`.  Defaults to the three the paper
+        tracks most closely: remaining colors, bias, and max support.
+    stride:
+        Record every ``stride``-th round (round 0 is always recorded).
+    """
+
+    def __init__(self, names=("num_colors", "bias", "max_support"), stride: int = 1):
+        unknown = [name for name in names if name not in METRICS]
+        if unknown:
+            raise KeyError(f"unknown metrics: {unknown}; available: {sorted(METRICS)}")
+        if stride < 1:
+            raise ValueError("stride must be at least 1")
+        self.names = tuple(names)
+        self.stride = int(stride)
+        self.rounds: list = []
+        self._values: "Dict[str, list]" = {name: [] for name in self.names}
+
+    def observe(self, round_index: int, counts: np.ndarray) -> None:
+        """Record the configuration of ``round_index`` if on-stride."""
+        if round_index % self.stride != 0:
+            return
+        self.rounds.append(int(round_index))
+        for name in self.names:
+            self._values[name].append(METRICS[name](counts))
+
+    def series(self, name: str) -> np.ndarray:
+        """The recorded series of metric ``name`` as an array."""
+        return np.asarray(self._values[name])
+
+    def as_dict(self) -> dict:
+        """All recorded series keyed by metric name, plus ``rounds``."""
+        out = {"rounds": np.asarray(self.rounds, dtype=np.int64)}
+        for name in self.names:
+            out[name] = self.series(name)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.rounds)

@@ -1,0 +1,133 @@
+"""Stopping conditions for simulation runs.
+
+The paper's statements are all first-passage times of simple functionals:
+
+* consensus (``T¹``, Theorems 1/4),
+* the number of remaining colors dropping to ``κ`` (``T^κ``, Theorem 2,
+  Lemmas 2/3),
+* the maximum support exceeding a threshold (``T_i``/``T`` in Theorem 5).
+
+Stopping conditions are small callable objects evaluated on the count
+vector after every round; the simulator stops at the first round whose
+post-round configuration satisfies the condition (or at the round limit).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = [
+    "StoppingCondition",
+    "Consensus",
+    "ColorsAtMost",
+    "MaxSupportAbove",
+    "BiasAtLeast",
+    "AnyOf",
+    "AllOf",
+]
+
+
+class StoppingCondition(abc.ABC):
+    """Predicate on the post-round count vector."""
+
+    #: Short label used in results and reports.
+    label: str = "stop"
+
+    @abc.abstractmethod
+    def satisfied(self, counts: np.ndarray) -> bool:
+        """True iff the run should stop in this configuration."""
+
+    def __call__(self, counts: np.ndarray) -> bool:
+        return self.satisfied(counts)
+
+    def __or__(self, other: "StoppingCondition") -> "AnyOf":
+        return AnyOf(self, other)
+
+    def __and__(self, other: "StoppingCondition") -> "AllOf":
+        return AllOf(self, other)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.label!r})"
+
+
+class Consensus(StoppingCondition):
+    """Stop when a single color supports every node (``T¹``)."""
+
+    label = "consensus"
+
+    def satisfied(self, counts: np.ndarray) -> bool:
+        return int(np.count_nonzero(counts)) <= 1
+
+
+class ColorsAtMost(StoppingCondition):
+    """Stop when at most ``kappa`` colors remain (``T^κ``)."""
+
+    def __init__(self, kappa: int):
+        if kappa < 1:
+            raise ValueError("kappa must be at least 1")
+        self.kappa = int(kappa)
+        self.label = f"colors<={kappa}"
+
+    def satisfied(self, counts: np.ndarray) -> bool:
+        return int(np.count_nonzero(counts)) <= self.kappa
+
+
+class MaxSupportAbove(StoppingCondition):
+    """Stop when some color's support strictly exceeds ``threshold``.
+
+    This is the symmetry-breaking event of Theorem 5 (support above
+    ``ℓ' = max(2ℓ, γ log n)``).
+    """
+
+    def __init__(self, threshold: int):
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = int(threshold)
+        self.label = f"max_support>{threshold}"
+
+    def satisfied(self, counts: np.ndarray) -> bool:
+        return int(counts.max()) > self.threshold
+
+
+class BiasAtLeast(StoppingCondition):
+    """Stop when the bias (top-two support gap) reaches ``threshold``."""
+
+    def __init__(self, threshold: int):
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = int(threshold)
+        self.label = f"bias>={threshold}"
+
+    def satisfied(self, counts: np.ndarray) -> bool:
+        if counts.size == 1:
+            return int(counts[0]) >= self.threshold
+        top_two = np.partition(counts, counts.size - 2)[-2:]
+        return int(top_two[1] - top_two[0]) >= self.threshold
+
+
+class AnyOf(StoppingCondition):
+    """Disjunction of conditions (stop when any fires)."""
+
+    def __init__(self, *conditions: StoppingCondition):
+        if not conditions:
+            raise ValueError("AnyOf needs at least one condition")
+        self.conditions = tuple(conditions)
+        self.label = " | ".join(c.label for c in conditions)
+
+    def satisfied(self, counts: np.ndarray) -> bool:
+        return any(c.satisfied(counts) for c in self.conditions)
+
+
+class AllOf(StoppingCondition):
+    """Conjunction of conditions (stop when all hold simultaneously)."""
+
+    def __init__(self, *conditions: StoppingCondition):
+        if not conditions:
+            raise ValueError("AllOf needs at least one condition")
+        self.conditions = tuple(conditions)
+        self.label = " & ".join(c.label for c in conditions)
+
+    def satisfied(self, counts: np.ndarray) -> bool:
+        return all(c.satisfied(counts) for c in self.conditions)

@@ -1,0 +1,37 @@
+"""Experiment harness: workloads, sweeps, reporting."""
+
+from .harness import SweepPoint, SweepResult, sweep_first_passage
+from .persistence import load_sweep, save_sweep, sweep_from_dict, sweep_to_dict
+from .plotting import line_chart, log_log_chart, spark_line
+from .reporting import Table, format_table
+from .workloads import (
+    WORKLOADS,
+    balanced,
+    biased,
+    bounded_support,
+    power_law,
+    random_composition,
+    singletons,
+)
+
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "Table",
+    "WORKLOADS",
+    "balanced",
+    "biased",
+    "bounded_support",
+    "format_table",
+    "line_chart",
+    "load_sweep",
+    "log_log_chart",
+    "power_law",
+    "random_composition",
+    "save_sweep",
+    "spark_line",
+    "singletons",
+    "sweep_first_passage",
+    "sweep_from_dict",
+    "sweep_to_dict",
+]

@@ -1,0 +1,134 @@
+"""Parameter sweeps over system size — the experiment harness core.
+
+Every scaling experiment in EXPERIMENTS.md has the same shape: for each
+``n`` in a geometric sweep, repeat a first-passage measurement over
+independent seeds, summarise, fit a growth exponent, and compare with the
+paper's predicted scale.  :func:`sweep_first_passage` implements the
+shape once; the per-experiment benchmark modules configure it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.configuration import Configuration
+from ..engine.batch import BatchSummary, repeat_first_passage, summarize
+from ..engine.rng import RandomSource, derive_seed
+from ..engine.stopping import StoppingCondition
+from ..processes.base import AgentProcess
+from ..analysis.statistics import PowerLawFit, fit_power_law
+from .reporting import Table
+
+__all__ = ["SweepPoint", "SweepResult", "sweep_first_passage"]
+
+
+@dataclass
+class SweepPoint:
+    """Measurements at a single parameter value."""
+
+    param: int
+    samples: np.ndarray
+    summary: BatchSummary
+    predicted: float
+
+
+@dataclass
+class SweepResult:
+    """A full sweep: one :class:`SweepPoint` per parameter value."""
+
+    name: str
+    param_name: str
+    points: list
+
+    def params(self) -> np.ndarray:
+        return np.asarray([p.param for p in self.points], dtype=float)
+
+    def means(self) -> np.ndarray:
+        return np.asarray([p.summary.mean for p in self.points])
+
+    def predictions(self) -> np.ndarray:
+        return np.asarray([p.predicted for p in self.points])
+
+    def fit(self) -> PowerLawFit:
+        """Power-law fit of the mean first-passage time vs the parameter."""
+        return fit_power_law(self.params(), self.means())
+
+    def prediction_ratio_drift(self) -> float:
+        """Max/min of measured-over-predicted across the sweep.
+
+        Close to 1 means the measured curve tracks the paper's scale with
+        a stable constant; large drift signals a different exponent.
+        """
+        ratio = self.means() / self.predictions()
+        return float(ratio.max() / ratio.min())
+
+    def to_table(self, predicted_label: str = "paper scale") -> Table:
+        table = Table(
+            title=self.name,
+            columns=[self.param_name, "runs", "mean", "sem", "median", "max", predicted_label, "mean/scale"],
+        )
+        for point in self.points:
+            table.add_row(
+                point.param,
+                point.summary.count,
+                point.summary.mean,
+                point.summary.sem,
+                point.summary.median,
+                point.summary.maximum,
+                point.predicted,
+                point.summary.mean / point.predicted if point.predicted else float("nan"),
+            )
+        if len(self.points) >= 3:
+            fit = self.fit()
+            table.add_footnote(f"fit: {fit.summary()}")
+        else:
+            table.add_footnote("fit: n/a (need at least three sweep points)")
+        return table
+
+
+def sweep_first_passage(
+    name: str,
+    process_factory: "Callable[[int], AgentProcess]",
+    workload: "Callable[[int], Configuration]",
+    stop: "Callable[[int], StoppingCondition]",
+    n_values: Sequence,
+    repetitions: int,
+    seed: RandomSource,
+    predicted: "Callable[[int], float]",
+    max_rounds: "Callable[[int], int] | None" = None,
+    backend: str = "auto",
+    param_name: str = "n",
+) -> SweepResult:
+    """Run a first-passage scaling sweep.
+
+    Parameters are callables of ``n`` so a single harness covers all the
+    experiments: ``process_factory(n)`` builds the protocol (some need
+    ``n``, e.g. for thresholds), ``workload(n)`` the start configuration,
+    ``stop(n)`` the stopping condition, ``predicted(n)`` the paper's
+    scale.  Seeds derive deterministically from ``seed`` per sweep point.
+    """
+    points = []
+    for index, n in enumerate(n_values):
+        n = int(n)
+        point_seed = derive_seed(seed, index)
+        samples = repeat_first_passage(
+            process_factory=lambda n=n: process_factory(n),
+            initial=workload(n),
+            stop=stop(n),
+            repetitions=repetitions,
+            rng=point_seed,
+            max_rounds=max_rounds(n) if max_rounds is not None else None,
+            backend=backend,
+        )
+        points.append(
+            SweepPoint(
+                param=n,
+                samples=samples,
+                summary=summarize(samples),
+                predicted=float(predicted(n)),
+            )
+        )
+    return SweepResult(name=name, param_name=param_name, points=points)

@@ -1,0 +1,84 @@
+"""Saving and loading experiment results as JSON.
+
+Sweeps are cheap to re-run but not free; persisting them lets EXPERIMENTS.md
+tables be regenerated, diffed and post-processed without re-simulating.
+The format is deliberately plain JSON — one object per sweep with raw
+per-point samples — so downstream tooling needs nothing but the standard
+library to consume it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+import numpy as np
+
+from ..engine.batch import summarize
+from .harness import SweepPoint, SweepResult
+
+__all__ = ["sweep_to_dict", "sweep_from_dict", "save_sweep", "load_sweep"]
+
+_FORMAT_VERSION = 1
+
+
+def sweep_to_dict(result: SweepResult) -> dict:
+    """Serialise a :class:`SweepResult` (raw samples included)."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": result.name,
+        "param_name": result.param_name,
+        "points": [
+            {
+                "param": int(point.param),
+                "samples": [int(v) for v in point.samples],
+                "predicted": float(point.predicted),
+            }
+            for point in result.points
+        ],
+    }
+
+
+def sweep_from_dict(payload: dict) -> SweepResult:
+    """Rebuild a :class:`SweepResult` from :func:`sweep_to_dict` output.
+
+    Summaries are recomputed from the raw samples, so files edited by
+    hand stay internally consistent (or fail loudly on bad samples).
+    """
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported sweep format version: {version!r}")
+    points = []
+    for entry in payload["points"]:
+        samples = np.asarray(entry["samples"], dtype=np.int64)
+        points.append(
+            SweepPoint(
+                param=int(entry["param"]),
+                samples=samples,
+                summary=summarize(samples),
+                predicted=float(entry["predicted"]),
+            )
+        )
+    return SweepResult(
+        name=str(payload["name"]),
+        param_name=str(payload["param_name"]),
+        points=points,
+    )
+
+
+def save_sweep(result: SweepResult, path: str) -> None:
+    """Write a sweep to ``path`` as pretty-printed JSON (atomically)."""
+    payload = sweep_to_dict(result)
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp_path, path)
+
+
+def load_sweep(path: str) -> SweepResult:
+    """Read a sweep previously written by :func:`save_sweep`."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return sweep_from_dict(payload)

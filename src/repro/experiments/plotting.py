@@ -1,0 +1,118 @@
+"""Dependency-free ASCII plotting for trajectories and sweeps.
+
+The environment reproduces a theory paper; its "figures" are series of
+numbers.  These helpers render them as monospace charts so examples and
+benchmark logs can show shapes (drift curves, scaling laws, phase
+boundaries) without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["spark_line", "line_chart", "log_log_chart"]
+
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def spark_line(values: Sequence, width: int = 64, log_scale: bool = False) -> str:
+    """A one-line sparkline of ``values``, resampled to ``width`` columns."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot sparkline an empty series")
+    if log_scale:
+        if np.any(arr <= 0):
+            raise ValueError("log-scale sparkline needs positive values")
+        arr = np.log(arr)
+    idx = np.linspace(0, arr.size - 1, num=min(width, arr.size)).astype(int)
+    sampled = arr[idx]
+    lo = float(sampled.min())
+    hi = float(sampled.max())
+    span = hi - lo
+    chars = []
+    for value in sampled:
+        level = 0 if span == 0 else int(round((value - lo) / span * (len(_SPARK_LEVELS) - 1)))
+        chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def line_chart(
+    series: dict,
+    height: int = 12,
+    width: int = 64,
+    title: str = "",
+) -> str:
+    """A multi-series ASCII line chart; each series is a sequence of y values.
+
+    Series are resampled to a common ``width``; each gets a distinct
+    marker.  Y axis is shared and linear.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if height < 3 or width < 8:
+        raise ValueError("chart too small to draw")
+    markers = "*+ox#@%&"
+    resampled = {}
+    lo, hi = math.inf, -math.inf
+    for name, values in series.items():
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            raise ValueError(f"series {name!r} is empty")
+        idx = np.linspace(0, arr.size - 1, num=min(width, arr.size)).astype(int)
+        sampled = arr[idx]
+        resampled[name] = sampled
+        lo = min(lo, float(sampled.min()))
+        hi = max(hi, float(sampled.max()))
+    span = hi - lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for slot, (name, sampled) in enumerate(resampled.items()):
+        marker = markers[slot % len(markers)]
+        for x, value in enumerate(sampled):
+            y = int(round((value - lo) / span * (height - 1)))
+            grid[height - 1 - y][x] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:10.3g} ┐")
+    for row in grid:
+        lines.append(" " * 11 + "│" + "".join(row))
+    lines.append(f"{lo:10.3g} ┴" + "─" * width)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(resampled)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def log_log_chart(
+    x: Sequence,
+    series: dict,
+    height: int = 12,
+    width: int = 64,
+    title: str = "",
+) -> str:
+    """Scaling-law view: both axes log-transformed before charting.
+
+    Straight lines correspond to power laws; the slope difference between
+    the 2-Choices and 3-Majority series *is* the paper's Theorem 1.
+    """
+    x_arr = np.asarray(list(x), dtype=float)
+    if np.any(x_arr <= 0):
+        raise ValueError("log-log chart needs positive x")
+    transformed = {}
+    for name, values in series.items():
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size != x_arr.size:
+            raise ValueError(f"series {name!r} length does not match x")
+        if np.any(arr <= 0):
+            raise ValueError(f"series {name!r} must be positive for log-log")
+        transformed[name] = np.log10(arr)
+    chart = line_chart(transformed, height=height, width=width, title=title)
+    footer = (
+        f"            x: log10 from {x_arr.min():g} to {x_arr.max():g}; "
+        "y: log10 of each series"
+    )
+    return chart + "\n" + footer

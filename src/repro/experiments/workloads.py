@@ -1,0 +1,118 @@
+"""Initial-configuration (workload) generators.
+
+Each generator produces the starting configurations the paper's
+statements quantify over:
+
+* ``singletons`` — the n-color leader-election start (Theorems 1, 4, 5);
+* ``balanced`` — ``k`` colors with (near-)equal support, no bias
+  ([BCN+16]'s regime);
+* ``biased`` — a plurality color ahead by a prescribed bias (the regime
+  of [BCN+14]/[EFK+16] where 2-Choices and 3-Majority behave alike);
+* ``bounded_support`` — every color supported by at most ``ℓ`` nodes
+  (Theorem 5's hypothesis class, including random such configurations);
+* ``power_law`` — heavy-tailed supports, an off-theorem stress workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.configuration import Configuration
+from ..engine.rng import RandomSource, as_generator
+
+__all__ = [
+    "singletons",
+    "balanced",
+    "biased",
+    "bounded_support",
+    "power_law",
+    "random_composition",
+    "WORKLOADS",
+]
+
+
+def singletons(n: int) -> Configuration:
+    """All nodes pairwise distinct — the hardest symmetric start."""
+    return Configuration.singletons(n)
+
+
+def balanced(n: int, k: int) -> Configuration:
+    """``k`` colors, supports differing by at most one (bias ≤ 1)."""
+    return Configuration.balanced(n, k)
+
+
+def biased(n: int, k: int, bias: int) -> Configuration:
+    """Near-balanced ``k``-color configuration with a prescribed bias."""
+    return Configuration.biased(n, k, bias)
+
+
+def bounded_support(
+    n: int, max_support: int, rng: RandomSource = None
+) -> Configuration:
+    """A random configuration with every color supported by ≤ ``max_support``.
+
+    Theorem 5's statement covers every such configuration; sampling them
+    uniformly-ish (greedy random fill) exercises the theorem beyond the
+    singleton special case.
+    """
+    if max_support < 1:
+        raise ValueError("max_support must be positive")
+    generator = as_generator(rng)
+    remaining = n
+    counts = []
+    while remaining > 0:
+        take = int(generator.integers(1, min(max_support, remaining) + 1))
+        counts.append(take)
+        remaining -= take
+    return Configuration(np.asarray(counts, dtype=np.int64))
+
+
+def power_law(n: int, k: int, exponent: float = 2.0, rng: RandomSource = None) -> Configuration:
+    """Heavy-tailed supports ``∝ rank^{−exponent}`` over ``k`` colors."""
+    if k < 1 or k > n:
+        raise ValueError("need 1 <= k <= n")
+    if exponent <= 0:
+        raise ValueError("exponent must be positive")
+    weights = 1.0 / np.arange(1, k + 1, dtype=float) ** exponent
+    weights /= weights.sum()
+    counts = np.floor(weights * n).astype(np.int64)
+    counts[counts == 0] = 1
+    # Repair rounding drift while preserving the shape.
+    excess = int(counts.sum()) - n
+    generator = as_generator(rng)
+    while excess > 0:
+        candidates = np.flatnonzero(counts > 1)
+        victim = int(generator.choice(candidates))
+        counts[victim] -= 1
+        excess -= 1
+    while excess < 0:
+        counts[0] += 1
+        excess += 1
+    return Configuration(counts)
+
+
+def random_composition(n: int, k: int, rng: RandomSource = None) -> Configuration:
+    """A uniformly random composition of ``n`` into ``k`` positive parts.
+
+    Stars-and-bars sampling; gives irregular but unbiased-on-average
+    workloads for property-style integration tests.
+    """
+    if not 1 <= k <= n:
+        raise ValueError("need 1 <= k <= n")
+    generator = as_generator(rng)
+    if k == 1:
+        return Configuration([n])
+    cuts = np.sort(generator.choice(n - 1, size=k - 1, replace=False)) + 1
+    boundaries = np.concatenate([[0], cuts, [n]])
+    return Configuration(np.diff(boundaries).astype(np.int64))
+
+
+#: Name → generator registry used by harness code and examples.
+WORKLOADS = {
+    "singletons": singletons,
+    "balanced": balanced,
+    "biased": biased,
+    "bounded_support": bounded_support,
+    "power_law": power_law,
+    "random_composition": random_composition,
+}

@@ -1,0 +1,25 @@
+"""Communication substrate: graphs with uniform-pull neighbor sampling.
+
+The paper's processes run on the complete graph, but two of its
+ingredients — the Voter process and the coalescing random walks duality
+(Lemma 4) — hold on *any* graph, and the related-work results it builds
+on (e.g. [CEOR13], [BGKMT16]) are graph-general.  This package provides
+the minimal graph abstraction the engines need: batched uniform neighbor
+sampling.
+"""
+
+from .graph import (
+    CompleteGraph,
+    CycleGraph,
+    ExplicitGraph,
+    SampleableGraph,
+    random_regular_graph,
+)
+
+__all__ = [
+    "CompleteGraph",
+    "CycleGraph",
+    "ExplicitGraph",
+    "SampleableGraph",
+    "random_regular_graph",
+]

@@ -1,0 +1,41 @@
+"""Update rules: Voter, 2-Choices, 3-Majority, h-Majority, and the foils.
+
+Each process is an :class:`~repro.processes.base.AgentProcess` — a
+synchronous, uniform-pull update rule on the complete graph.  Processes
+that are AC-processes (Definition 1) additionally derive from
+:class:`~repro.processes.base.ACAgentProcess` and expose their exact
+process function for count-level simulation and the dominance framework.
+"""
+
+from .base import ACAgentProcess, AgentProcess, counts_from_colors, sample_uniform_nodes
+from .graph_voter import GraphVoter, LazyVoter
+from .h_majority import HMajority, plurality_with_random_tie_break
+from .registry import PROCESS_FACTORIES, available_processes, make_process
+from .three_majority import ThreeMajority, ThreeMajorityResample
+from .two_choices import TwoChoices, TwoChoicesBirthUpper, two_choices_expected_fractions
+from .two_median import TwoMedian
+from .undecided import UNDECIDED, UndecidedDynamics
+from .voter import Voter
+
+__all__ = [
+    "ACAgentProcess",
+    "AgentProcess",
+    "GraphVoter",
+    "HMajority",
+    "PROCESS_FACTORIES",
+    "ThreeMajority",
+    "ThreeMajorityResample",
+    "TwoChoices",
+    "TwoChoicesBirthUpper",
+    "LazyVoter",
+    "TwoMedian",
+    "UNDECIDED",
+    "UndecidedDynamics",
+    "Voter",
+    "available_processes",
+    "counts_from_colors",
+    "make_process",
+    "plurality_with_random_tie_break",
+    "sample_uniform_nodes",
+    "two_choices_expected_fractions",
+]

@@ -1,0 +1,143 @@
+"""Process interfaces: agent-level dynamics and their AC count-level twins.
+
+The paper's model (Section 2.1) is a complete graph of ``n`` anonymous
+nodes evolving in synchronous rounds under Uniform Pull.  The library
+offers two execution semantics:
+
+* **agent-level** — the literal protocol: an ``n``-vector of colors, every
+  node samples uniform nodes and applies its update rule.  This is the
+  only faithful semantics for processes that are *not* anonymous consensus
+  processes (2-Choices: keeping one's own color makes the next color
+  depend on the current one).
+* **count-level** — for AC-processes only: one round is a single draw from
+  ``Mult(n, α(c))`` (Section 2.2), which is exact and far cheaper when the
+  number of colors is small.
+
+:class:`AgentProcess` is the common interface; :class:`ACAgentProcess`
+additionally exposes the process function so engines can pick the cheaper
+semantics, and so the framework modules can reason about dominance.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..core.ac_process import ACProcessFunction
+from ..core.configuration import Configuration
+
+__all__ = [
+    "AgentProcess",
+    "ACAgentProcess",
+    "sample_uniform_nodes",
+    "counts_from_colors",
+]
+
+
+def sample_uniform_nodes(
+    n: int, num_samples: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniform Pull on the complete graph: each node draws ``num_samples``
+    node ids independently and uniformly at random (with replacement,
+    self-samples allowed — matching ``α^{V}_i = c_i / n``).
+
+    Returns an ``(n, num_samples)`` int array of sampled node ids.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if num_samples <= 0:
+        raise ValueError("num_samples must be positive")
+    return rng.integers(0, n, size=(n, num_samples))
+
+
+def counts_from_colors(colors: np.ndarray, num_slots: int) -> np.ndarray:
+    """Count vector of a per-node color assignment."""
+    return np.bincount(colors, minlength=num_slots).astype(np.int64)
+
+
+class AgentProcess(abc.ABC):
+    """A synchronous update rule executed by every node in parallel.
+
+    Subclasses implement :meth:`update`, mapping the current per-node color
+    vector to the next one.  Updates must be *simultaneous*: every sample
+    observes the pre-round colors.
+    """
+
+    #: Human-readable protocol name.
+    name: str = "process"
+    #: Number of uniform samples each node pulls per round.
+    samples_per_round: int = 1
+    #: Whether the process is an AC-process in the sense of Definition 1.
+    is_anonymous: bool = False
+
+    @abc.abstractmethod
+    def update(self, colors: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """One synchronous round; returns the next color vector.
+
+        ``colors`` is an ``n``-vector of non-negative color ids.  The input
+        array must not be mutated.
+        """
+
+    def initial_colors(self, config: Configuration) -> np.ndarray:
+        """Expand a configuration into a per-node assignment for this process.
+
+        Processes with auxiliary per-node state (e.g. Undecided dynamics)
+        may override to initialise it.
+        """
+        return config.to_assignment()
+
+    def configuration_of(self, colors: np.ndarray, num_slots: int) -> Configuration:
+        """Project a color vector back to a :class:`Configuration`."""
+        return Configuration(counts_from_colors(colors, num_slots))
+
+    def has_converged(self, colors: np.ndarray) -> bool:
+        """Default consensus predicate: all nodes share one color."""
+        return bool(np.all(colors == colors[0]))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class ACAgentProcess(AgentProcess):
+    """An agent-level process that is also an AC-process.
+
+    Exposes the matching :class:`ACProcessFunction`, enabling
+
+    * exact count-level simulation (``Mult(n, α(c))`` per round), and
+    * participation in the dominance / coupling framework.
+
+    The test-suite cross-validates the two semantics against each other:
+    for an AC-process the count vector of the agent-level update is
+    *identically distributed* to the count-level multinomial draw.
+    """
+
+    is_anonymous = True
+
+    def __init__(self, process_function: ACProcessFunction):
+        self._function = process_function
+        self.name = process_function.name
+
+    @property
+    def process_function(self) -> ACProcessFunction:
+        """The process function ``α`` of Definition 1."""
+        return self._function
+
+    def supports_count_backend(self, config: Configuration) -> bool:
+        """Whether the exact count-level chain is practical from ``config``.
+
+        Most AC-processes have closed-form ``α`` and always return True;
+        processes whose exact ``α`` requires enumeration (h-Majority)
+        override this with their width limits.
+        """
+        return True
+
+    def adoption_probabilities(self, config: Configuration) -> np.ndarray:
+        """``α(c)`` for the given configuration."""
+        return self._function.probabilities_for(config)
+
+    def step_counts(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Exact count-level round (delegates to the process function)."""
+        return self._function.step_counts(counts, rng)

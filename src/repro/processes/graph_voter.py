@@ -1,0 +1,82 @@
+"""Voter on arbitrary graphs, and the lazy variant of [BGKMT16].
+
+The paper's processes live on the complete graph, but two pieces of its
+toolbox are graph-general: the Voter process and the Lemma-4 duality.
+:class:`GraphVoter` runs Voter on any :class:`~repro.graphs.graph.SampleableGraph`
+(on :class:`~repro.graphs.graph.CompleteGraph` it coincides with
+:class:`~repro.processes.voter.Voter`).
+
+:class:`LazyVoter` implements the lazy variant that [BGKMT16]'s analysis
+*requires* (each node, with probability 1/2, skips its update).  The
+paper's Section 3.2 points out that its own Lemma-3 proof needs no
+laziness; the laziness ablation bench quantifies the cost of the lazy
+variant (a factor ≈ 2 slowdown on the complete graph) and confirms both
+variants obey the same `n/k` reduction law.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import CompleteGraph, SampleableGraph
+from .base import AgentProcess
+
+__all__ = ["GraphVoter", "LazyVoter"]
+
+
+class GraphVoter(AgentProcess):
+    """Voter with pulls drawn from a graph's neighborhood structure.
+
+    Anonymity in the sense of Definition 1 holds only on the complete
+    graph (elsewhere a node's next color depends on *where* it sits), so
+    this is a plain :class:`AgentProcess`; the complete-graph special
+    case is available as the AC-process :class:`~repro.processes.voter.Voter`.
+    """
+
+    samples_per_round = 1
+    is_anonymous = False
+
+    def __init__(self, graph: SampleableGraph):
+        self.graph = graph
+        self.name = f"voter@{type(graph).__name__.lower()}(n={graph.num_nodes})"
+
+    def update(self, colors: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if colors.shape[0] != self.graph.num_nodes:
+            raise ValueError(
+                f"color vector has {colors.shape[0]} entries; graph has "
+                f"{self.graph.num_nodes} nodes"
+            )
+        nodes = np.arange(self.graph.num_nodes, dtype=np.int64)
+        pulled = self.graph.sample_neighbors(nodes, rng)
+        return colors[pulled]
+
+
+class LazyVoter(AgentProcess):
+    """Lazy Voter: with probability ``laziness`` a node keeps its color.
+
+    [BGKMT16] analyse this variant (their proof needs the laziness);
+    the paper's own Voter bound (Lemma 3) does not.  Included for the
+    laziness ablation: on the complete graph the lazy chain is the Voter
+    chain slowed down by roughly ``1 / (1 − laziness)``.
+    """
+
+    samples_per_round = 1
+    is_anonymous = False  # keep-branch ties the next color to the current one
+
+    def __init__(self, graph: "SampleableGraph | None" = None, laziness: float = 0.5):
+        if not 0.0 <= laziness < 1.0:
+            raise ValueError("laziness must lie in [0, 1)")
+        self.graph = graph
+        self.laziness = float(laziness)
+        where = f"@{type(graph).__name__.lower()}" if graph is not None else ""
+        self.name = f"lazy-voter{where}(p={laziness:g})"
+
+    def update(self, colors: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n = colors.shape[0]
+        graph = self.graph if self.graph is not None else CompleteGraph(n)
+        if graph.num_nodes != n:
+            raise ValueError("graph size does not match the color vector")
+        nodes = np.arange(n, dtype=np.int64)
+        pulled = colors[graph.sample_neighbors(nodes, rng)]
+        keep = rng.random(n) < self.laziness
+        return np.where(keep, colors, pulled)

@@ -1,0 +1,91 @@
+"""General h-Majority: plurality of ``h`` uniform samples, random tie-break.
+
+Section 5 of the paper conjectures a hierarchy: ``(h+1)``-Majority should
+be stochastically faster than ``h``-Majority (Conjecture 1).  Lemma 2
+settles ``h ∈ {1, 2, 3}`` (Voter equals 1- and 2-Majority), and
+Appendix B shows the majorization machinery alone cannot settle the rest.
+This module provides the agent-level process for arbitrary ``h`` so the
+conjecture can at least be probed empirically (experiment E9).
+
+The update rule generalising 3-Majority: draw ``h`` uniform samples; adopt
+a color attaining the maximum multiplicity among the samples, breaking
+ties uniformly at random among the tied *colors*.  For ``h = 3`` the tied
+colors of an all-distinct draw are exactly the three sampled colors, so
+this coincides with "adopt a random sample" and hence with 3-Majority;
+for ``h ≤ 2`` every draw ties, giving Voter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.ac_process import HMajorityFunction
+from .base import ACAgentProcess, sample_uniform_nodes
+
+__all__ = ["HMajority", "plurality_with_random_tie_break"]
+
+
+def plurality_with_random_tie_break(
+    samples: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Row-wise plurality color with uniform tie-break, fully vectorised.
+
+    ``samples`` is an ``(n, h)`` integer array; returns an ``n``-vector.
+    The implementation sorts each row, computes run lengths (multiplicity
+    of each distinct color), finds the maximal runs, and picks a uniform
+    maximal run per row via random scores — ``O(n · h log h)`` and no
+    Python-level loop over nodes.
+    """
+    if samples.ndim != 2:
+        raise ValueError("samples must be an (n, h) array")
+    n, h = samples.shape
+    if h == 1:
+        return samples[:, 0].copy()
+    ordered = np.sort(samples, axis=1)
+    # run_id[r, j]: index of the run (distinct color) that position j of
+    # row r belongs to; runs are numbered 0..h-1 from the left.
+    new_run = np.ones((n, h), dtype=np.int64)
+    new_run[:, 1:] = (ordered[:, 1:] != ordered[:, :-1]).astype(np.int64)
+    run_id = np.cumsum(new_run, axis=1) - 1
+    # Multiplicity of each run.
+    run_lengths = np.zeros((n, h), dtype=np.int64)
+    rows = np.repeat(np.arange(n), h)
+    np.add.at(run_lengths, (rows, run_id.ravel()), 1)
+    max_len = run_lengths.max(axis=1, keepdims=True)
+    # Random scores break ties uniformly among maximal runs.
+    scores = rng.random((n, h))
+    scores[run_lengths != max_len] = -1.0
+    chosen_run = np.argmax(scores, axis=1)
+    # Map the chosen run back to its color: first position of that run.
+    first_position = np.argmax(run_id == chosen_run[:, None], axis=1)
+    return ordered[np.arange(n), first_position]
+
+
+class HMajority(ACAgentProcess):
+    """Agent-level h-Majority for arbitrary ``h ≥ 1``.
+
+    The exact process function (used by the count-level engine and the
+    dominance framework) enumerates sample compositions and is only
+    practical for narrow configurations; the agent-level update here works
+    for any number of colors.
+    """
+
+    def __init__(self, h: int, max_support_colors: int = 12):
+        if h < 1:
+            raise ValueError("h must be at least 1")
+        super().__init__(HMajorityFunction(h, max_support_colors=max_support_colors))
+        self.h = int(h)
+        self.samples_per_round = self.h
+
+    def update(self, colors: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n = colors.shape[0]
+        sampled = sample_uniform_nodes(n, self.h, rng)
+        sample_colors = colors[sampled]
+        return plurality_with_random_tie_break(sample_colors, rng)
+
+    def supports_count_backend(self, config) -> bool:
+        """Exact ``α`` enumerates compositions: only for narrow configurations."""
+        if self.h <= 2:
+            return True  # Voter-equivalent closed form.
+        limit = self.process_function.max_support_colors
+        return config.num_colors <= limit

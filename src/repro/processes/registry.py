@@ -1,0 +1,54 @@
+"""A small name-based registry of the implemented processes.
+
+Keeps the harness, CLI-style examples, and benchmarks free of import
+boilerplate: ``make_process("3-majority")`` returns a fresh instance.
+Registered names are stable public API.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .base import AgentProcess
+from .graph_voter import LazyVoter
+from .h_majority import HMajority
+from .three_majority import ThreeMajority, ThreeMajorityResample
+from .two_choices import TwoChoices
+from .two_median import TwoMedian
+from .undecided import UndecidedDynamics
+from .voter import Voter
+
+__all__ = ["PROCESS_FACTORIES", "make_process", "available_processes"]
+
+PROCESS_FACTORIES: "Dict[str, Callable[[], AgentProcess]]" = {
+    "voter": Voter,
+    "2-choices": TwoChoices,
+    "3-majority": ThreeMajority,
+    "3-majority/resample": ThreeMajorityResample,
+    "2-median": TwoMedian,
+    "undecided-dynamics": UndecidedDynamics,
+    "lazy-voter": LazyVoter,
+}
+
+
+def make_process(name: str, **kwargs) -> AgentProcess:
+    """Instantiate a registered process by name.
+
+    ``h-majority`` names take the form ``"h-majority:<h>"``; e.g.
+    ``make_process("h-majority:5")`` builds 5-Majority.
+    """
+    if name.startswith("h-majority:"):
+        h = int(name.split(":", 1)[1])
+        return HMajority(h, **kwargs)
+    try:
+        factory = PROCESS_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown process {name!r}; available: {available_processes()}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_processes() -> list:
+    """Sorted list of registered process names (plus the h-majority scheme)."""
+    return sorted(PROCESS_FACTORIES) + ["h-majority:<h>"]

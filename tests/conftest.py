@@ -1,0 +1,20 @@
+"""Shared fixtures for the test-suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def rng_factory():
+    """Factory for generators with per-call seeds."""
+
+    def _make(seed: int = 0) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    return _make

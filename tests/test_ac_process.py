@@ -1,0 +1,187 @@
+"""Unit tests for repro.core.ac_process — process functions of Definition 1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Configuration
+from repro.core.ac_process import (
+    HMajorityFunction,
+    PowerDriftFunction,
+    ThreeMajorityFunction,
+    VoterFunction,
+    adoption_matrix_over_rounds,
+    expected_next_counts,
+    multinomial_step,
+)
+
+count_vectors = st.lists(st.integers(min_value=0, max_value=30), min_size=2, max_size=6).filter(
+    lambda c: sum(c) >= 2
+)
+
+
+class TestVoterFunction:
+    def test_equation_1(self):
+        alpha = VoterFunction().probabilities(np.asarray([3, 1, 0]))
+        assert alpha == pytest.approx([0.75, 0.25, 0.0])
+
+    def test_consensus_fixed_point(self):
+        alpha = VoterFunction().probabilities(np.asarray([0, 5]))
+        assert alpha == pytest.approx([0.0, 1.0])
+
+    @given(count_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_is_probability_vector(self, counts):
+        VoterFunction().validate(np.asarray(counts, dtype=np.int64))
+
+
+class TestThreeMajorityFunction:
+    def test_equation_2_by_hand(self):
+        # x = (1/2, 1/2): alpha_i = x_i^2 + (1 - 1/2) x_i = 1/4 + 1/4 = 1/2.
+        alpha = ThreeMajorityFunction().probabilities(np.asarray([2, 2]))
+        assert alpha == pytest.approx([0.5, 0.5])
+
+    def test_equation_2_asymmetric(self):
+        # x = (3/4, 1/4): ||x||^2 = 10/16. alpha_1 = 9/16 + (6/16)(3/4) = 0.84375
+        alpha = ThreeMajorityFunction().probabilities(np.asarray([3, 1]))
+        x = np.asarray([0.75, 0.25])
+        expected = x**2 + (1 - (x**2).sum()) * x
+        assert alpha == pytest.approx(expected)
+
+    def test_appendix_b_value(self):
+        # alpha_1 for x = (1/2, 1/6, 1/6, 1/6) must be 7/12 (Equation 24).
+        alpha = ThreeMajorityFunction().probabilities(np.asarray([3, 1, 1, 1]))
+        assert alpha[0] == pytest.approx(7.0 / 12.0)
+
+    def test_never_revives_dead_colors(self):
+        alpha = ThreeMajorityFunction().probabilities(np.asarray([4, 0, 2]))
+        assert alpha[1] == 0.0
+
+    def test_drift_favors_plurality_vs_voter(self):
+        counts = np.asarray([6, 2, 2])
+        three = ThreeMajorityFunction().probabilities(counts)
+        voter = VoterFunction().probabilities(counts)
+        assert three[0] > voter[0]
+        assert three[1] < voter[1]
+
+    @given(count_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_is_probability_vector(self, counts):
+        ThreeMajorityFunction().validate(np.asarray(counts, dtype=np.int64))
+
+
+class TestHMajorityFunction:
+    def test_h1_h2_equal_voter(self):
+        counts = np.asarray([5, 3, 2])
+        voter = VoterFunction().probabilities(counts)
+        for h in (1, 2):
+            alpha = HMajorityFunction(h).probabilities(counts)
+            assert alpha == pytest.approx(voter)
+
+    def test_h3_matches_closed_form(self):
+        counts = np.asarray([5, 3, 2])
+        enumerated = HMajorityFunction(3).probabilities(counts)
+        closed = ThreeMajorityFunction().probabilities(counts)
+        assert enumerated == pytest.approx(closed, abs=1e-12)
+
+    def test_h3_matches_closed_form_many_colors(self):
+        counts = np.asarray([4, 3, 2, 2, 1])
+        enumerated = HMajorityFunction(3).probabilities(counts)
+        closed = ThreeMajorityFunction().probabilities(counts)
+        assert enumerated == pytest.approx(closed, abs=1e-12)
+
+    def test_symmetric_two_colors_fixed_point(self):
+        # (1/2, 1/2) is a fixed point for every h (Appendix B's symmetry).
+        for h in (3, 4, 5):
+            alpha = HMajorityFunction(h).probabilities(np.asarray([6, 6]))
+            assert alpha == pytest.approx([0.5, 0.5])
+
+    def test_larger_h_sharper_drift(self):
+        counts = np.asarray([6, 3, 3])
+        masses = [
+            HMajorityFunction(h).probabilities(counts)[0] for h in (1, 3, 5, 7)
+        ]
+        assert all(a < b for a, b in zip(masses, masses[1:]))
+
+    def test_rejects_wide_configs(self):
+        with pytest.raises(ValueError):
+            HMajorityFunction(3, max_support_colors=4).probabilities(
+                np.ones(6, dtype=np.int64)
+            )
+
+    def test_rejects_bad_h(self):
+        with pytest.raises(ValueError):
+            HMajorityFunction(0)
+
+    @given(count_vectors, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_is_probability_vector(self, counts, h):
+        HMajorityFunction(h).validate(np.asarray(counts, dtype=np.int64))
+
+
+class TestPowerDrift:
+    def test_beta_one_is_voter(self):
+        counts = np.asarray([4, 3, 1])
+        assert PowerDriftFunction(1.0).probabilities(counts) == pytest.approx(
+            VoterFunction().probabilities(counts)
+        )
+
+    def test_rejects_beta_below_one(self):
+        with pytest.raises(ValueError):
+            PowerDriftFunction(0.5)
+
+    def test_large_beta_concentrates(self):
+        counts = np.asarray([5, 4, 1])
+        weak = PowerDriftFunction(1.5).probabilities(counts)
+        strong = PowerDriftFunction(4.0).probabilities(counts)
+        assert strong[0] > weak[0]
+
+
+class TestStepMachinery:
+    def test_multinomial_step_preserves_n(self, rng):
+        out = multinomial_step(50, np.asarray([0.5, 0.25, 0.25]), rng)
+        assert out.sum() == 50
+
+    def test_multinomial_step_rejects_zero_mass(self, rng):
+        with pytest.raises(ValueError):
+            multinomial_step(10, np.zeros(3), rng)
+
+    def test_step_counts_preserves_population(self, rng):
+        counts = np.asarray([10, 5, 5])
+        out = ThreeMajorityFunction().step_counts(counts, rng)
+        assert out.sum() == 20
+
+    def test_step_configuration_api(self, rng):
+        config = Configuration([10, 10])
+        out = VoterFunction().step(config, rng)
+        assert out.num_nodes == 20
+
+    def test_expected_next_counts(self):
+        counts = np.asarray([6, 2])
+        expected = expected_next_counts(counts, VoterFunction())
+        assert expected == pytest.approx([6.0, 2.0])
+
+    def test_consensus_absorbing(self, rng):
+        counts = np.asarray([8, 0])
+        for _ in range(5):
+            counts = ThreeMajorityFunction().step_counts(counts, rng)
+        assert list(counts) == [8, 0]
+
+    def test_adoption_matrix_shape(self, rng):
+        config = Configuration([5, 5])
+        mat = adoption_matrix_over_rounds(VoterFunction(), config, rounds=4, rng=rng)
+        assert mat.shape == (5, 2)
+        assert np.all(mat.sum(axis=1) == 10)
+
+    def test_empirical_mean_matches_alpha(self, rng):
+        # The count-level sampler's mean must track n * alpha.
+        counts = np.asarray([12, 4])
+        func = ThreeMajorityFunction()
+        alpha = func.probabilities(counts)
+        reps = 4000
+        acc = np.zeros(2)
+        for _ in range(reps):
+            acc += func.step_counts(counts, rng)
+        mean = acc / reps
+        assert mean == pytest.approx(16 * alpha, abs=0.2)

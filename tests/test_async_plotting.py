@@ -1,0 +1,124 @@
+"""Tests for the asynchronous scheduler and ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import Configuration
+from repro.engine import (
+    ColorsAtMost,
+    run_asynchronous,
+    ticks_to_round_equivalents,
+)
+from repro.experiments import line_chart, log_log_chart, spark_line
+from repro.graphs import CycleGraph
+from repro.processes import GraphVoter, ThreeMajority, TwoChoices, Voter
+
+
+class TestAsynchronous:
+    def test_reaches_consensus(self):
+        result = run_asynchronous(Voter(), Configuration.balanced(24, 3), rng=1)
+        assert result.reached_consensus
+        assert result.stopped
+        assert result.ticks >= 1
+
+    def test_round_equivalents(self):
+        assert ticks_to_round_equivalents(100, 25) == 4.0
+        with pytest.raises(ValueError):
+            ticks_to_round_equivalents(10, 0)
+
+    def test_three_majority_async(self):
+        result = run_asynchronous(ThreeMajority(), Configuration.balanced(32, 4), rng=2)
+        assert result.reached_consensus
+
+    def test_two_choices_async(self):
+        result = run_asynchronous(TwoChoices(), Configuration.balanced(24, 2), rng=3)
+        assert result.reached_consensus
+
+    def test_custom_stop(self):
+        result = run_asynchronous(
+            Voter(), Configuration.singletons(24), rng=4, stop=ColorsAtMost(6)
+        )
+        assert result.final.num_colors <= 6
+
+    def test_tick_limit(self):
+        result = run_asynchronous(
+            Voter(), Configuration.balanced(24, 3), rng=5, max_ticks=3
+        )
+        assert result.ticks == 3 or result.stopped
+
+    def test_check_every_validation(self):
+        with pytest.raises(ValueError):
+            run_asynchronous(Voter(), Configuration([2, 2]), check_every=0)
+
+    def test_async_voter_comparable_to_sync_rounds(self):
+        # n async ticks perform n adoption draws: round-equivalents should
+        # be on the same scale as the synchronous consensus time.
+        from repro.engine import repeat_first_passage, Consensus
+
+        config = Configuration.balanced(32, 4)
+        sync_mean = repeat_first_passage(
+            Voter, config, Consensus(), 30, rng=7, backend="counts"
+        ).mean()
+        async_equivalents = [
+            run_asynchronous(Voter(), config, rng=100 + s).round_equivalents()
+            for s in range(15)
+        ]
+        ratio = np.mean(async_equivalents) / sync_mean
+        assert 0.3 < ratio < 3.0
+
+    def test_no_parity_trap_on_even_cycle(self):
+        # The synchronous even-cycle oscillation disappears under the
+        # asynchronous scheduler (sequential updates break the symmetry).
+        n = 8
+        process = GraphVoter(CycleGraph(n))
+        initial = Configuration.from_assignment([i % 2 for i in range(n)])
+        result = run_asynchronous(process, initial, rng=6, max_ticks=10**6)
+        assert result.reached_consensus
+
+
+class TestSparkLine:
+    def test_monotone_series(self):
+        line = spark_line([1, 2, 3, 4, 5], width=5)
+        assert line[0] == " " and line[-1] == "█"
+
+    def test_constant_series(self):
+        assert spark_line([3, 3, 3], width=3) == "   "
+
+    def test_log_scale_requires_positive(self):
+        with pytest.raises(ValueError):
+            spark_line([1, 0, 2], log_scale=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            spark_line([])
+
+    def test_resampling_width(self):
+        assert len(spark_line(range(1000), width=32)) == 32
+
+
+class TestLineChart:
+    def test_contains_title_and_legend(self):
+        chart = line_chart({"a": [1, 2, 3], "b": [3, 2, 1]}, title="demo")
+        assert "demo" in chart
+        assert "* a" in chart and "+ b" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": []})
+        with pytest.raises(ValueError):
+            line_chart({"a": [1]}, height=1)
+
+    def test_log_log_chart(self):
+        chart = log_log_chart([10, 100, 1000], {"t": [1, 10, 100]}, title="scaling")
+        assert "scaling" in chart
+        assert "log10" in chart
+
+    def test_log_log_validation(self):
+        with pytest.raises(ValueError):
+            log_log_chart([0, 1], {"t": [1, 2]})
+        with pytest.raises(ValueError):
+            log_log_chart([1, 2], {"t": [1, -2]})
+        with pytest.raises(ValueError):
+            log_log_chart([1, 2], {"t": [1, 2, 3]})

@@ -1,0 +1,134 @@
+"""Tests for the CLI (repro.cli) and sweep persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import Configuration
+from repro.engine import Consensus
+from repro.experiments import (
+    load_sweep,
+    save_sweep,
+    sweep_first_passage,
+    sweep_from_dict,
+    sweep_to_dict,
+)
+from repro.processes import Voter
+
+
+def _small_sweep():
+    return sweep_first_passage(
+        name="demo",
+        process_factory=lambda n: Voter(),
+        workload=lambda n: Configuration.balanced(n, 4),
+        stop=lambda n: Consensus(),
+        n_values=[16, 32, 64],
+        repetitions=4,
+        seed=5,
+        predicted=lambda n: float(n),
+    )
+
+
+class TestPersistence:
+    def test_round_trip_in_memory(self):
+        original = _small_sweep()
+        rebuilt = sweep_from_dict(sweep_to_dict(original))
+        assert rebuilt.name == original.name
+        assert rebuilt.param_name == original.param_name
+        for a, b in zip(original.points, rebuilt.points):
+            assert a.param == b.param
+            assert np.array_equal(a.samples, b.samples)
+            assert a.predicted == b.predicted
+            assert a.summary.mean == pytest.approx(b.summary.mean)
+
+    def test_round_trip_on_disk(self, tmp_path):
+        original = _small_sweep()
+        path = tmp_path / "sweep.json"
+        save_sweep(original, str(path))
+        rebuilt = load_sweep(str(path))
+        assert rebuilt.fit().exponent == pytest.approx(original.fit().exponent)
+
+    def test_file_is_plain_json(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(_small_sweep(), str(path))
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == 1
+        assert len(payload["points"]) == 3
+
+    def test_version_check(self):
+        with pytest.raises(ValueError):
+            sweep_from_dict({"format_version": 99, "points": []})
+
+    def test_summaries_recomputed_from_samples(self):
+        payload = sweep_to_dict(_small_sweep())
+        payload["points"][0]["samples"] = [1, 1, 1, 1]
+        rebuilt = sweep_from_dict(payload)
+        assert rebuilt.points[0].summary.mean == pytest.approx(1.0)
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["simulate", "voter", "-n", "64"])
+        assert args.command == "simulate"
+        assert args.nodes == 64
+
+    def test_simulate_runs(self, capsys):
+        code = main(["simulate", "3-majority", "-n", "128", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "consensus after" in out
+
+    def test_simulate_with_trace(self, capsys):
+        code = main(
+            ["simulate", "voter", "-n", "64", "-k", "4", "--trace", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trajectory" in out
+
+    def test_simulate_biased(self, capsys):
+        code = main(
+            ["simulate", "2-choices", "-n", "128", "-k", "2", "--bias", "64", "--seed", "2"]
+        )
+        assert code == 0
+        assert "consensus after" in capsys.readouterr().out
+
+    def test_simulate_bias_requires_colors(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "voter", "--bias", "10"])
+
+    def test_sweep_runs_and_saves(self, tmp_path, capsys):
+        out_file = tmp_path / "sweep.json"
+        code = main(
+            [
+                "sweep",
+                "3-majority",
+                "--min-n", "64",
+                "--max-n", "128",
+                "-r", "2",
+                "-o", str(out_file),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fit:" in out
+        assert out_file.exists()
+        rebuilt = load_sweep(str(out_file))
+        assert len(rebuilt.points) == 2
+
+    def test_sweep_validates_range(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "voter", "--min-n", "128", "--max-n", "64"])
+
+    def test_counterexample_command(self, capsys):
+        code = main(["counterexample"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "7/12" in out
+
+    def test_unknown_process_errors(self):
+        with pytest.raises(KeyError):
+            main(["simulate", "no-such-process"])

@@ -1,0 +1,142 @@
+"""Tests for coalescing random walks and the Lemma-4 duality."""
+
+import numpy as np
+import pytest
+
+from repro.coalescing import (
+    CoalescingWalks,
+    coalescence_counts_forward,
+    coalescence_reduction_time,
+    run_duality_coupling,
+    voter_opinion_counts_forward,
+    voter_opinions_reversed,
+    walk_positions_forward,
+)
+from repro.graphs import CompleteGraph, CycleGraph, random_regular_graph
+
+
+class TestCoalescingWalks:
+    def test_initial_positions(self):
+        walks = CoalescingWalks(CompleteGraph(5))
+        assert list(walks.initial_positions()) == [0, 1, 2, 3, 4]
+
+    def test_step_never_increases_walks(self, rng):
+        walks = CoalescingWalks(CompleteGraph(30))
+        state = walks.initial_positions()
+        for _ in range(20):
+            nxt = walks.step(state, rng)
+            assert nxt.size <= state.size
+            state = nxt
+
+    def test_run_until_counts_monotone(self, rng):
+        walks = CoalescingWalks(CompleteGraph(40))
+        run = walks.run_until(1, rng)
+        assert run.reached
+        assert run.walk_counts[0] == 40
+        assert run.final_walks == 1
+        assert np.all(np.diff(run.walk_counts) <= 0)
+
+    def test_run_until_intermediate_target(self, rng):
+        walks = CoalescingWalks(CompleteGraph(40))
+        run = walks.run_until(10, rng)
+        assert run.reached
+        assert run.final_walks <= 10
+
+    def test_run_until_validates(self, rng):
+        with pytest.raises(ValueError):
+            CoalescingWalks(CompleteGraph(5)).run_until(0, rng)
+
+    def test_run_respects_custom_positions(self, rng):
+        walks = CoalescingWalks(CompleteGraph(20))
+        run = walks.run_until(1, rng, positions=np.asarray([3, 3, 7]))
+        assert run.walk_counts[0] == 2  # deduplicated start
+
+    def test_meeting_time_zero_for_same_node(self, rng):
+        walks = CoalescingWalks(CompleteGraph(10))
+        assert walks.meeting_time(4, 4, rng) == 0
+
+    def test_meeting_time_geometric_mean(self, rng):
+        # On K_n with self-loops two walks meet w.p. 1/n per step: mean n.
+        n = 25
+        walks = CoalescingWalks(CompleteGraph(n))
+        times = [walks.meeting_time(0, 1, rng) for _ in range(400)]
+        mean = np.mean(times)
+        sem = np.std(times, ddof=1) / np.sqrt(len(times))
+        assert abs(mean - n) < 4 * sem + 1.0
+
+    def test_reduction_time_helper(self, rng):
+        t = coalescence_reduction_time(CompleteGraph(30), 5, rng)
+        assert t >= 1
+
+    def test_reduction_time_raises_on_limit(self, rng):
+        with pytest.raises(RuntimeError):
+            coalescence_reduction_time(CompleteGraph(30), 1, rng, max_steps=1)
+
+
+class TestDualityCoupling:
+    """Lemma 4 / Figure 1: the maps coincide exactly, on every graph."""
+
+    @pytest.mark.parametrize("horizon", [0, 1, 5, 40])
+    def test_maps_identical_complete(self, rng, horizon):
+        witness = run_duality_coupling(CompleteGraph(30), horizon, rng)
+        assert witness.maps_identical
+        assert witness.counts_equal
+
+    def test_maps_identical_cycle(self, rng):
+        for horizon in (1, 10, 100):
+            witness = run_duality_coupling(CycleGraph(24), horizon, rng)
+            assert witness.maps_identical
+
+    def test_maps_identical_random_regular(self, rng):
+        graph = random_regular_graph(24, 3, rng)
+        witness = run_duality_coupling(graph, 50, rng)
+        assert witness.maps_identical
+
+    def test_many_seeds(self):
+        for seed in range(20):
+            rng = np.random.default_rng(seed)
+            witness = run_duality_coupling(CompleteGraph(16), 12, rng)
+            assert witness.maps_identical, seed
+
+    def test_composition_identity_explicit(self, rng):
+        # Independent re-derivation: both maps are Y[T-1] ∘ ... ∘ Y[0].
+        y = CompleteGraph(12).pull_matrix(7, rng)
+        expected = np.arange(12)
+        for t in range(7):
+            expected = y[t][expected]
+        assert np.array_equal(walk_positions_forward(y), expected)
+        assert np.array_equal(voter_opinions_reversed(y), expected)
+
+    def test_validates_negative_horizon(self, rng):
+        with pytest.raises(ValueError):
+            run_duality_coupling(CompleteGraph(5), -1, rng)
+
+    def test_zero_horizon_identity(self, rng):
+        witness = run_duality_coupling(CompleteGraph(9), 0, rng)
+        assert witness.walks_remaining == 9
+        assert witness.opinions_remaining == 9
+
+
+class TestDistributionalDuality:
+    """The forward (unreversed) trajectories agree in distribution."""
+
+    def test_count_trajectories_same_mean(self):
+        n, horizon, reps = 24, 30, 200
+        graph = CompleteGraph(n)
+        voter_counts = np.zeros(horizon + 1)
+        walk_counts = np.zeros(horizon + 1)
+        for seed in range(reps):
+            rng_v = np.random.default_rng(10_000 + seed)
+            rng_w = np.random.default_rng(20_000 + seed)
+            voter_counts += voter_opinion_counts_forward(graph.pull_matrix(horizon, rng_v))
+            walk_counts += coalescence_counts_forward(graph.pull_matrix(horizon, rng_w))
+        voter_counts /= reps
+        walk_counts /= reps
+        # Mean trajectories agree within Monte-Carlo noise at every round.
+        assert voter_counts == pytest.approx(walk_counts, abs=1.2)
+
+    def test_trajectories_monotone(self, rng):
+        y = CompleteGraph(20).pull_matrix(25, rng)
+        for series in (voter_opinion_counts_forward(y), coalescence_counts_forward(y)):
+            assert series[0] == 20
+            assert np.all(np.diff(series) <= 0)

@@ -1,0 +1,227 @@
+"""Unit tests for repro.core.configuration."""
+
+import numpy as np
+import pytest
+
+from repro.core import Configuration
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        c = Configuration([3, 1, 0])
+        assert c.num_nodes == 4
+        assert c.num_colors == 2
+        assert c.num_slots == 3
+
+    def test_counts_tuple(self):
+        assert Configuration([2, 2]).counts == (2, 2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Configuration([1, -1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Configuration([])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            Configuration([0, 0])
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ValueError):
+            Configuration([1.5, 2.5])
+
+    def test_accepts_integral_floats(self):
+        assert Configuration([2.0, 3.0]).counts == (2, 3)
+
+    def test_rejects_two_dimensional(self):
+        with pytest.raises(ValueError):
+            Configuration(np.ones((2, 2)))
+
+    def test_counts_array_read_only(self):
+        c = Configuration([1, 2])
+        with pytest.raises(ValueError):
+            c.counts_array()[0] = 5
+
+
+class TestConstructors:
+    def test_from_assignment(self):
+        c = Configuration.from_assignment([0, 1, 1, 3])
+        assert c.counts == (1, 2, 0, 1)
+
+    def test_from_assignment_padding(self):
+        c = Configuration.from_assignment([0, 0], num_slots=4)
+        assert c.counts == (2, 0, 0, 0)
+
+    def test_from_assignment_rejects_small_slots(self):
+        with pytest.raises(ValueError):
+            Configuration.from_assignment([0, 5], num_slots=3)
+
+    def test_from_assignment_rejects_negative_color(self):
+        with pytest.raises(ValueError):
+            Configuration.from_assignment([0, -2])
+
+    def test_monochromatic(self):
+        c = Configuration.monochromatic(7, color=2)
+        assert c.is_consensus
+        assert c.support(2) == 7
+        assert c.num_nodes == 7
+
+    def test_singletons(self):
+        c = Configuration.singletons(5)
+        assert c.num_colors == 5
+        assert c.max_support == 1
+
+    def test_balanced_divides(self):
+        c = Configuration.balanced(12, 4)
+        assert c.counts == (3, 3, 3, 3)
+        assert c.bias == 0
+
+    def test_balanced_remainder(self):
+        c = Configuration.balanced(10, 4)
+        assert sorted(c.counts, reverse=True) == [3, 3, 2, 2]
+        assert c.bias <= 1
+
+    def test_balanced_bounds(self):
+        with pytest.raises(ValueError):
+            Configuration.balanced(3, 5)
+
+    def test_biased_has_requested_bias(self):
+        c = Configuration.biased(100, 4, bias=10)
+        assert c.bias == 10
+        assert c.num_nodes == 100
+        assert c.num_colors <= 4
+
+    def test_biased_zero_bias_near_balanced(self):
+        c = Configuration.biased(100, 4, bias=0)
+        assert c.bias == 0
+
+    def test_biased_unachievable(self):
+        with pytest.raises(ValueError):
+            Configuration.biased(10, 2, bias=100)
+
+
+class TestDerivedQuantities:
+    def test_bias_definition(self):
+        # bias = support(top) - support(second)
+        assert Configuration([7, 4, 1]).bias == 3
+
+    def test_bias_single_slot(self):
+        assert Configuration([5]).bias == 5
+
+    def test_max_support(self):
+        assert Configuration([2, 9, 3]).max_support == 9
+
+    def test_support_out_of_range(self):
+        assert Configuration([2, 2]).support(10) == 0
+
+    def test_plurality_colors_tie(self):
+        assert Configuration([4, 4, 1]).plurality_colors() == (0, 1)
+
+    def test_remaining_colors(self):
+        assert Configuration([0, 3, 0, 2]).remaining_colors() == (1, 3)
+
+    def test_fractions_sum_to_one(self):
+        x = Configuration([3, 5, 2]).fractions()
+        assert x.sum() == pytest.approx(1.0)
+
+    def test_sorted_desc(self):
+        assert list(Configuration([1, 5, 3]).sorted_desc()) == [5, 3, 1]
+
+    def test_prefix_sums(self):
+        assert list(Configuration([1, 5, 3]).prefix_sums_desc()) == [5, 8, 9]
+
+    def test_squared_two_norm_consensus(self):
+        assert Configuration([10]).squared_two_norm_of_fractions() == pytest.approx(1.0)
+
+    def test_squared_two_norm_singletons(self):
+        c = Configuration.singletons(10)
+        assert c.squared_two_norm_of_fractions() == pytest.approx(0.1)
+
+    def test_entropy_extremes(self):
+        assert Configuration([10]).entropy() == pytest.approx(0.0)
+        c = Configuration.singletons(8)
+        assert c.entropy() == pytest.approx(np.log(8))
+
+    def test_monochromatic_fraction(self):
+        assert Configuration([3, 1]).monochromatic_fraction() == pytest.approx(0.75)
+
+
+class TestMajorizationOrder:
+    def test_consensus_majorizes_everything(self):
+        top = Configuration([6, 0, 0])
+        assert top.majorizes(Configuration([2, 2, 2]))
+        assert top.majorizes(Configuration([3, 2, 1]))
+        assert top.majorizes(top)
+
+    def test_singletons_minimal(self):
+        bottom = Configuration.singletons(4)
+        for other in ([2, 1, 1, 0], [2, 2, 0, 0], [4, 0, 0, 0]):
+            assert Configuration(other).majorizes(bottom)
+            assert not bottom.majorizes(Configuration(other))
+
+    def test_incomparable_pair(self):
+        # (3,3,0) vs (4,1,1): prefix1 4>3 but prefix2 6>5 — comparable?
+        # top-1: 4 >= 3; top-2: 5 < 6 → incomparable.
+        a = Configuration([3, 3, 0])
+        b = Configuration([4, 1, 1])
+        assert not a.majorizes(b)
+        assert not b.majorizes(a)
+
+    def test_order_operators(self):
+        assert Configuration([4, 0]) >= Configuration([2, 2])
+        assert Configuration([2, 2]) <= Configuration([4, 0])
+
+    def test_majorizes_requires_same_n(self):
+        with pytest.raises(ValueError):
+            Configuration([3]).majorizes(Configuration([2, 2]))
+
+    def test_padding_invariance(self):
+        assert Configuration([3, 1]).majorizes(Configuration([2, 1, 1, 0]))
+
+
+class TestDunder:
+    def test_equality_with_padding(self):
+        assert Configuration([2, 1]) == Configuration([2, 1, 0, 0])
+
+    def test_inequality(self):
+        assert Configuration([2, 1]) != Configuration([1, 2])
+
+    def test_hash_consistency(self):
+        assert hash(Configuration([2, 1])) == hash(Configuration([2, 1]))
+
+    def test_len_and_getitem(self):
+        c = Configuration([4, 0, 2])
+        assert len(c) == 3
+        assert c[2] == 2
+
+    def test_iter(self):
+        assert list(Configuration([1, 2])) == [1, 2]
+
+    def test_repr_contains_counts(self):
+        assert "n=3" in repr(Configuration([2, 1]))
+
+
+class TestTransformations:
+    def test_canonical_sorts_and_trims(self):
+        c = Configuration([0, 1, 5, 0, 3]).canonical()
+        assert c.counts == (5, 3, 1)
+
+    def test_with_slots_pads(self):
+        assert Configuration([2, 1]).with_slots(4).counts == (2, 1, 0, 0)
+
+    def test_with_slots_rejects_dropping_support(self):
+        with pytest.raises(ValueError):
+            Configuration([2, 1]).with_slots(1)
+
+    def test_with_slots_can_trim_zeros(self):
+        assert Configuration([2, 1, 0]).with_slots(2).counts == (2, 1)
+
+    def test_to_assignment_roundtrip(self):
+        c = Configuration([2, 0, 3])
+        back = Configuration.from_assignment(c.to_assignment(), num_slots=3)
+        assert back == c
+
+    def test_assignment_length(self):
+        assert Configuration([2, 3]).to_assignment().shape == (5,)

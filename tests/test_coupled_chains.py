@@ -1,0 +1,120 @@
+"""Tests for the executable Theorem-2 coupling (run_coupled_chains)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Configuration, run_coupled_chains
+from repro.core.ac_process import (
+    HMajorityFunction,
+    PowerDriftFunction,
+    ThreeMajorityFunction,
+    VoterFunction,
+)
+
+
+class TestCoupledChains:
+    def test_majorization_maintained_surely(self):
+        # Lemma 2 executed: 3-Majority state majorizes Voter state at every
+        # round of the coupled trajectory, for many seeds.
+        initial = Configuration([1] * 6)
+        for seed in range(10):
+            trajectory = run_coupled_chains(
+                ThreeMajorityFunction(),
+                VoterFunction(),
+                initial,
+                rounds=15,
+                rng=np.random.default_rng(seed),
+            )
+            assert trajectory.majorization_maintained(), seed
+            assert trajectory.colors_never_more(), seed
+
+    def test_rounds_and_shapes(self):
+        trajectory = run_coupled_chains(
+            ThreeMajorityFunction(),
+            VoterFunction(),
+            Configuration([2, 2, 2]),
+            rounds=5,
+            rng=np.random.default_rng(1),
+        )
+        assert trajectory.rounds() == 5
+        assert len(trajectory.upper_states) == 6
+        assert all(sum(state) == 6 for state in trajectory.upper_states)
+        assert all(sum(state) == 6 for state in trajectory.lower_states)
+
+    def test_zero_rounds(self):
+        trajectory = run_coupled_chains(
+            VoterFunction(),
+            VoterFunction(),
+            Configuration([3, 3]),
+            rounds=0,
+            rng=np.random.default_rng(0),
+        )
+        assert trajectory.rounds() == 0
+        assert trajectory.majorization_maintained()
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            run_coupled_chains(
+                VoterFunction(),
+                VoterFunction(),
+                Configuration([2, 2]),
+                rounds=-1,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_power_drift_over_voter(self):
+        trajectory = run_coupled_chains(
+            PowerDriftFunction(2.0),
+            VoterFunction(),
+            Configuration([1] * 5),
+            rounds=10,
+            rng=np.random.default_rng(4),
+        )
+        assert trajectory.majorization_maintained()
+
+    def test_infeasible_pair_raises(self):
+        # 4-Majority does NOT dominate 3-Majority (Appendix B): starting at
+        # a violating pair is impossible from a shared start, but the
+        # coupling can hit a violating pair mid-run; force it directly by
+        # starting at the symmetric two-color configuration, whose next
+        # 4-Majority law cannot majorize 3-Majority's from a spread state.
+        # Construct explicitly: run from (3,1,1,1) with fast=4M, slow=3M —
+        # dominance fails at the Appendix-B pair, so either the run
+        # completes (allowed) or raises; assert the checker catches the
+        # documented violating pair when seeded to reach it.
+        with pytest.raises((RuntimeError, ValueError)):
+            # upper (3,3,0,0) vs lower (3,1,1,1) is the integer Appendix-B
+            # pair; build the coupling there directly via a one-round run
+            # from unequal starts is not supported — so emulate by checking
+            # the LP directly through run_coupled_chains on a crafted
+            # degenerate instance: fast=Voter, slow=3-Majority reverses the
+            # dominance and must fail within a few rounds.
+            for seed in range(20):
+                run_coupled_chains(
+                    VoterFunction(),
+                    ThreeMajorityFunction(),
+                    Configuration([4, 1, 1]),
+                    rounds=8,
+                    rng=np.random.default_rng(seed),
+                )
+
+    def test_consensus_is_absorbing_in_coupling(self):
+        trajectory = run_coupled_chains(
+            ThreeMajorityFunction(),
+            VoterFunction(),
+            Configuration([6, 0]),
+            rounds=3,
+            rng=np.random.default_rng(2),
+        )
+        assert all(state == (6,) for state in trajectory.upper_states)
+
+    def test_h3_function_works_too(self):
+        # The enumerated 3-majority function couples identically.
+        trajectory = run_coupled_chains(
+            HMajorityFunction(3),
+            VoterFunction(),
+            Configuration([2, 2, 1]),
+            rounds=6,
+            rng=np.random.default_rng(5),
+        )
+        assert trajectory.majorization_maintained()

@@ -1,0 +1,170 @@
+"""Tests for repro.core.coupling — Lemma 1 / Theorems 2-3 made constructive."""
+
+import numpy as np
+import pytest
+
+from repro.core import Configuration
+from repro.core.ac_process import ThreeMajorityFunction, VoterFunction
+from repro.core.coupling import (
+    FiniteDistribution,
+    estimate_reduction_time_dominance,
+    one_step_distribution,
+    stochastic_majorization_certificate,
+    strassen_coupling,
+)
+
+
+class TestFiniteDistribution:
+    def test_validates_alignment(self):
+        with pytest.raises(ValueError):
+            FiniteDistribution(support=((1, 1),), probabilities=(0.5, 0.5))
+
+    def test_validates_total(self):
+        with pytest.raises(ValueError):
+            FiniteDistribution(support=((1, 1), (2, 0)), probabilities=(0.5, 0.4))
+
+    def test_expectation(self):
+        dist = FiniteDistribution(support=((2, 0), (0, 2)), probabilities=(0.5, 0.5))
+        assert dist.expectation() == pytest.approx([1.0, 1.0])
+
+    def test_expect_functional(self):
+        dist = FiniteDistribution(support=((2, 0), (1, 1)), probabilities=(0.25, 0.75))
+        assert dist.expect(lambda v: float(v.max())) == pytest.approx(0.25 * 2 + 0.75 * 1)
+
+
+class TestOneStepDistribution:
+    def test_total_mass_and_support(self):
+        dist = one_step_distribution(VoterFunction(), Configuration([2, 2]))
+        assert sum(dist.probabilities) == pytest.approx(1.0)
+        assert all(sum(outcome) == 4 for outcome in dist.support)
+
+    def test_expectation_matches_alpha(self):
+        config = Configuration([3, 2])
+        dist = one_step_distribution(ThreeMajorityFunction(), config)
+        alpha = ThreeMajorityFunction().probabilities_for(config)
+        assert dist.expectation() == pytest.approx(5 * alpha)
+
+    def test_consensus_is_deterministic(self):
+        dist = one_step_distribution(VoterFunction(), Configuration([4, 0]))
+        assert len(dist) == 1
+        assert dist.support[0] == (4, 0)
+
+    def test_matches_sampler_frequencies(self, rng):
+        config = Configuration([3, 1])
+        func = VoterFunction()
+        dist = one_step_distribution(func, config)
+        lookup = dict(zip(dist.support, dist.probabilities))
+        reps = 6000
+        hits = {outcome: 0 for outcome in dist.support}
+        for _ in range(reps):
+            out = tuple(int(v) for v in func.step_counts(config.counts_array(), rng))
+            hits[out] += 1
+        for outcome, prob in lookup.items():
+            assert hits[outcome] / reps == pytest.approx(prob, abs=0.03)
+
+
+class TestStrassenCoupling:
+    """Lemma 1: the coupling exists for dominating AC pairs — constructed here."""
+
+    @pytest.mark.parametrize(
+        "upper,lower",
+        [
+            ([3, 1], [2, 2]),
+            ([4, 0], [2, 2]),
+            ([3, 2, 1], [2, 2, 2]),
+            ([4, 1, 1], [2, 2, 2]),
+        ],
+    )
+    def test_three_majority_over_voter_coupling_exists(self, upper, lower):
+        upper_cfg = Configuration(upper)
+        lower_cfg = Configuration(lower)
+        assert upper_cfg.majorizes(lower_cfg)
+        upper_dist = one_step_distribution(ThreeMajorityFunction(), upper_cfg)
+        lower_dist = one_step_distribution(VoterFunction(), lower_cfg)
+        result = strassen_coupling(lower=lower_dist, upper=upper_dist)
+        assert result.feasible
+        assert result.verify()
+
+    def test_joint_marginals_correct(self):
+        upper_dist = one_step_distribution(ThreeMajorityFunction(), Configuration([3, 1]))
+        lower_dist = one_step_distribution(VoterFunction(), Configuration([2, 2]))
+        result = strassen_coupling(lower=lower_dist, upper=upper_dist)
+        joint = result.joint
+        assert joint.sum(axis=1) == pytest.approx(np.asarray(lower_dist.probabilities), abs=1e-7)
+        assert joint.sum(axis=0) == pytest.approx(np.asarray(upper_dist.probabilities), abs=1e-7)
+
+    def test_infeasible_when_direction_reversed(self):
+        # Voter on the LOWER config cannot stochastically majorize
+        # 3-Majority on the UPPER config in the reversed direction: put the
+        # better process below and swap roles to force failure.
+        upper_dist = one_step_distribution(VoterFunction(), Configuration([2, 2]))
+        lower_dist = one_step_distribution(ThreeMajorityFunction(), Configuration([4, 0]))
+        result = strassen_coupling(lower=lower_dist, upper=upper_dist)
+        assert not result.feasible
+
+    def test_identical_distributions_couple_on_diagonal(self):
+        dist = one_step_distribution(VoterFunction(), Configuration([2, 2]))
+        result = strassen_coupling(lower=dist, upper=dist)
+        assert result.feasible
+
+
+class TestStochasticMajorizationCertificate:
+    def test_certificate_holds_for_dominating_pair(self):
+        upper = one_step_distribution(ThreeMajorityFunction(), Configuration([3, 1]))
+        lower = one_step_distribution(VoterFunction(), Configuration([2, 2]))
+        holds, margins = stochastic_majorization_certificate(lower, upper)
+        assert holds
+        assert np.all(margins >= -1e-9)
+
+    def test_certificate_fails_in_reverse(self):
+        upper = one_step_distribution(ThreeMajorityFunction(), Configuration([4, 0]))
+        lower = one_step_distribution(VoterFunction(), Configuration([2, 2]))
+        holds, _ = stochastic_majorization_certificate(lower=upper, upper=lower)
+        assert not holds
+
+    def test_certificate_and_lp_agree(self):
+        # On a grid of comparable pairs the LP feasibility and the top-j
+        # certificate must never disagree in the "certificate fails" case
+        # (certificate failure implies no coupling).
+        pairs = [([3, 1], [2, 2]), ([4, 0], [3, 1]), ([4, 1, 1], [2, 2, 2])]
+        for upper, lower in pairs:
+            upper_dist = one_step_distribution(ThreeMajorityFunction(), Configuration(upper))
+            lower_dist = one_step_distribution(VoterFunction(), Configuration(lower))
+            holds, _ = stochastic_majorization_certificate(lower_dist, upper_dist)
+            lp = strassen_coupling(lower=lower_dist, upper=upper_dist)
+            if lp.feasible:
+                assert holds
+
+
+class TestReductionTimeDominance:
+    """Theorem 2's conclusion, Monte-Carlo validated on small systems."""
+
+    def test_three_majority_not_slower_than_voter(self, rng):
+        comparison = estimate_reduction_time_dominance(
+            fast=ThreeMajorityFunction(),
+            slow=VoterFunction(),
+            initial=Configuration([1] * 12),
+            kappa=1,
+            repetitions=300,
+            rng=rng,
+        )
+        assert comparison.mean_gap() > 0
+        assert comparison.empirical_cdf_dominates(slack=0.08)
+
+    def test_kappa_validation(self, rng):
+        with pytest.raises(ValueError):
+            estimate_reduction_time_dominance(
+                VoterFunction(), VoterFunction(), Configuration([2, 2]), 0, 5, rng
+            )
+
+    def test_round_limit_enforced(self, rng):
+        with pytest.raises(RuntimeError):
+            estimate_reduction_time_dominance(
+                fast=VoterFunction(),
+                slow=VoterFunction(),
+                initial=Configuration([1] * 16),
+                kappa=1,
+                repetitions=2,
+                rng=rng,
+                max_rounds=1,
+            )

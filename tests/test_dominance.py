@@ -1,0 +1,138 @@
+"""Tests for repro.core.dominance — Definition 2 and the executable Lemma 2."""
+
+import numpy as np
+import pytest
+
+from repro.core import Configuration
+from repro.core.ac_process import (
+    HMajorityFunction,
+    PowerDriftFunction,
+    ThreeMajorityFunction,
+    VoterFunction,
+)
+from repro.core.dominance import (
+    check_dominance_on_pair,
+    find_dominance_counterexample,
+    iter_comparable_pairs,
+    lemma2_margin,
+    verify_dominance_exhaustive,
+)
+
+
+class TestComparablePairs:
+    def test_includes_diagonal(self):
+        pairs = list(iter_comparable_pairs(4))
+        assert any(u == l for u, l in pairs)
+
+    def test_all_pairs_actually_comparable(self):
+        for upper, lower in iter_comparable_pairs(5):
+            assert upper.majorizes(lower)
+
+    def test_consensus_tops_everything(self):
+        pairs = list(iter_comparable_pairs(4))
+        consensus_uppers = [l for u, l in pairs if u.counts == (4,)]
+        # consensus majorizes all 5 partitions of 4.
+        assert len(consensus_uppers) == 5
+
+    def test_max_colors_restriction(self):
+        for upper, lower in iter_comparable_pairs(5, max_colors=2):
+            assert upper.num_colors <= 2
+            assert lower.num_colors <= 2
+
+
+class TestLemma2:
+    """3-Majority dominates Voter — the paper's Lemma 2, verified exactly."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7, 8])
+    def test_exhaustive_small_n(self, n):
+        report = verify_dominance_exhaustive(ThreeMajorityFunction(), VoterFunction(), n)
+        assert report.holds, report.summary()
+        assert report.pairs_checked > 0
+
+    def test_margin_nonnegative_everywhere(self):
+        # The explicit inequality (Eq. 3-5) in the Lemma 2 proof.
+        for upper, lower in iter_comparable_pairs(7):
+            margin = lemma2_margin(upper, lower)
+            assert np.all(margin >= -1e-12), (upper.counts, lower.counts, margin)
+
+    def test_margin_rejects_incomparable(self):
+        a = Configuration([3, 3, 0])
+        b = Configuration([4, 1, 1])
+        with pytest.raises(ValueError):
+            lemma2_margin(a, b)
+
+    def test_no_counterexample_in_range(self):
+        found = find_dominance_counterexample(
+            ThreeMajorityFunction(), VoterFunction(), n_values=range(2, 8)
+        )
+        assert found is None
+
+
+class TestSelfDominance:
+    """Every AC-process with monotone drift dominates itself and Voter-alikes."""
+
+    @pytest.mark.parametrize("n", [4, 6])
+    def test_voter_dominates_itself(self, n):
+        report = verify_dominance_exhaustive(VoterFunction(), VoterFunction(), n)
+        assert report.holds
+
+    def test_three_majority_does_not_dominate_itself(self):
+        # A subtlety the Appendix-B mechanism already implies: Definition 2
+        # self-dominance FAILS for 3-Majority.  The symmetric configuration
+        # (2,2) is a fixed point of the drift (top-1 mass stays 1/2), while
+        # the majorized (2,1,1) pushes 9/16 > 1/2 onto its top color — so
+        # α(c) ⪰ α(c̃) fails on the comparable pair ((2,2), (2,1,1)).
+        # Lemma 2 works precisely because the *dominated* side is Voter,
+        # whose image is the unchanged fraction vector.
+        report = verify_dominance_exhaustive(
+            ThreeMajorityFunction(), ThreeMajorityFunction(), 4
+        )
+        assert not report.holds
+        violating = {(pair.upper, pair.lower) for pair in report.violations}
+        assert ((2, 2), (2, 1, 1)) in violating
+
+    def test_power_drift_dominates_voter(self):
+        report = verify_dominance_exhaustive(PowerDriftFunction(2.0), VoterFunction(), 6)
+        assert report.holds
+
+
+class TestAppendixBViaDominance:
+    """The hierarchy direction fails: 4-Majority does NOT dominate 3-Majority."""
+
+    def test_counterexample_exists(self):
+        found = find_dominance_counterexample(
+            HMajorityFunction(4), HMajorityFunction(3), n_values=[12]
+        )
+        assert found is not None
+        assert found.gap > 0
+
+    def test_paper_configuration_is_a_violation(self):
+        # n = 12: upper (6,6) vs lower (6,2,2,2) — the Appendix-B vectors.
+        upper = Configuration([6, 6])
+        lower = Configuration([6, 2, 2, 2])
+        pair = check_dominance_on_pair(HMajorityFunction(4), HMajorityFunction(3), upper, lower)
+        assert not pair.holds
+        # The violation at prefix 1 equals 7/12 - 1/2 = 1/12.
+        assert pair.gap == pytest.approx(1.0 / 12.0, abs=1e-9)
+
+    def test_check_requires_comparable_inputs(self):
+        with pytest.raises(ValueError):
+            check_dominance_on_pair(
+                ThreeMajorityFunction(),
+                VoterFunction(),
+                Configuration([3, 3, 0]),
+                Configuration([4, 1, 1]),
+            )
+
+
+class TestReportAPI:
+    def test_summary_strings(self):
+        good = verify_dominance_exhaustive(ThreeMajorityFunction(), VoterFunction(), 4)
+        assert "HOLDS" in good.summary()
+        bad = verify_dominance_exhaustive(HMajorityFunction(4), HMajorityFunction(3), 12, max_colors=4)
+        assert "FAILS" in bad.summary()
+        assert bad.worst_violation() is not None
+
+    def test_clean_report_has_no_worst(self):
+        good = verify_dominance_exhaustive(ThreeMajorityFunction(), VoterFunction(), 4)
+        assert good.worst_violation() is None

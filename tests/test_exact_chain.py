@@ -1,0 +1,107 @@
+"""Tests for the exact partition Markov chain (repro.analysis.exact_chain)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import PartitionChain
+from repro.core.ac_process import ThreeMajorityFunction, VoterFunction
+from repro.core import Configuration
+from repro.engine import Consensus, repeat_first_passage
+from repro.processes import ThreeMajority, Voter
+
+
+class TestTransitionMatrix:
+    def test_rows_stochastic(self):
+        chain = PartitionChain(VoterFunction(), 5)
+        matrix = chain.transition_matrix()
+        assert matrix.shape == (len(chain.states), len(chain.states))
+        assert matrix.sum(axis=1) == pytest.approx(np.ones(len(chain.states)))
+
+    def test_consensus_absorbing(self):
+        chain = PartitionChain(ThreeMajorityFunction(), 5)
+        matrix = chain.transition_matrix()
+        idx = chain.states.index((5,))
+        assert matrix[idx, idx] == pytest.approx(1.0)
+
+    def test_validates_n(self):
+        with pytest.raises(ValueError):
+            PartitionChain(VoterFunction(), 0)
+        with pytest.raises(ValueError):
+            PartitionChain(VoterFunction(), 50)
+
+    def test_voter_two_nodes_by_hand(self):
+        # n=2, states (2,) and (1,1). From (1,1): each node picks uniform
+        # of the two nodes; consensus iff both pick the same node: 1/2.
+        chain = PartitionChain(VoterFunction(), 2)
+        matrix = chain.transition_matrix()
+        i_split = chain.states.index((1, 1))
+        i_cons = chain.states.index((2,))
+        assert matrix[i_split, i_cons] == pytest.approx(0.5)
+        assert matrix[i_split, i_split] == pytest.approx(0.5)
+
+    def test_voter_two_nodes_expected_time(self):
+        # Geometric(1/2): expected consensus time 2.
+        result = PartitionChain(VoterFunction(), 2).analyze()
+        assert result.expected_time_from((1, 1)) == pytest.approx(2.0)
+
+    def test_expected_time_zero_at_consensus(self):
+        result = PartitionChain(VoterFunction(), 4).analyze()
+        assert result.expected_time_from((4,)) == 0.0
+
+    def test_expected_time_accepts_unsorted(self):
+        result = PartitionChain(VoterFunction(), 4).analyze()
+        assert result.expected_time_from((1, 2, 1, 0)) == result.expected_time_from((2, 1, 1))
+
+
+class TestExactVsSimulation:
+    @pytest.mark.parametrize(
+        "function,process",
+        [(VoterFunction(), Voter), (ThreeMajorityFunction(), ThreeMajority)],
+    )
+    def test_mean_consensus_time_matches(self, function, process):
+        n = 6
+        exact = PartitionChain(function, n).analyze().expected_time_from((1,) * n)
+        times = repeat_first_passage(
+            process, Configuration.singletons(n), Consensus(), 1500, rng=123
+        )
+        sem = times.std(ddof=1) / np.sqrt(times.size)
+        assert abs(times.mean() - exact) < 4 * sem
+
+    def test_three_majority_faster_exactly(self):
+        # Exact expected consensus times: 3M <= Voter from every partition
+        # of n=6 (the Lemma 2 / Theorem 2 conclusion in expectation).
+        n = 6
+        voter = PartitionChain(VoterFunction(), n).analyze()
+        three = PartitionChain(ThreeMajorityFunction(), n).analyze()
+        for state in voter.states:
+            assert (
+                three.expected_time_from(state)
+                <= voter.expected_time_from(state) + 1e-9
+            ), state
+
+
+class TestReductionDistribution:
+    def test_pmf_sums_to_one_with_long_horizon(self):
+        chain = PartitionChain(VoterFunction(), 5)
+        pmf = chain.reduction_time_distribution((1, 1, 1, 1, 1), kappa=1, horizon=400)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_immediate_when_already_reduced(self):
+        chain = PartitionChain(VoterFunction(), 5)
+        pmf = chain.reduction_time_distribution((3, 2), kappa=2, horizon=10)
+        assert pmf[0] == pytest.approx(1.0)
+
+    def test_exact_stochastic_dominance_theorem2(self):
+        # Theorem 2, exactly: the CDF of T^kappa under 3-Majority lies
+        # above the CDF under Voter, for every kappa, from the singleton
+        # start on n=5.
+        n, horizon = 5, 300
+        voter_chain = PartitionChain(VoterFunction(), n)
+        three_chain = PartitionChain(ThreeMajorityFunction(), n)
+        start = (1,) * n
+        for kappa in (1, 2, 3):
+            pmf_v = voter_chain.reduction_time_distribution(start, kappa, horizon)
+            pmf_3 = three_chain.reduction_time_distribution(start, kappa, horizon)
+            cdf_v = np.cumsum(pmf_v)
+            cdf_3 = np.cumsum(pmf_3)
+            assert np.all(cdf_3 >= cdf_v - 1e-9), kappa

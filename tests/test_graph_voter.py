@@ -1,0 +1,103 @@
+"""Tests for GraphVoter / LazyVoter (repro.processes.graph_voter)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Configuration
+from repro.engine import Consensus, consensus_time, repeat_first_passage, run_agent
+from repro.graphs import CompleteGraph, CycleGraph
+from repro.processes import GraphVoter, LazyVoter, Voter, counts_from_colors
+
+
+class TestGraphVoter:
+    def test_complete_graph_matches_voter_mean(self, rng):
+        config = Configuration([30, 10])
+        base = config.to_assignment()
+        graph_voter = GraphVoter(CompleteGraph(40))
+        reps = 3000
+        acc = np.zeros(2)
+        for _ in range(reps):
+            acc += counts_from_colors(graph_voter.update(base, rng), 2)
+        assert acc / reps == pytest.approx([30, 10], abs=0.6)
+
+    def test_cycle_updates_use_neighbors_only(self, rng):
+        n = 12
+        graph_voter = GraphVoter(CycleGraph(n))
+        colors = np.arange(n)
+        out = graph_voter.update(colors, rng)
+        diffs = (out - colors) % n
+        assert set(np.unique(diffs)).issubset({1, n - 1})
+
+    def test_reaches_consensus_on_odd_cycle(self):
+        # Odd cycles are non-bipartite: no parity trap, consensus reachable.
+        graph_voter = GraphVoter(CycleGraph(11))
+        result = run_agent(
+            graph_voter, Configuration.singletons(11), rng=4, max_rounds=500_000
+        )
+        assert result.reached_consensus
+
+    def test_even_cycle_parity_trap(self):
+        # Synchronous Voter on a bipartite graph can absorb into the
+        # alternating 2-coloring and oscillate forever (see CycleGraph
+        # docs); dually, coalescing walks at odd distance never meet.
+        n = 12
+        graph_voter = GraphVoter(CycleGraph(n))
+        colors = np.asarray([i % 2 for i in range(n)], dtype=np.int64)
+        rng = np.random.default_rng(0)
+        out = graph_voter.update(colors, rng)
+        assert np.array_equal(out, 1 - colors)  # deterministic flip
+        assert np.array_equal(graph_voter.update(out, rng), colors)
+
+    def test_size_mismatch_rejected(self, rng):
+        graph_voter = GraphVoter(CompleteGraph(5))
+        with pytest.raises(ValueError):
+            graph_voter.update(np.zeros(7, dtype=np.int64), rng)
+
+    def test_name_mentions_graph(self):
+        assert "cyclegraph" in GraphVoter(CycleGraph(8)).name
+
+
+class TestLazyVoter:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LazyVoter(laziness=1.0)
+        with pytest.raises(ValueError):
+            LazyVoter(laziness=-0.1)
+
+    def test_zero_laziness_matches_voter_mean(self, rng):
+        config = Configuration([20, 20])
+        base = config.to_assignment()
+        lazy = LazyVoter(laziness=0.0)
+        reps = 2000
+        acc = np.zeros(2)
+        for _ in range(reps):
+            acc += counts_from_colors(lazy.update(base, rng), 2)
+        assert acc / reps == pytest.approx([20, 20], abs=0.8)
+
+    def test_high_laziness_keeps_most_nodes(self, rng):
+        colors = np.arange(1000)
+        lazy = LazyVoter(laziness=0.9)
+        out = lazy.update(colors, rng)
+        assert np.mean(out == colors) > 0.85
+
+    def test_graph_size_mismatch(self, rng):
+        lazy = LazyVoter(graph=CompleteGraph(5))
+        with pytest.raises(ValueError):
+            lazy.update(np.zeros(7, dtype=np.int64), rng)
+
+    def test_laziness_slowdown_factor(self):
+        # §3.2's remark quantified.  In the coalescence dual, two walks
+        # with independent 1/2-laziness meet with probability 0.75/n per
+        # step (vs 1/n), so the predicted slowdown is 4/3 — not 2.
+        config = Configuration.balanced(128, 8)
+        plain = repeat_first_passage(
+            Voter, config, Consensus(), 25, rng=1, backend="agent"
+        ).mean()
+        lazy = repeat_first_passage(
+            LazyVoter, config, Consensus(), 25, rng=2, backend="agent"
+        ).mean()
+        assert 1.1 < lazy / plain < 1.8
+
+    def test_consensus_reached(self):
+        t = consensus_time(LazyVoter(), Configuration.balanced(64, 4), rng=3)
+        assert t >= 1

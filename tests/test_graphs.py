@@ -1,0 +1,113 @@
+"""Tests for the graph substrate (repro.graphs)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    CompleteGraph,
+    CycleGraph,
+    ExplicitGraph,
+    random_regular_graph,
+)
+
+
+class TestCompleteGraph:
+    def test_uniform_with_self(self, rng):
+        g = CompleteGraph(10)
+        nodes = np.zeros(50_000, dtype=np.int64)
+        samples = g.sample_neighbors(nodes, rng)
+        freqs = np.bincount(samples, minlength=10) / samples.size
+        assert freqs == pytest.approx(np.full(10, 0.1), abs=0.01)
+
+    def test_without_self_never_self(self, rng):
+        g = CompleteGraph(10, include_self=False)
+        nodes = np.full(10_000, 3, dtype=np.int64)
+        samples = g.sample_neighbors(nodes, rng)
+        assert not np.any(samples == 3)
+        assert samples.min() >= 0 and samples.max() < 10
+
+    def test_without_self_uniform_on_others(self, rng):
+        g = CompleteGraph(5, include_self=False)
+        nodes = np.full(45_000, 2, dtype=np.int64)
+        samples = g.sample_neighbors(nodes, rng)
+        freqs = np.bincount(samples, minlength=5) / samples.size
+        for v in (0, 1, 3, 4):
+            assert freqs[v] == pytest.approx(0.25, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompleteGraph(0)
+        with pytest.raises(ValueError):
+            CompleteGraph(1, include_self=False)
+
+    def test_pull_matrix_shape(self, rng):
+        y = CompleteGraph(8).pull_matrix(5, rng)
+        assert y.shape == (5, 8)
+        assert y.min() >= 0 and y.max() < 8
+
+    def test_pull_matrix_validates(self, rng):
+        with pytest.raises(ValueError):
+            CompleteGraph(4).pull_matrix(-1, rng)
+
+
+class TestCycleGraph:
+    def test_moves_are_neighbors(self, rng):
+        g = CycleGraph(12)
+        nodes = np.arange(12, dtype=np.int64)
+        samples = g.sample_neighbors(nodes, rng)
+        diffs = (samples - nodes) % 12
+        assert set(np.unique(diffs)).issubset({1, 11})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CycleGraph(2)
+
+
+class TestExplicitGraph:
+    def test_path_graph_neighbors(self, rng):
+        g = ExplicitGraph(nx.path_graph(4))
+        assert g.degree(0) == 1
+        assert g.degree(1) == 2
+        assert set(g.neighbors(1)) == {0, 2}
+
+    def test_sampling_respects_adjacency(self, rng):
+        g = ExplicitGraph(nx.path_graph(5))
+        nodes = np.full(2000, 2, dtype=np.int64)
+        samples = g.sample_neighbors(nodes, rng)
+        assert set(np.unique(samples)) == {1, 3}
+
+    def test_sampling_uniform_over_neighbors(self, rng):
+        g = ExplicitGraph(nx.star_graph(4))  # center 0, leaves 1..4
+        nodes = np.zeros(40_000, dtype=np.int64)
+        samples = g.sample_neighbors(nodes, rng)
+        freqs = np.bincount(samples, minlength=5)[1:] / samples.size
+        assert freqs == pytest.approx(np.full(4, 0.25), abs=0.01)
+
+    def test_rejects_disconnected(self):
+        g = nx.Graph()
+        g.add_edges_from([(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            ExplicitGraph(g)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            ExplicitGraph(nx.empty_graph(1))
+
+    def test_relabels_arbitrary_nodes(self, rng):
+        g = nx.Graph()
+        g.add_edges_from([("a", "b"), ("b", "c")])
+        eg = ExplicitGraph(g)
+        assert eg.num_nodes == 3
+
+
+class TestRandomRegular:
+    def test_degree_and_connectivity(self, rng):
+        g = random_regular_graph(20, 4, rng)
+        assert g.num_nodes == 20
+        for u in range(20):
+            assert g.degree(u) == 4
+
+    def test_rejects_low_degree(self, rng):
+        with pytest.raises(ValueError):
+            random_regular_graph(10, 2, rng)

@@ -1,0 +1,112 @@
+"""Tests for repro.core.hierarchy — Appendix B, exactly."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.ac_process import HMajorityFunction
+from repro.core.hierarchy import (
+    appendix_b_counterexample,
+    equation_24_terms,
+    h_majority_probabilities_fraction,
+    hierarchy_probability_vectors,
+    three_majority_top_mass_exact,
+)
+from repro.core.majorization import majorizes
+
+
+class TestEquation24:
+    def test_top_mass_is_seven_twelfths(self):
+        assert three_majority_top_mass_exact() == Fraction(7, 12)
+
+    def test_terms_match_paper_decomposition(self):
+        terms = equation_24_terms()
+        assert terms == [Fraction(1, 8), Fraction(3, 8), Fraction(1, 12)]
+        assert sum(terms) == Fraction(7, 12)
+
+    def test_enumerator_matches_terms(self):
+        assert three_majority_top_mass_exact() == sum(equation_24_terms())
+
+
+class TestRationalEnumerator:
+    def test_distribution_sums_to_one(self):
+        x = [Fraction(1, 2), Fraction(1, 6), Fraction(1, 6), Fraction(1, 6)]
+        alpha = h_majority_probabilities_fraction(x, 3)
+        assert sum(alpha) == Fraction(1)
+
+    def test_voter_cases(self):
+        x = [Fraction(2, 5), Fraction(2, 5), Fraction(1, 5)]
+        for h in (1, 2):
+            assert h_majority_probabilities_fraction(x, h) == x
+
+    def test_matches_float_enumerator(self):
+        x = [Fraction(1, 2), Fraction(1, 4), Fraction(1, 4)]
+        rational = h_majority_probabilities_fraction(x, 4)
+        counts = np.asarray([2, 1, 1])
+        floats = HMajorityFunction(4).probabilities(counts)
+        assert [float(v) for v in rational] == pytest.approx(list(floats), abs=1e-12)
+
+    def test_rejects_non_probability(self):
+        with pytest.raises(ValueError):
+            h_majority_probabilities_fraction([Fraction(1, 2)], 3)
+
+    def test_rejects_bad_h(self):
+        with pytest.raises(ValueError):
+            h_majority_probabilities_fraction([Fraction(1)], 0)
+
+    def test_symmetric_fixed_point(self):
+        x = [Fraction(1, 2), Fraction(1, 2), Fraction(0), Fraction(0)]
+        for h in (3, 4, 5, 6):
+            assert h_majority_probabilities_fraction(x, h) == x
+
+
+class TestCounterexample:
+    def test_report_reproduces_appendix_b(self):
+        report = appendix_b_counterexample()
+        assert report.inputs_comparable
+        assert not report.images_majorize
+        assert report.lemma1_hypothesis_fails()
+        assert report.top_mass_lower == Fraction(7, 12)
+
+    def test_upper_is_fixed(self):
+        report = appendix_b_counterexample()
+        assert report.alpha_upper == report.x_upper
+
+    def test_violation_is_one_twelfth_at_prefix_one(self):
+        report = appendix_b_counterexample()
+        gap = float(report.alpha_lower[0]) - float(report.alpha_upper[0])
+        assert gap == pytest.approx(1.0 / 12.0)
+
+    def test_holds_for_larger_h_too(self):
+        # Appendix B's argument is for every h >= 3: the symmetric upper
+        # configuration stays fixed while h-majority on the lower pushes
+        # strictly more than 1/2 onto its top color.
+        for h in (3, 4, 5):
+            report = appendix_b_counterexample(h)
+            assert report.lemma1_hypothesis_fails(), h
+            assert report.top_mass_lower > Fraction(1, 2)
+
+    def test_images_comparable_in_opposite_direction(self):
+        # The *lower* image majorizes the upper at prefix one but NOT
+        # overall: (7/12, ...) vs (1/2, 1/2, 0, 0) are incomparable.
+        report = appendix_b_counterexample()
+        lower_img = [float(v) for v in report.alpha_lower]
+        upper_img = [float(v) for v in report.alpha_upper]
+        assert not majorizes(lower_img, upper_img)
+        assert not majorizes(upper_img, lower_img)
+
+
+class TestHierarchyVectors:
+    def test_monotone_top_mass_in_h(self):
+        x = [Fraction(1, 2), Fraction(1, 4), Fraction(1, 4)]
+        vectors = hierarchy_probability_vectors(x, [1, 3, 5, 7])
+        top = [vectors[h][0] for h in (1, 3, 5, 7)]
+        assert all(a < b for a, b in zip(top, top[1:]))
+
+    def test_all_entries_are_fractions(self):
+        x = [Fraction(1, 3), Fraction(1, 3), Fraction(1, 3)]
+        vectors = hierarchy_probability_vectors(x, [3])
+        assert all(isinstance(v, Fraction) for v in vectors[3])
+        # Full symmetry: uniform stays uniform.
+        assert vectors[3] == x

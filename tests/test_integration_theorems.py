@@ -1,0 +1,320 @@
+"""Integration tests: every theorem/lemma of the paper validated end-to-end.
+
+These tests cross module boundaries (processes + engine + analysis) and
+use Monte-Carlo estimates with conservative margins; the benchmark suite
+runs the same experiments at larger scale and records the numbers in
+EXPERIMENTS.md.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    coalescence_expected_upper,
+    fit_power_law,
+    mann_whitney_less,
+    three_majority_consensus_upper,
+    two_choices_threshold,
+)
+from repro.coalescing import CoalescingWalks, coalescence_reduction_time
+from repro.core import Configuration
+from repro.engine import (
+    ColorsAtMost,
+    Consensus,
+    cdf_dominates,
+    consensus_time,
+    repeat_first_passage,
+    run_agent,
+    symmetry_breaking_time,
+)
+from repro.graphs import CompleteGraph
+from repro.processes import (
+    ThreeMajority,
+    TwoChoices,
+    TwoChoicesBirthUpper,
+    UndecidedDynamics,
+    Voter,
+)
+
+
+class TestTheorem4ThreeMajorityUnconditional:
+    """3-Majority reaches consensus sublinearly from the n-color start."""
+
+    def test_consensus_well_below_paper_bound(self):
+        for n in (256, 1024, 4096):
+            t = consensus_time(
+                ThreeMajority(), Configuration.singletons(n), rng=11, backend="agent"
+            )
+            assert t <= three_majority_consensus_upper(n)
+
+    def test_growth_exponent_sublinear(self):
+        n_values = [256, 512, 1024, 2048, 4096]
+        means = []
+        for n in n_values:
+            times = [
+                consensus_time(
+                    ThreeMajority(), Configuration.singletons(n), rng=seed, backend="agent"
+                )
+                for seed in range(5)
+            ]
+            means.append(np.mean(times))
+        fit = fit_power_law(np.asarray(n_values, dtype=float), np.asarray(means))
+        # Theorem 4 predicts exponent <= 3/4 (up to polylogs); anything
+        # clearly below 1 validates sublinearity, and we check it is not
+        # absurdly small either.
+        assert fit.exponent < 0.85, fit.summary()
+        assert fit.exponent > 0.05, fit.summary()
+
+
+class TestTheorem5TwoChoicesLowerBound:
+    """2-Choices cannot break symmetry within the theorem's budget."""
+
+    @pytest.mark.parametrize("n", [1024, 4096])
+    def test_no_symmetry_break_within_budget(self, n):
+        gamma = 3.0
+        threshold = max(2, int(math.ceil(gamma * math.log(n))))
+        budget = max(2, int(n / (gamma * threshold)))
+        for seed in range(5):
+            _rounds, fired = symmetry_breaking_time(
+                TwoChoices(),
+                Configuration.singletons(n),
+                threshold,
+                rng=seed,
+                max_rounds=budget,
+                raise_on_limit=False,
+            )
+            assert not fired, (n, seed)
+
+    def test_three_majority_breaks_in_same_budget(self):
+        # The contrast that drives Theorem 1: 3-Majority smashes symmetry
+        # within the very budget 2-Choices provably cannot.
+        n = 4096
+        gamma = 3.0
+        threshold = max(2, int(math.ceil(gamma * math.log(n))))
+        budget = max(2, int(n / (gamma * threshold)))
+        for seed in range(5):
+            _rounds, fired = symmetry_breaking_time(
+                ThreeMajority(),
+                Configuration.singletons(n),
+                threshold,
+                rng=seed,
+                max_rounds=budget,
+                raise_on_limit=False,
+                backend="agent",
+            )
+            assert fired, seed
+
+    def test_bounded_support_start(self):
+        # Theorem 5 for ell > 1: start with max support ell, threshold 2*ell.
+        n, ell = 4096, 16
+        config = Configuration([ell] * (n // ell))
+        threshold = two_choices_threshold(ell, n, gamma=8.0)
+        budget = max(2, int(n / (8.0 * threshold)))
+        for seed in range(3):
+            _rounds, fired = symmetry_breaking_time(
+                TwoChoices(),
+                config,
+                threshold,
+                rng=seed,
+                max_rounds=budget,
+                raise_on_limit=False,
+            )
+            assert not fired
+
+    def test_birth_process_majorizes_true_support(self):
+        # The coupling step of the proof: P(t) >= c_i(t) while below ell'.
+        # We validate the stochastic comparison via means: the birth process
+        # mean ell + t*n*p dominates the measured support of any fixed color.
+        n = 1024
+        gamma = 4.0
+        upper = TwoChoicesBirthUpper(n=n, ell=1, gamma=gamma)
+        horizon = upper.round_budget
+        rng = np.random.default_rng(5)
+        process = TwoChoices()
+        colors = Configuration.singletons(n).to_assignment()
+        support_color_zero = [1]
+        for _ in range(horizon):
+            colors = process.update(colors, rng)
+            support_color_zero.append(int(np.sum(colors == 0)))
+        mean_birth = upper.ell + np.arange(horizon + 1) * n * upper.collision_probability
+        # The birth process mean plus slack dominates the observed path.
+        assert np.all(np.asarray(support_color_zero) <= mean_birth + 5 * np.sqrt(mean_birth) + 5)
+
+
+class TestTheorem1Separation:
+    """Polynomial gap between 2-Choices and 3-Majority from n colors."""
+
+    def test_ratio_grows_with_n(self):
+        ratios = []
+        for n in (512, 2048, 8192):
+            t2c = consensus_time(
+                TwoChoices(), Configuration.singletons(n), rng=5, max_rounds=10**6
+            )
+            t3m = consensus_time(
+                ThreeMajority(), Configuration.singletons(n), rng=5, backend="agent"
+            )
+            ratios.append(t2c / t3m)
+        assert ratios[0] < ratios[-1]
+        assert ratios[-1] > 10
+
+    def test_two_choices_near_linear_growth(self):
+        n_values = [512, 1024, 2048, 4096]
+        means = []
+        for n in n_values:
+            times = [
+                consensus_time(
+                    TwoChoices(), Configuration.singletons(n), rng=seed, max_rounds=10**6
+                )
+                for seed in range(3)
+            ]
+            means.append(np.mean(times))
+        fit = fit_power_law(np.asarray(n_values, dtype=float), np.asarray(means))
+        # Theorem 5 implies growth Omega(n / log n): exponent near 1.
+        assert fit.exponent > 0.7, fit.summary()
+
+
+class TestLemma2Domination:
+    """3-Majority's reduction times are dominated by Voter's."""
+
+    @pytest.mark.parametrize("kappa", [1, 4])
+    def test_reduction_time_cdf_dominance(self, kappa):
+        config = Configuration.singletons(128)
+        fast = repeat_first_passage(
+            ThreeMajority, config, ColorsAtMost(kappa), 60, rng=31, backend="counts"
+        )
+        slow = repeat_first_passage(
+            Voter, config, ColorsAtMost(kappa), 60, rng=32, backend="counts"
+        )
+        assert fast.mean() < slow.mean()
+        assert cdf_dominates(fast, slow, slack=0.12)
+        assert mann_whitney_less(fast, slow) < 1e-4
+
+
+class TestLemma3VoterReduction:
+    """Voter reaches <= k colors within the paper's O((n/k) log n)."""
+
+    def test_means_below_explicit_constant(self):
+        # E[T^k_V] = E[T^k_C] <= 20 n / k (Equation 19).
+        n = 512
+        for k in (2, 4, 8, 16, 32):
+            times = repeat_first_passage(
+                Voter, Configuration.singletons(n), ColorsAtMost(k), 15, rng=k
+            )
+            assert times.mean() < coalescence_expected_upper(n, k)
+
+    def test_scaling_in_k(self):
+        # Mean reduction time should scale roughly like n/k: halving with k.
+        n = 512
+        means = []
+        for k in (2, 8, 32):
+            times = repeat_first_passage(
+                Voter, Configuration.singletons(n), ColorsAtMost(k), 15, rng=100 + k
+            )
+            means.append(times.mean())
+        assert means[0] > 2.0 * means[1] > 2.0 * means[2]
+
+
+class TestLemma4Duality:
+    """T^k_V and T^k_C agree in distribution (coupled surely elsewhere)."""
+
+    def test_mean_reduction_times_match(self):
+        n, k, reps = 128, 8, 40
+        graph = CompleteGraph(n)
+        voter_times = repeat_first_passage(
+            Voter, Configuration.singletons(n), ColorsAtMost(k), reps, rng=77
+        )
+        walk_times = np.asarray(
+            [
+                coalescence_reduction_time(graph, k, np.random.default_rng(900 + s))
+                for s in range(reps)
+            ]
+        )
+        pooled_sem = math.sqrt(
+            voter_times.var() / reps + walk_times.var(ddof=1) / reps
+        )
+        assert abs(voter_times.mean() - walk_times.mean()) < 4 * pooled_sem + 1.0
+
+    def test_coalescence_mean_below_20n_over_k(self):
+        n = 256
+        graph = CompleteGraph(n)
+        for k in (4, 16):
+            times = [
+                coalescence_reduction_time(graph, k, np.random.default_rng(50 + s))
+                for s in range(15)
+            ]
+            assert np.mean(times) < coalescence_expected_upper(n, k)
+
+
+class TestBiasedRegime:
+    """§1.1: with a large bias, 2-Choices and 3-Majority are both fast and
+    converge to the majority color; Voter ignores the bias's speed value."""
+
+    def test_both_fast_and_correct_with_bias(self):
+        n, k = 1024, 2
+        bias = int(2 * math.sqrt(n * math.log(n)))
+        config = Configuration.biased(n, k, bias)
+        majority_color = int(np.argmax(config.counts_array()))
+        for process_cls in (TwoChoices, ThreeMajority):
+            wins = 0
+            total_rounds = 0
+            for seed in range(5):
+                result = run_agent(
+                    process_cls(), config, rng=seed, stop=Consensus(), max_rounds=20_000
+                )
+                total_rounds += result.rounds
+                if result.final.support(majority_color) == n:
+                    wins += 1
+            assert wins >= 4, process_cls.__name__
+            assert total_rounds / 5 < n  # decisively sublinear with bias
+
+    def test_voter_slower_than_drift_processes_with_bias(self):
+        n = 512
+        bias = int(2 * math.sqrt(n * math.log(n)))
+        bias += (n - bias) % 2  # parity so the exact bias is constructible
+        config = Configuration.biased(n, 2, bias)
+        voter_mean = repeat_first_passage(
+            Voter, config, Consensus(), 10, rng=3, backend="counts"
+        ).mean()
+        three_mean = repeat_first_passage(
+            ThreeMajority, config, Consensus(), 10, rng=4, backend="counts"
+        ).mean()
+        assert three_mean < voter_mean
+
+
+class TestUndecidedCollapse:
+    """§1.1: for k = n the Undecided dynamics die with constant probability."""
+
+    def test_collapse_happens_with_constant_probability(self):
+        n = 256
+        dead = 0
+        converged = 0
+        for seed in range(20):
+            process = UndecidedDynamics()
+            result = run_agent(
+                process,
+                Configuration.singletons(n),
+                rng=seed,
+                max_rounds=50_000,
+                raise_on_limit=False,
+            )
+            colors = result.final_colors
+            if process.is_dead(colors):
+                dead += 1
+            elif process.has_converged(colors):
+                converged += 1
+        # Both outcomes occur: collapse with constant probability, but not
+        # almost surely.
+        assert dead >= 2
+        assert converged >= 2
+
+    def test_three_majority_never_dies_from_singletons(self):
+        # The contrast: 3-Majority always ends on a valid color.
+        n = 256
+        for seed in range(5):
+            result = run_agent(
+                ThreeMajority(), Configuration.singletons(n), rng=seed
+            )
+            assert result.reached_consensus
+            assert result.final.max_support == n

@@ -1,0 +1,233 @@
+"""Unit + property tests for repro.core.majorization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.majorization import (
+    all_integer_partition_configs,
+    dalton_transfer_preserves,
+    doubly_stochastic_mix,
+    is_doubly_stochastic,
+    lorenz_curve,
+    majorization_gap,
+    majorizes,
+    random_doubly_stochastic,
+    robin_hood_chain,
+    schur_convex_violations,
+    sorted_desc,
+    standard_schur_convex_family,
+    strictly_majorizes,
+    t_transform,
+    top_j_sums,
+    weakly_submajorizes,
+)
+
+positive_vectors = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=1, max_size=8
+)
+
+
+class TestBasics:
+    def test_sorted_desc(self):
+        assert list(sorted_desc([1.0, 3.0, 2.0])) == [3.0, 2.0, 1.0]
+
+    def test_sorted_desc_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            sorted_desc(np.ones((2, 2)))
+
+    def test_top_j_sums(self):
+        assert list(top_j_sums([1, 3, 2])) == [3, 5, 6]
+
+    def test_majorizes_reflexive(self):
+        assert majorizes([3, 2, 1], [3, 2, 1])
+
+    def test_majorizes_classic(self):
+        assert majorizes([4, 0, 0], [2, 1, 1])
+        assert not majorizes([2, 1, 1], [4, 0, 0])
+
+    def test_majorizes_requires_equal_totals(self):
+        assert not majorizes([5, 0], [2, 2])
+
+    def test_majorizes_permutation_invariant(self):
+        assert majorizes([0, 4, 1], [1, 4, 0])
+        assert majorizes([1, 4, 0], [0, 4, 1])
+
+    def test_majorizes_zero_padding(self):
+        assert majorizes([3, 1], [2, 1, 1, 0])
+
+    def test_weak_submajorization_ignores_total(self):
+        assert weakly_submajorizes([5, 0], [2, 2])
+        assert not weakly_submajorizes([1, 1], [3, 0])
+
+    def test_strict(self):
+        assert strictly_majorizes([4, 0], [2, 2])
+        assert not strictly_majorizes([2, 2], [2, 2])
+        assert not strictly_majorizes([0, 2, 2], [2, 2, 0])
+
+    def test_gap_zero_when_majorizes(self):
+        assert majorization_gap([4, 0], [2, 2]) == 0.0
+
+    def test_gap_positive_when_fails(self):
+        gap = majorization_gap([2, 2], [4, 0])
+        assert gap == pytest.approx(2.0)
+
+    def test_lorenz_curve_monotone(self):
+        curve = lorenz_curve([1, 2, 3, 4])
+        assert np.all(np.diff(curve) >= 0)
+        assert curve[-1] == pytest.approx(1.0)
+
+    def test_lorenz_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            lorenz_curve([0.0, 0.0])
+
+
+class TestTTransform:
+    def test_basic_transfer(self):
+        out = t_transform([4.0, 0.0], 0, 1, 1.0)
+        assert list(out) == [3.0, 1.0]
+
+    def test_result_majorized(self):
+        x = [5.0, 3.0, 1.0]
+        y = t_transform(x, 0, 2, 1.5)
+        assert majorizes(x, y)
+
+    def test_rejects_same_index(self):
+        with pytest.raises(ValueError):
+            t_transform([1.0, 2.0], 1, 1, 0.1)
+
+    def test_rejects_wrong_direction(self):
+        with pytest.raises(ValueError):
+            t_transform([1.0, 2.0], 0, 1, 0.1)
+
+    def test_rejects_excessive_amount(self):
+        with pytest.raises(ValueError):
+            t_transform([4.0, 0.0], 0, 1, 3.0)
+
+    def test_robin_hood_chain_is_descending(self, rng):
+        chain = robin_hood_chain([8.0, 4.0, 2.0, 1.0], steps=6, rng=rng)
+        for upper, lower in zip(chain, chain[1:]):
+            assert majorizes(upper, lower, tol=1e-9)
+
+    def test_robin_hood_rejects_bad_fraction(self, rng):
+        with pytest.raises(ValueError):
+            robin_hood_chain([1.0, 2.0], steps=1, rng=rng, max_fraction=0.0)
+
+
+class TestDoublyStochastic:
+    def test_identity_is_doubly_stochastic(self):
+        assert is_doubly_stochastic(np.eye(3))
+
+    def test_random_matrix_valid(self, rng):
+        m = random_doubly_stochastic(5, rng)
+        assert is_doubly_stochastic(m)
+
+    def test_rejects_non_square(self):
+        assert not is_doubly_stochastic(np.ones((2, 3)) / 3)
+
+    def test_rejects_negative(self):
+        m = np.asarray([[1.5, -0.5], [-0.5, 1.5]])
+        assert not is_doubly_stochastic(m)
+
+    def test_mix_is_majorized(self, rng):
+        x = np.asarray([10.0, 5.0, 1.0, 0.0])
+        m = random_doubly_stochastic(4, rng)
+        y = doubly_stochastic_mix(x, m)
+        assert majorizes(x, y, tol=1e-9)
+
+    def test_mix_validates_matrix(self):
+        with pytest.raises(ValueError):
+            doubly_stochastic_mix([1.0, 2.0], np.asarray([[2.0, 0.0], [0.0, 0.0]]))
+
+    def test_mix_validates_shape(self, rng):
+        with pytest.raises(ValueError):
+            doubly_stochastic_mix([1.0, 2.0, 3.0], random_doubly_stochastic(2, rng))
+
+
+class TestSchurConvexFamily:
+    def test_family_members_are_schur_convex(self, rng):
+        for phi in standard_schur_convex_family(4):
+            assert schur_convex_violations(phi, 4, rng, trials=100) == 0
+
+    def test_violation_counter_catches_schur_concave(self, rng):
+        def entropy(x):
+            p = np.asarray(x) / np.asarray(x).sum()
+            nz = p[p > 0]
+            return float(-np.sum(nz * np.log(nz)))
+
+        # Entropy is Schur-concave: should produce violations.
+        assert schur_convex_violations(entropy, 4, rng, trials=200) > 0
+
+
+class TestDaltonConstructive:
+    def test_agrees_with_majorizes_positive(self):
+        assert dalton_transfer_preserves([4, 0, 0], [2, 1, 1])
+
+    def test_agrees_with_majorizes_negative(self):
+        assert not dalton_transfer_preserves([2, 1, 1], [4, 0, 0])
+
+    def test_unequal_totals(self):
+        assert not dalton_transfer_preserves([4, 0], [3, 0])
+
+    @given(positive_vectors, st.integers(min_value=0, max_value=4), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_prefix_criterion_on_chains(self, base, steps, seed):
+        rng = np.random.default_rng(seed)
+        chain = robin_hood_chain(base, steps=steps, rng=rng)
+        x, y = chain[0], chain[-1]
+        assert dalton_transfer_preserves(x, y) == majorizes(x, y)
+
+
+class TestPartitions:
+    def test_partitions_of_four(self):
+        parts = set(all_integer_partition_configs(4))
+        assert parts == {(4,), (3, 1), (2, 2), (2, 1, 1), (1, 1, 1, 1)}
+
+    def test_partition_count_matches_oeis(self):
+        # p(n) for n = 1..8: 1 1 2 3 5 7 11 15 22 (p(8)=22)
+        assert len(list(all_integer_partition_configs(8))) == 22
+
+    def test_max_parts_restriction(self):
+        parts = list(all_integer_partition_configs(5, max_parts=2))
+        assert all(len(p) <= 2 for p in parts)
+        assert (3, 2) in parts and (1, 1, 1, 1, 1) not in parts
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            list(all_integer_partition_configs(0))
+
+
+class TestHypothesisMajorization:
+    @given(positive_vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_reflexive(self, x):
+        assert majorizes(x, x)
+
+    @given(positive_vectors, st.integers(0, 2**31 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_transfer_chain_transitive(self, base, seed):
+        rng = np.random.default_rng(seed)
+        chain = robin_hood_chain(base, steps=3, rng=rng)
+        # Transitivity along the chain: first majorizes last.
+        assert majorizes(chain[0], chain[-1], tol=1e-8)
+
+    @given(positive_vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_sorted_and_original_equivalent(self, x):
+        assert majorizes(x, list(reversed(x)))
+        assert majorizes(list(reversed(x)), x)
+
+    @given(positive_vectors, positive_vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_antisymmetry_up_to_permutation(self, x, y):
+        if majorizes(x, y, tol=1e-12) and majorizes(y, x, tol=1e-12):
+            a = np.sort(np.pad(np.asarray(x, dtype=float), (0, max(0, len(y) - len(x)))))
+            b = np.sort(np.pad(np.asarray(y, dtype=float), (0, max(0, len(x) - len(y)))))
+            assert np.allclose(a, b, atol=1e-7)
+
+    @given(positive_vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_top_j_sums_superadditive_consistency(self, x):
+        sums = top_j_sums(x)
+        assert np.all(np.diff(sums) >= -1e-12)

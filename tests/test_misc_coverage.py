@@ -1,0 +1,138 @@
+"""Cross-cutting coverage: auto-backend dispatch, bound shapes, edge cases."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bcn16_consensus_upper,
+    bcn14_three_majority_biased_upper,
+    efk16_two_choices_biased_upper,
+    three_majority_consensus_upper,
+)
+from repro.core import Configuration
+from repro.engine import (
+    Consensus,
+    consensus_time,
+    repeat_first_passage,
+    run,
+)
+from repro.processes import HMajority, ThreeMajority, TwoChoices, Voter
+
+
+class TestAutoBackendDispatch:
+    def test_h_majority_wide_falls_back_to_agent(self):
+        # 5-majority from 64 singletons: exact alpha not enumerable, auto
+        # must pick the agent backend rather than crash.
+        result = run(HMajority(5), Configuration.singletons(64), rng=3, backend="auto")
+        assert result.backend == "agent"
+        assert result.reached_consensus
+
+    def test_h_majority_narrow_uses_counts(self):
+        result = run(HMajority(5), Configuration.balanced(64, 4), rng=3, backend="auto")
+        assert result.backend == "counts"
+        assert result.reached_consensus
+
+    def test_h_majority_backends_agree(self):
+        config = Configuration.balanced(60, 5)
+        counts_times = repeat_first_passage(
+            lambda: HMajority(4), config, Consensus(), 40, rng=1, backend="counts"
+        )
+        agent_times = repeat_first_passage(
+            lambda: HMajority(4), config, Consensus(), 40, rng=2, backend="agent"
+        )
+        pooled_sem = math.sqrt(
+            counts_times.var(ddof=1) / 40 + agent_times.var(ddof=1) / 40
+        )
+        assert abs(counts_times.mean() - agent_times.mean()) < 4 * pooled_sem + 1.0
+
+    def test_non_ac_always_agent_under_auto(self):
+        result = run(TwoChoices(), Configuration.balanced(32, 2), rng=0, backend="auto")
+        assert result.backend == "agent"
+
+
+class TestBoundShapes:
+    def test_bcn16_tracks_measured_small_k(self):
+        # [BCN+16] Thm 3.1 (used for Theorem 4's phase 2): consensus from
+        # k = o(n^{1/3}) colors must sit below the bound's scale with a
+        # modest constant.
+        n = 1000
+        for k in (2, 4, 8):
+            measured = repeat_first_passage(
+                ThreeMajority,
+                Configuration.balanced(n, k),
+                Consensus(),
+                10,
+                rng=k,
+                backend="counts",
+            ).mean()
+            assert measured < bcn16_consensus_upper(n, k)
+
+    def test_biased_bounds_sublinear(self):
+        n = 10**5
+        assert efk16_two_choices_biased_upper(n, 8) < n
+        assert bcn14_three_majority_biased_upper(n, 8) < n
+
+    def test_theorem4_bound_beats_bcn16_for_large_k(self):
+        # The point of Theorem 4: for k near n^{1/3} the old bound blows
+        # past the new unconditional one.
+        n = 10**6
+        k = int(n ** (1 / 3) / 2)
+        assert three_majority_consensus_upper(n) < bcn16_consensus_upper(n, k)
+
+
+class TestEngineEdgeCases:
+    def test_single_node_system(self):
+        assert consensus_time(Voter(), Configuration([1]), rng=0) == 0
+
+    def test_two_node_race(self):
+        t = consensus_time(Voter(), Configuration([1, 1]), rng=5)
+        assert t >= 1
+
+    def test_consensus_time_with_zero_slots_padding(self):
+        config = Configuration([5, 0, 5, 0])
+        t = consensus_time(ThreeMajority(), config, rng=1)
+        assert t >= 1
+
+    def test_run_counts_keeps_slot_width(self):
+        config = Configuration([3, 0, 3])
+        result = run(Voter(), config, rng=2, backend="counts")
+        assert result.final.num_slots == 3
+
+    def test_repeat_first_passage_independent_of_factory_state(self):
+        # Factories returning the same instance should still be safe for
+        # stateless processes.
+        shared = Voter()
+        times = repeat_first_passage(
+            lambda: shared, Configuration.balanced(20, 2), Consensus(), 5, rng=0
+        )
+        assert times.shape == (5,)
+
+
+class TestConfigurationEdges:
+    def test_biased_parity_message(self):
+        with pytest.raises(ValueError, match="parity"):
+            Configuration.biased(10, 2, bias=1)
+
+    def test_biased_full_bias(self):
+        c = Configuration.biased(10, 2, bias=10)
+        assert c.counts_array().max() == 10
+        assert c.bias == 10
+
+    def test_balanced_k_equals_n(self):
+        c = Configuration.balanced(7, 7)
+        assert c.max_support == 1
+
+    def test_monochromatic_with_padding(self):
+        c = Configuration.monochromatic(5, color=2, num_slots=6)
+        assert c.num_slots == 6
+        assert c.support(2) == 5
+
+    def test_canonical_idempotent(self):
+        c = Configuration([0, 3, 1, 0, 3])
+        assert c.canonical().canonical() == c.canonical()
+
+    def test_singletons_canonical_is_self(self):
+        c = Configuration.singletons(5)
+        assert c.canonical() == c

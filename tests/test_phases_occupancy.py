@@ -1,0 +1,96 @@
+"""Tests for the Theorem-4 phase decomposition and occupancy formulas."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PhaseBreakdown,
+    drift_slack_factor,
+    estimate_coalescence_drift,
+    expected_coalescence_drop,
+    expected_occupied_nodes,
+    measure_phases,
+    paper_drift_lower_bound,
+    phase1_target_colors,
+)
+from repro.graphs import CompleteGraph
+
+
+class TestOccupancy:
+    def test_occupied_single_throw(self):
+        assert expected_occupied_nodes(10, 1) == pytest.approx(1.0)
+
+    def test_occupied_zero_throws(self):
+        assert expected_occupied_nodes(10, 0) == 0.0
+
+    def test_occupied_monotone_in_x(self):
+        values = [expected_occupied_nodes(50, x) for x in (1, 5, 20, 50)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_occupied_bounded_by_both(self):
+        assert expected_occupied_nodes(50, 30) <= 30
+        assert expected_occupied_nodes(50, 100) <= 50
+
+    def test_drop_two_walks_exact(self):
+        # Two walks collide with probability 1/n.
+        assert expected_coalescence_drop(100, 2) == pytest.approx(1 / 100)
+
+    def test_drop_validates(self):
+        with pytest.raises(ValueError):
+            expected_coalescence_drop(10, 0)
+        with pytest.raises(ValueError):
+            expected_occupied_nodes(0, 1)
+
+    @pytest.mark.parametrize("n", [16, 100, 1000])
+    def test_paper_hypothesis_holds_everywhere(self, n):
+        # Equation (7): exact drop >= x^2/(10n) for every 2 <= x <= n.
+        for x in range(2, n + 1, max(1, n // 37)):
+            assert expected_coalescence_drop(n, x) >= paper_drift_lower_bound(n, x), x
+
+    def test_slack_factor_range(self):
+        # ~ x(x-1)/2n vs x^2/10n: factor in (1, 5] for x <= n.
+        for x in (2, 10, 50, 100):
+            factor = drift_slack_factor(100, x)
+            assert 1.0 <= factor <= 5.1, (x, factor)
+
+    def test_slack_validates(self):
+        with pytest.raises(ValueError):
+            drift_slack_factor(10, 0)
+
+    def test_matches_monte_carlo(self, rng):
+        n, x = 64, 12
+        drop, sem = estimate_coalescence_drift(CompleteGraph(n), x, 600, rng)
+        assert abs(drop - expected_coalescence_drop(n, x)) < 4 * sem + 0.02
+
+
+class TestPhases:
+    def test_breakdown_fields(self):
+        breakdown = measure_phases(256, rng=1)
+        assert isinstance(breakdown, PhaseBreakdown)
+        assert breakdown.boundary_colors == phase1_target_colors(256)
+        assert breakdown.total_rounds == breakdown.phase1_rounds + breakdown.phase2_rounds
+        assert 0.0 < breakdown.phase1_fraction <= 1.0
+
+    def test_phase1_is_voter_like(self):
+        # During phase 1 the collision probability ||x||^2 should be small
+        # on average: most nodes act exactly like Voter (footnote 6).
+        breakdown = measure_phases(1024, rng=2)
+        assert breakdown.phase1_mean_collision_probability < 0.35
+
+    def test_custom_boundary(self):
+        breakdown = measure_phases(128, rng=3, boundary=2)
+        assert breakdown.boundary_colors == 2
+
+    def test_deterministic_given_seed(self):
+        a = measure_phases(128, rng=9)
+        b = measure_phases(128, rng=9)
+        assert a == b
+
+    def test_round_limit_enforced(self):
+        with pytest.raises(RuntimeError):
+            measure_phases(128, rng=1, max_rounds=0)
+
+    def test_phase_rounds_scale(self):
+        small = measure_phases(128, rng=5)
+        large = measure_phases(2048, rng=5)
+        assert large.total_rounds > small.total_rounds

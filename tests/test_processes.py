@@ -1,0 +1,337 @@
+"""Unit tests for the agent-level processes (repro.processes)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Configuration
+from repro.processes import (
+    HMajority,
+    ThreeMajority,
+    ThreeMajorityResample,
+    TwoChoices,
+    TwoMedian,
+    UNDECIDED,
+    UndecidedDynamics,
+    Voter,
+    available_processes,
+    counts_from_colors,
+    make_process,
+    plurality_with_random_tie_break,
+    sample_uniform_nodes,
+)
+from repro.processes.two_choices import TwoChoicesBirthUpper, two_choices_expected_fractions
+
+
+class TestSampling:
+    def test_shape(self, rng):
+        out = sample_uniform_nodes(10, 3, rng)
+        assert out.shape == (10, 3)
+        assert out.min() >= 0 and out.max() < 10
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(ValueError):
+            sample_uniform_nodes(0, 1, rng)
+        with pytest.raises(ValueError):
+            sample_uniform_nodes(5, 0, rng)
+
+    def test_counts_from_colors(self):
+        assert list(counts_from_colors(np.asarray([0, 2, 2]), 4)) == [1, 0, 2, 0]
+
+
+class TestVoter:
+    def test_preserves_population(self, rng):
+        colors = np.arange(100)
+        out = Voter().update(colors, rng)
+        assert out.shape == (100,)
+        assert set(np.unique(out)).issubset(set(range(100)))
+
+    def test_consensus_absorbing(self, rng):
+        colors = np.full(50, 3)
+        out = Voter().update(colors, rng)
+        assert np.all(out == 3)
+
+    def test_does_not_mutate_input(self, rng):
+        colors = np.arange(20)
+        snapshot = colors.copy()
+        Voter().update(colors, rng)
+        assert np.array_equal(colors, snapshot)
+
+    def test_is_anonymous(self):
+        assert Voter().is_anonymous
+        assert Voter().samples_per_round == 1
+
+    def test_one_round_mean_matches_alpha(self, rng):
+        # Agent-level Voter one-round mean counts must track c (martingale).
+        config = Configuration([30, 10])
+        base = config.to_assignment()
+        acc = np.zeros(2)
+        reps = 3000
+        for _ in range(reps):
+            out = Voter().update(base, rng)
+            acc += counts_from_colors(out, 2)
+        assert acc / reps == pytest.approx([30, 10], abs=0.6)
+
+
+class TestTwoChoices:
+    def test_keep_branch(self, rng):
+        # With all-distinct colors, collisions are rare: most nodes keep.
+        colors = np.arange(1000)
+        out = TwoChoices().update(colors, rng)
+        assert np.mean(out == colors) > 0.99
+
+    def test_adopt_branch_two_colors(self, rng):
+        colors = np.asarray([0] * 50 + [1] * 50)
+        out = TwoChoices().update(colors, rng)
+        # Adoptions only to existing colors.
+        assert set(np.unique(out)).issubset({0, 1})
+
+    def test_not_anonymous(self):
+        assert not TwoChoices().is_anonymous
+
+    def test_consensus_absorbing(self, rng):
+        colors = np.zeros(64, dtype=np.int64)
+        out = TwoChoices().update(colors, rng)
+        assert np.all(out == 0)
+
+    def test_expected_fractions_footnote2(self):
+        x = np.asarray([0.5, 0.3, 0.2])
+        expected = two_choices_expected_fractions(x)
+        norm_sq = (x**2).sum()
+        assert expected == pytest.approx(x**2 + (1 - norm_sq) * x)
+        assert expected.sum() == pytest.approx(1.0)
+
+    def test_expected_next_fractions_method(self):
+        config = Configuration([5, 5])
+        expected = TwoChoices().expected_next_fractions(config)
+        assert expected == pytest.approx([0.5, 0.5])
+
+    def test_empirical_switch_rate(self, rng):
+        # From (n/2, n/2): each node switches iff both samples show the
+        # other color: probability 1/4.
+        n = 2000
+        colors = np.asarray([0] * (n // 2) + [1] * (n // 2))
+        switched = 0
+        reps = 50
+        for _ in range(reps):
+            out = TwoChoices().update(colors, rng)
+            switched += int(np.sum(out != colors))
+        assert switched / (reps * n) == pytest.approx(0.25, abs=0.01)
+
+
+class TestTwoChoicesBirthUpper:
+    def test_threshold_formula(self):
+        proc = TwoChoicesBirthUpper(n=1000, ell=1, gamma=18.0)
+        assert proc.ell_prime == int(np.ceil(18 * np.log(1000)))
+        proc2 = TwoChoicesBirthUpper(n=1000, ell=200, gamma=18.0)
+        assert proc2.ell_prime == 400
+
+    def test_collision_probability(self):
+        proc = TwoChoicesBirthUpper(n=100, ell=10)
+        assert proc.collision_probability == pytest.approx((proc.ell_prime / 100) ** 2)
+
+    def test_trajectory_monotone(self, rng):
+        proc = TwoChoicesBirthUpper(n=500, ell=1)
+        traj = proc.run(100, rng)
+        assert traj.shape == (101,)
+        assert traj[0] == 1
+        assert np.all(np.diff(traj) >= 0)
+
+    def test_first_passage_immediate_when_at_threshold(self, rng):
+        proc = TwoChoicesBirthUpper(n=100, ell=100, gamma=1.0)
+        # ell' = 200 > n is unreachable quickly, but ell >= ell'? no: 2*100=200.
+        assert proc.first_passage(rng, max_rounds=0) in (0, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwoChoicesBirthUpper(n=0, ell=0)
+        with pytest.raises(ValueError):
+            TwoChoicesBirthUpper(n=10, ell=11)
+        with pytest.raises(ValueError):
+            TwoChoicesBirthUpper(n=10, ell=1, gamma=0.0)
+        with pytest.raises(ValueError):
+            TwoChoicesBirthUpper(n=10, ell=1).run(-1, np.random.default_rng(0))
+
+
+class TestThreeMajority:
+    def test_majority_of_two_wins(self, rng):
+        # Two colors, one with 90%: strong drift to plurality.
+        colors = np.asarray([0] * 900 + [1] * 100)
+        out = ThreeMajority().update(colors, rng)
+        assert np.mean(out == 0) > 0.85
+
+    def test_consensus_absorbing(self, rng):
+        colors = np.full(30, 7)
+        assert np.all(ThreeMajority().update(colors, rng) == 7)
+
+    def test_variants_same_one_round_mean(self, rng):
+        # The plurality rule and the resample rule share Equation (2).
+        config = Configuration([12, 6, 2])
+        base = config.to_assignment()
+        reps = 4000
+        acc_a = np.zeros(3)
+        acc_b = np.zeros(3)
+        for _ in range(reps):
+            acc_a += counts_from_colors(ThreeMajority().update(base, rng), 3)
+            acc_b += counts_from_colors(ThreeMajorityResample().update(base, rng), 3)
+        assert acc_a / reps == pytest.approx(acc_b / reps, abs=0.5)
+
+    def test_one_round_mean_matches_equation_2(self, rng):
+        config = Configuration([12, 6, 2])
+        base = config.to_assignment()
+        alpha = ThreeMajority().adoption_probabilities(config)
+        reps = 4000
+        acc = np.zeros(3)
+        for _ in range(reps):
+            acc += counts_from_colors(ThreeMajority().update(base, rng), 3)
+        assert acc / reps == pytest.approx(20 * alpha, abs=0.5)
+
+
+class TestHMajority:
+    def test_tie_break_uniform(self, rng):
+        samples = np.asarray([[0, 1, 2]] * 9000)
+        out = plurality_with_random_tie_break(samples, rng)
+        for color in (0, 1, 2):
+            assert np.mean(out == color) == pytest.approx(1 / 3, abs=0.02)
+
+    def test_clear_plurality(self, rng):
+        samples = np.asarray([[3, 3, 1, 2, 3]] * 10)
+        out = plurality_with_random_tie_break(samples, rng)
+        assert np.all(out == 3)
+
+    def test_two_way_tie(self, rng):
+        samples = np.asarray([[1, 1, 2, 2, 5]] * 6000)
+        out = plurality_with_random_tie_break(samples, rng)
+        assert np.mean(out == 1) == pytest.approx(0.5, abs=0.03)
+        assert np.mean(out == 5) == 0.0
+
+    def test_single_sample(self, rng):
+        samples = np.asarray([[4], [2]])
+        assert list(plurality_with_random_tie_break(samples, rng)) == [4, 2]
+
+    def test_rejects_one_dimensional(self, rng):
+        with pytest.raises(ValueError):
+            plurality_with_random_tie_break(np.asarray([1, 2, 3]), rng)
+
+    def test_h1_h2_match_voter_mean(self, rng):
+        config = Configuration([15, 5])
+        base = config.to_assignment()
+        reps = 3000
+        for h in (1, 2):
+            acc = np.zeros(2)
+            proc = HMajority(h)
+            for _ in range(reps):
+                acc += counts_from_colors(proc.update(base, rng), 2)
+            assert acc / reps == pytest.approx([15, 5], abs=0.5)
+
+    def test_h3_matches_three_majority_mean(self, rng):
+        config = Configuration([12, 8])
+        base = config.to_assignment()
+        alpha = ThreeMajority().adoption_probabilities(config)
+        reps = 4000
+        acc = np.zeros(2)
+        proc = HMajority(3)
+        for _ in range(reps):
+            acc += counts_from_colors(proc.update(base, rng), 2)
+        assert acc / reps == pytest.approx(20 * alpha, abs=0.5)
+
+    def test_supports_count_backend_logic(self):
+        wide = Configuration.singletons(64)
+        narrow = Configuration.balanced(64, 4)
+        proc = HMajority(5)
+        assert not proc.supports_count_backend(wide)
+        assert proc.supports_count_backend(narrow)
+        assert HMajority(2).supports_count_backend(wide)
+
+    def test_rejects_bad_h(self):
+        with pytest.raises(ValueError):
+            HMajority(0)
+
+
+class TestTwoMedian:
+    def test_median_of_three(self, rng):
+        # All nodes value 0 except one with 100: medians stay in range.
+        colors = np.zeros(100, dtype=np.int64)
+        colors[0] = 100
+        out = TwoMedian().update(colors, rng)
+        assert out.min() >= 0 and out.max() <= 100
+
+    def test_consensus_absorbing(self, rng):
+        colors = np.full(30, 9)
+        assert np.all(TwoMedian().update(colors, rng) == 9)
+
+    def test_values_between_extremes(self, rng):
+        colors = np.asarray([0] * 50 + [10] * 50)
+        out = TwoMedian().update(colors, rng)
+        assert set(np.unique(out)).issubset({0, 10})
+
+    def test_not_anonymous(self):
+        assert not TwoMedian().is_anonymous
+
+    def test_converges_fast_from_many_values(self, rng):
+        from repro.engine import consensus_time
+
+        t = consensus_time(TwoMedian(), Configuration.singletons(256), rng=rng)
+        # O(log k log log n + log n): tiny compared to n.
+        assert t < 64
+
+
+class TestUndecided:
+    def test_conflict_creates_undecided(self, rng):
+        colors = np.asarray([0, 1] * 200)
+        out = UndecidedDynamics().update(colors, rng)
+        assert np.any(out == UNDECIDED)
+
+    def test_undecided_adopts(self, rng):
+        colors = np.full(100, UNDECIDED)
+        colors[0] = 5
+        proc = UndecidedDynamics()
+        out = proc.update(colors, rng)
+        # Node 0 keeps its color (samples either 5-color or undecided;
+        # sampling undecided keeps... actually node 0 adopting undecided is
+        # possible only if it samples an undecided node AND is undecided
+        # itself; decided nodes seeing undecided keep their color.
+        assert out[0] == 5
+
+    def test_dead_state_detection(self):
+        assert UndecidedDynamics.is_dead(np.full(10, UNDECIDED))
+        assert not UndecidedDynamics.is_dead(np.asarray([UNDECIDED, 3]))
+
+    def test_undecided_fraction(self):
+        colors = np.asarray([UNDECIDED, 1, UNDECIDED, 2])
+        assert UndecidedDynamics.undecided_fraction(colors) == pytest.approx(0.5)
+
+    def test_has_converged_requires_real_color(self):
+        proc = UndecidedDynamics()
+        assert proc.has_converged(np.full(5, 2))
+        assert not proc.has_converged(np.asarray([2, UNDECIDED, 2, 2, 2]))
+
+    def test_configuration_projection_tracks_undecided(self):
+        proc = UndecidedDynamics()
+        colors = np.asarray([0, UNDECIDED, 1, UNDECIDED])
+        config = proc.configuration_of(colors, num_slots=2)
+        assert config.num_nodes == 4
+        assert config.counts == (1, 1, 2)
+
+
+class TestRegistry:
+    def test_round_trip_names(self):
+        for name in ("voter", "2-choices", "3-majority", "2-median", "undecided-dynamics"):
+            proc = make_process(name)
+            assert proc.name == name
+
+    def test_h_majority_scheme(self):
+        proc = make_process("h-majority:5")
+        assert isinstance(proc, HMajority)
+        assert proc.h == 5
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_process("4-choices")
+
+    def test_available_lists_scheme(self):
+        names = available_processes()
+        assert "voter" in names
+        assert "h-majority:<h>" in names
+
+    def test_fresh_instances(self):
+        assert make_process("voter") is not make_process("voter")

@@ -1,0 +1,144 @@
+"""Property-based tests (hypothesis): the AC-framework's order theory.
+
+Quantified versions of the paper's structural facts:
+
+* Lemma 2's condition on random comparable pairs (beyond the exhaustive
+  small-n check): ``c ⪰ c̃ ⇒ α^{3M}(c) ⪰ α^{V}(c̃)``;
+* the certificate/LP consistency of Definition 3 and Theorem 3 on random
+  comparable pairs of one-step laws;
+* drift monotonicity: the top-color mass of ``α^{3M}`` is monotone along
+  majorization chains (Schur-convexity of the top-prefix composed with
+  the process function on sorted configurations);
+* the exact chain respects the multinomial one-step law.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Configuration
+from repro.core.ac_process import HMajorityFunction, ThreeMajorityFunction, VoterFunction
+from repro.core.coupling import (
+    one_step_distribution,
+    stochastic_majorization_certificate,
+    strassen_coupling,
+)
+from repro.core.dominance import lemma2_margin
+from repro.core.majorization import majorizes, top_j_sums
+
+count_vectors = st.lists(st.integers(min_value=0, max_value=12), min_size=2, max_size=6).filter(
+    lambda c: sum(c) >= 2
+)
+
+
+@st.composite
+def comparable_pair(draw):
+    """A random pair ``upper ⪰ lower`` with equal totals.
+
+    ``lower`` is produced from ``upper`` by random integer Robin-Hood
+    transfers, which generate the majorization order on integer vectors.
+    """
+    upper = np.asarray(draw(count_vectors), dtype=np.int64)
+    lower = upper.copy()
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        order = np.argsort(lower)
+        i = int(order[-1])
+        j = int(order[0])
+        if lower[i] - lower[j] >= 2:
+            lower[i] -= 1
+            lower[j] += 1
+    return upper, lower
+
+
+class TestLemma2Property:
+    @given(pair=comparable_pair())
+    @settings(max_examples=150, deadline=None)
+    def test_three_majority_dominates_voter(self, pair):
+        upper, lower = pair
+        assert majorizes(upper.astype(float), lower.astype(float))
+        alpha_upper = ThreeMajorityFunction().probabilities(upper)
+        alpha_lower = VoterFunction().probabilities(lower)
+        assert majorizes(alpha_upper, alpha_lower, tol=1e-10)
+
+    @given(pair=comparable_pair())
+    @settings(max_examples=100, deadline=None)
+    def test_margin_formula_nonnegative(self, pair):
+        upper, lower = pair
+        margin = lemma2_margin(Configuration(upper), Configuration(lower))
+        assert np.all(margin >= -1e-12)
+
+    @given(counts=count_vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_diagonal_case(self, counts):
+        # The c = c̃ special case: α^{3M}(c) ⪰ α^V(c) = c/n always.
+        arr = np.asarray(counts, dtype=np.int64)
+        alpha = ThreeMajorityFunction().probabilities(arr)
+        assert majorizes(alpha, arr / arr.sum(), tol=1e-10)
+
+
+class TestSchurDriftProperty:
+    @given(counts=count_vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_top_prefixes_of_drift_dominate_voter(self, counts):
+        # Prefix sums of sorted α^{3M} dominate those of sorted fractions.
+        arr = np.asarray(counts, dtype=np.int64)
+        drift_prefix = top_j_sums(ThreeMajorityFunction().probabilities(arr))
+        voter_prefix = top_j_sums(arr / arr.sum())
+        assert np.all(drift_prefix >= voter_prefix - 1e-10)
+
+    @given(counts=count_vectors, h=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_h_majority_alpha_valid(self, counts, h):
+        arr = np.asarray(counts, dtype=np.int64)
+        alpha = HMajorityFunction(h).probabilities(arr)
+        assert alpha.sum() == pytest.approx(1.0)
+        assert np.all(alpha >= 0)
+        assert np.all(alpha[arr == 0] == 0)
+
+
+small_count_vectors = st.lists(
+    st.integers(min_value=0, max_value=4), min_size=2, max_size=3
+).filter(lambda c: 2 <= sum(c) <= 7)
+
+
+@st.composite
+def small_comparable_pair(draw):
+    """Like :func:`comparable_pair` but sized for exact law enumeration."""
+    upper = np.asarray(draw(small_count_vectors), dtype=np.int64)
+    lower = upper.copy()
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        order = np.argsort(lower)
+        i = int(order[-1])
+        j = int(order[0])
+        if lower[i] - lower[j] >= 2:
+            lower[i] -= 1
+            lower[j] += 1
+    return upper, lower
+
+
+class TestCouplingProperty:
+    @given(pair=small_comparable_pair())
+    @settings(max_examples=12, deadline=None)
+    def test_certificate_and_lp_consistent(self, pair):
+        upper_arr, lower_arr = pair
+        upper = one_step_distribution(ThreeMajorityFunction(), Configuration(upper_arr))
+        lower = one_step_distribution(VoterFunction(), Configuration(lower_arr))
+        certificate, _ = stochastic_majorization_certificate(lower, upper)
+        lp = strassen_coupling(lower=lower, upper=upper)
+        # Theorem 3: LP feasible ⇔ ≤st; certificate is necessary for ≤st.
+        if lp.feasible:
+            assert certificate
+            assert lp.verify()
+        # And for these dominating pairs (Lemma 1) the LP must be feasible.
+        assert lp.feasible
+
+    @given(counts=small_count_vectors)
+    @settings(max_examples=12, deadline=None)
+    def test_one_step_distribution_is_multinomial(self, counts):
+        arr = np.asarray(counts, dtype=np.int64)
+        config = Configuration(arr)
+        dist = one_step_distribution(VoterFunction(), config)
+        assert sum(dist.probabilities) == pytest.approx(1.0)
+        expectation = dist.expectation()
+        assert expectation == pytest.approx(arr.astype(float), abs=1e-9)

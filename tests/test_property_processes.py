@@ -1,0 +1,208 @@
+"""Property-based tests (hypothesis): invariants of every process.
+
+Each property is quantified over random configurations and seeds:
+
+* population conservation — no process creates or destroys nodes;
+* no spontaneous colors — a color with zero support stays at zero (the
+  adversary-free processes cannot invent colors);
+* consensus absorption — a monochromatic state is a fixed point;
+* AC semantics agreement — for AC-processes, the agent-level one-round
+  law and the count-level multinomial have the same support behaviour
+  and the same expectation ``n·α(c)`` (checked via seeds-average);
+* anonymity — relabelling colors commutes with the dynamics for the
+  color-symmetric processes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Configuration
+from repro.processes import (
+    HMajority,
+    ThreeMajority,
+    ThreeMajorityResample,
+    TwoChoices,
+    TwoMedian,
+    UNDECIDED,
+    UndecidedDynamics,
+    Voter,
+    counts_from_colors,
+)
+
+ALL_PROCESSES = [
+    Voter,
+    TwoChoices,
+    ThreeMajority,
+    ThreeMajorityResample,
+    lambda: HMajority(4),
+    lambda: HMajority(5),
+    TwoMedian,
+    UndecidedDynamics,
+]
+
+COLOR_SYMMETRIC = [
+    Voter,
+    TwoChoices,
+    ThreeMajority,
+    ThreeMajorityResample,
+    lambda: HMajority(4),
+]
+
+configurations = st.lists(
+    st.integers(min_value=0, max_value=25), min_size=2, max_size=8
+).filter(lambda counts: sum(counts) >= 2)
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@st.composite
+def config_and_seed(draw):
+    counts = draw(configurations)
+    seed = draw(seeds)
+    return Configuration(counts), np.random.default_rng(seed)
+
+
+class TestUniversalInvariants:
+    @pytest.mark.parametrize("factory", ALL_PROCESSES)
+    @given(data=config_and_seed())
+    @settings(max_examples=30, deadline=None)
+    def test_population_conserved(self, factory, data):
+        config, rng = data
+        process = factory()
+        colors = process.initial_colors(config)
+        out = process.update(colors, rng)
+        assert out.shape == colors.shape
+
+    @pytest.mark.parametrize("factory", ALL_PROCESSES)
+    @given(data=config_and_seed())
+    @settings(max_examples=30, deadline=None)
+    def test_no_spontaneous_colors(self, factory, data):
+        config, rng = data
+        process = factory()
+        colors = process.initial_colors(config)
+        existing = set(np.unique(colors))
+        out = process.update(colors, rng)
+        assert set(np.unique(out)).issubset(existing | {UNDECIDED})
+
+    @pytest.mark.parametrize("factory", ALL_PROCESSES)
+    @given(seed=seeds, n=st.integers(min_value=2, max_value=40))
+    @settings(max_examples=25, deadline=None)
+    def test_consensus_absorbing(self, factory, seed, n):
+        process = factory()
+        rng = np.random.default_rng(seed)
+        colors = np.full(n, 3, dtype=np.int64)
+        out = process.update(colors, rng)
+        assert np.all(out == 3)
+
+    @pytest.mark.parametrize("factory", ALL_PROCESSES)
+    @given(data=config_and_seed())
+    @settings(max_examples=20, deadline=None)
+    def test_input_not_mutated(self, factory, data):
+        config, rng = data
+        process = factory()
+        colors = process.initial_colors(config)
+        snapshot = colors.copy()
+        process.update(colors, rng)
+        assert np.array_equal(colors, snapshot)
+
+
+class TestColorRelabelling:
+    @pytest.mark.parametrize("factory", COLOR_SYMMETRIC)
+    @given(data=config_and_seed(), offset=st.integers(min_value=1, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_anonymity_under_relabelling(self, factory, data, offset):
+        # Shifting all color ids by a constant and running with the same
+        # seed must produce the shifted outcome: color ids carry no
+        # semantics for the symmetric processes.
+        config, _ = data
+        seed_rng_a = np.random.default_rng(7)
+        seed_rng_b = np.random.default_rng(7)
+        process = factory()
+        colors = config.to_assignment()
+        out_plain = process.update(colors, seed_rng_a)
+        out_shifted = process.update(colors + offset, seed_rng_b)
+        assert np.array_equal(out_plain + offset, out_shifted)
+
+
+class TestACSemanticsAgreement:
+    @given(data=config_and_seed())
+    @settings(max_examples=15, deadline=None)
+    def test_agent_mean_tracks_alpha_three_majority(self, data):
+        config, rng = data
+        process = ThreeMajority()
+        alpha = process.adoption_probabilities(config)
+        colors = config.to_assignment()
+        reps = 400
+        acc = np.zeros(config.num_slots)
+        for _ in range(reps):
+            acc += counts_from_colors(process.update(colors, rng), config.num_slots)
+        mean = acc / reps
+        n = config.num_nodes
+        sigma = np.sqrt(n * alpha * (1 - alpha))
+        tolerance = 5 * sigma / np.sqrt(reps) + 0.35
+        assert np.all(np.abs(mean - n * alpha) <= tolerance)
+
+    @given(data=config_and_seed())
+    @settings(max_examples=15, deadline=None)
+    def test_count_step_preserves_population(self, data):
+        config, rng = data
+        for process in (Voter(), ThreeMajority()):
+            out = process.step_counts(config.counts_array(), rng)
+            assert out.sum() == config.num_nodes
+            assert np.all(out >= 0)
+
+    @given(data=config_and_seed())
+    @settings(max_examples=15, deadline=None)
+    def test_count_step_no_revival(self, data):
+        config, rng = data
+        counts = config.counts_array()
+        for process in (Voter(), ThreeMajority()):
+            out = process.step_counts(counts, rng)
+            assert np.all(out[counts == 0] == 0)
+
+
+class TestTwoMedianOrderProperties:
+    @given(data=config_and_seed())
+    @settings(max_examples=25, deadline=None)
+    def test_values_stay_in_hull(self, data):
+        # 2-Median can only produce values between the current min and max.
+        config, rng = data
+        process = TwoMedian()
+        colors = config.to_assignment()
+        out = process.update(colors, rng)
+        assert out.min() >= colors.min()
+        assert out.max() <= colors.max()
+
+    @given(data=config_and_seed(), shift=st.integers(min_value=-30, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_translation_equivariance(self, data, shift):
+        # Medians commute with order-preserving shifts.
+        config, _ = data
+        process = TwoMedian()
+        colors = config.to_assignment()
+        out_a = process.update(colors, np.random.default_rng(3))
+        out_b = process.update(colors + shift, np.random.default_rng(3))
+        assert np.array_equal(out_a + shift, out_b)
+
+
+class TestUndecidedProperties:
+    @given(data=config_and_seed())
+    @settings(max_examples=25, deadline=None)
+    def test_undecided_count_monotone_under_conflict_free(self, data):
+        # If all nodes share one color, nobody ever becomes undecided.
+        config, rng = data
+        n = config.num_nodes
+        colors = np.zeros(n, dtype=np.int64)
+        process = UndecidedDynamics()
+        out = process.update(colors, rng)
+        assert not np.any(out == UNDECIDED)
+
+    @given(seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_all_undecided_absorbing(self, seed):
+        rng = np.random.default_rng(seed)
+        colors = np.full(20, UNDECIDED, dtype=np.int64)
+        out = UndecidedDynamics().update(colors, rng)
+        assert UndecidedDynamics.is_dead(out)

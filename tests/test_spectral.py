@@ -1,0 +1,115 @@
+"""Tests for the spectral toolbox (repro.analysis.spectral)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bgkmt16_consensus_scale,
+    ceor13_coalescence_scale,
+    spectral_profile,
+    transition_matrix,
+)
+from repro.coalescing import coalescence_reduction_time
+from repro.graphs import CompleteGraph, CycleGraph, random_regular_graph
+
+
+class TestTransitionMatrix:
+    def test_rows_stochastic_all_graphs(self, rng):
+        graphs = [
+            CompleteGraph(8),
+            CompleteGraph(8, include_self=False),
+            CycleGraph(9),
+            random_regular_graph(10, 3, rng),
+        ]
+        for graph in graphs:
+            matrix = transition_matrix(graph)
+            assert matrix.shape == (graph.num_nodes, graph.num_nodes)
+            assert matrix.sum(axis=1) == pytest.approx(np.ones(graph.num_nodes))
+
+    def test_complete_with_self_uniform(self):
+        matrix = transition_matrix(CompleteGraph(5))
+        assert matrix == pytest.approx(np.full((5, 5), 0.2))
+
+    def test_complete_without_self_zero_diagonal(self):
+        matrix = transition_matrix(CompleteGraph(5, include_self=False))
+        assert np.diag(matrix) == pytest.approx(np.zeros(5))
+
+    def test_cycle_structure(self):
+        matrix = transition_matrix(CycleGraph(6))
+        assert matrix[0, 1] == 0.5 and matrix[0, 5] == 0.5
+        assert matrix[0, 2] == 0.0
+
+    def test_unsupported_graph(self):
+        class Weird:
+            num_nodes = 3
+
+        with pytest.raises(TypeError):
+            transition_matrix(Weird())
+
+
+class TestSpectralProfile:
+    def test_complete_with_self_gap_one(self):
+        profile = spectral_profile(CompleteGraph(16))
+        # Uniform matrix: λ₂ = 0, gap 1.
+        assert profile.spectral_gap == pytest.approx(1.0)
+        assert profile.rho == pytest.approx(16.0)
+
+    def test_complete_without_self(self):
+        n = 16
+        profile = spectral_profile(CompleteGraph(n, include_self=False))
+        # K_n walk: λ₂ = −1/(n−1); second-largest REAL eigenvalue.
+        assert profile.lambda_2 == pytest.approx(-1 / (n - 1), abs=1e-9)
+
+    def test_cycle_gap_formula(self):
+        n = 17
+        profile = spectral_profile(CycleGraph(n))
+        expected_lambda2 = math.cos(2 * math.pi / n)
+        assert profile.lambda_2 == pytest.approx(expected_lambda2, abs=1e-9)
+
+    def test_regular_rho_equals_n(self, rng):
+        graph = random_regular_graph(12, 4, rng)
+        profile = spectral_profile(graph)
+        # Regular graphs: rho = (d n)^2 / (n d^2) = n.
+        assert profile.rho == pytest.approx(12.0)
+
+    def test_cheeger_sandwich(self, rng):
+        for graph in (CompleteGraph(10), CycleGraph(11), random_regular_graph(12, 3, rng)):
+            profile = spectral_profile(graph)
+            assert 0 <= profile.cheeger_lower <= profile.cheeger_upper
+
+
+class TestRelatedWorkScales:
+    def test_complete_graph_scale_near_polylog(self):
+        # CEOR13 on K_n: gap 1, rho = n → scale ≈ n + log^4 n.
+        n = 64
+        scale = ceor13_coalescence_scale(CompleteGraph(n))
+        assert n <= scale <= n + math.log(n) ** 4 + 1
+
+    def test_cycle_scale_quadratic_growth(self):
+        small = ceor13_coalescence_scale(CycleGraph(17))
+        large = ceor13_coalescence_scale(CycleGraph(67))
+        # Gap of the cycle is Θ(1/n²): the scale grows super-linearly.
+        assert large > 8 * small
+
+    def test_bgkmt16_finite_for_connected(self, rng):
+        for graph in (CompleteGraph(12), random_regular_graph(12, 3, rng)):
+            assert math.isfinite(bgkmt16_consensus_scale(graph))
+
+    def test_measured_coalescence_below_ceor13_scale(self):
+        # The bound has an unspecified constant; with constant 1 it should
+        # comfortably dominate the measured time on these families.
+        for graph in (CompleteGraph(48), CycleGraph(25)):
+            times = [
+                coalescence_reduction_time(graph, 1, np.random.default_rng(s), max_steps=10**6)
+                for s in range(5)
+            ]
+            assert np.mean(times) < ceor13_coalescence_scale(graph)
+
+    def test_ordering_complete_faster_than_cycle(self):
+        # Same n: the cycle's scale must far exceed the complete graph's.
+        n = 33
+        assert ceor13_coalescence_scale(CycleGraph(n)) > 5 * ceor13_coalescence_scale(
+            CompleteGraph(n)
+        )

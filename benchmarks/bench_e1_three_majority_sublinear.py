@@ -35,7 +35,10 @@ def _run_sweep():
         repetitions=REPETITIONS,
         seed=SEED,
         predicted=three_majority_consensus_upper,
-        backend="agent",
+        # Lock-step vectorized replicas; auto picks the agent-level matrix
+        # for the wide singleton configurations and the exact count-level
+        # chain where the slot count allows it.
+        backend="ensemble-auto",
     )
 
 

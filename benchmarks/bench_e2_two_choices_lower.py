@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.analysis import fit_power_law_with_log_correction
 from repro.core import Configuration
-from repro.engine import symmetry_breaking_time
+from repro.engine import MaxSupportAbove, run_ensemble
 from repro.experiments import Table
 from repro.processes import ThreeMajority, TwoChoices
 
@@ -27,7 +27,7 @@ from conftest import emit
 
 GAMMA = 3.0
 N_VALUES = [1024, 2048, 4096, 8192]
-SEEDS = range(5)
+REPLICAS = 5
 
 
 def _budget_table():
@@ -42,29 +42,28 @@ def _budget_table():
     for n in N_VALUES:
         threshold = max(2, int(math.ceil(GAMMA * math.log(n))))
         budget = max(2, int(n / (GAMMA * threshold)))
-        broke_2c = 0
-        broke_3m = 0
-        for seed in SEEDS:
-            _r, fired = symmetry_breaking_time(
-                TwoChoices(),
-                Configuration.singletons(n),
-                threshold,
-                rng=seed,
-                max_rounds=budget,
-                raise_on_limit=False,
-            )
-            broke_2c += int(fired)
-            _r, fired = symmetry_breaking_time(
-                ThreeMajority(),
-                Configuration.singletons(n),
-                threshold,
-                rng=seed,
-                max_rounds=budget,
-                raise_on_limit=False,
-                backend="agent",
-            )
-            broke_3m += int(fired)
-        table.add_row(n, threshold, budget, f"{broke_2c}/{len(SEEDS)}", f"{broke_3m}/{len(SEEDS)}")
+        result_2c = run_ensemble(
+            TwoChoices(),
+            Configuration.singletons(n),
+            REPLICAS,
+            rng=n,
+            stop=MaxSupportAbove(threshold),
+            max_rounds=budget,
+            raise_on_limit=False,
+        )
+        result_3m = run_ensemble(
+            ThreeMajority(),
+            Configuration.singletons(n),
+            REPLICAS,
+            rng=n,
+            stop=MaxSupportAbove(threshold),
+            max_rounds=budget,
+            raise_on_limit=False,
+            backend="agent",
+        )
+        broke_2c = int(result_2c.stopped.sum())
+        broke_3m = int(result_3m.stopped.sum())
+        table.add_row(n, threshold, budget, f"{broke_2c}/{REPLICAS}", f"{broke_3m}/{REPLICAS}")
         outcomes.append((broke_2c, broke_3m))
     return table, outcomes
 
@@ -77,19 +76,17 @@ def _scaling_series():
     means = []
     for n in N_VALUES:
         threshold = max(2, int(math.ceil(GAMMA * math.log(n))))
-        rounds = []
-        for seed in SEEDS:
-            r, fired = symmetry_breaking_time(
-                TwoChoices(),
-                Configuration.singletons(n),
-                threshold,
-                rng=1000 + seed,
-                max_rounds=50 * n,
-                raise_on_limit=False,
-            )
-            assert fired, "raise the horizon"
-            rounds.append(r)
-        mean = float(np.mean(rounds))
+        result = run_ensemble(
+            TwoChoices(),
+            Configuration.singletons(n),
+            REPLICAS,
+            rng=1000 + n,
+            stop=MaxSupportAbove(threshold),
+            max_rounds=50 * n,
+            raise_on_limit=False,
+        )
+        assert result.all_stopped, "raise the horizon"
+        mean = float(result.times.mean())
         means.append(mean)
         table.add_row(n, mean, n / math.log(n))
     fit = fit_power_law_with_log_correction(
@@ -111,7 +108,7 @@ def bench_e2_two_choices_lower(benchmark):
     total_2c = sum(b for b, _ in outcomes)
     total_3m = sum(b for _, b in outcomes)
     assert total_2c <= 1, f"2-Choices broke symmetry {total_2c} times"
-    assert total_3m >= len(N_VALUES) * len(SEEDS) - 1
+    assert total_3m >= len(N_VALUES) * REPLICAS - 1
     # Growth compatible with Omega(n / log n): exponent near 1 after
     # dividing out the 1/log n.
     assert fit.exponent > 0.75, fit.summary()

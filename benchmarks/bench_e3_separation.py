@@ -13,38 +13,36 @@ import numpy as np
 
 from repro.analysis import fit_power_law
 from repro.core import Configuration
-from repro.engine import consensus_time
+from repro.engine import Consensus, repeat_first_passage
 from repro.experiments import Table
 from repro.processes import ThreeMajority, TwoChoices
 
 from conftest import emit
 
 N_VALUES = [512, 1024, 2048, 4096, 8192]
-SEEDS = range(3)
+REPLICAS = 3
 
 
 def _measure():
     rows = []
     for n in N_VALUES:
-        t2c = np.mean(
-            [
-                consensus_time(
-                    TwoChoices(), Configuration.singletons(n), rng=seed, max_rounds=10**7
-                )
-                for seed in SEEDS
-            ]
-        )
-        t3m = np.mean(
-            [
-                consensus_time(
-                    ThreeMajority(),
-                    Configuration.singletons(n),
-                    rng=seed,
-                    backend="agent",
-                )
-                for seed in SEEDS
-            ]
-        )
+        t2c = repeat_first_passage(
+            lambda: TwoChoices(),
+            Configuration.singletons(n),
+            Consensus(),
+            REPLICAS,
+            rng=n,
+            max_rounds=10**7,
+            backend="ensemble-auto",
+        ).mean()
+        t3m = repeat_first_passage(
+            lambda: ThreeMajority(),
+            Configuration.singletons(n),
+            Consensus(),
+            REPLICAS,
+            rng=n,
+            backend="ensemble-auto",
+        ).mean()
         rows.append((n, float(t2c), float(t3m), float(t2c / t3m)))
     return rows
 

@@ -1,0 +1,174 @@
+"""Engine throughput: sequential vs vectorized-ensemble ``repeat_first_passage``.
+
+The reproducible speedup benchmark behind the ensemble engine.  The
+headline scenario is the one the repo's perf target names — 3-Majority on
+the exact count-level chain, ``n = 10⁴``, ``k = 2`` balanced, ``R = 100``
+replicas — timed through ``repeat_first_passage`` on both paths:
+
+* ``backend="counts"`` — the sequential reference: one run per replica,
+  each paying per-round Python and small-array overhead;
+* ``backend="ensemble-counts"`` — all replicas lock-step in one
+  ``(R, k)`` matrix, one broadcast multinomial per round.
+
+A second scenario covers the agent-level matrix path (2-Choices, which
+has no count-level chain).  The report also re-checks correctness: with
+``rng_mode="per-replica"`` the ensemble engine must reproduce the
+sequential first-passage samples bit-for-bit.
+
+Run as a script to (re)generate ``BENCH_engine.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py [--smoke]
+
+``--smoke`` shrinks the scenarios to a ≤30 s sanity check (used by tier-1
+via ``tests/test_bench_engine_smoke.py`` and ``scripts/check.sh``) and
+does not overwrite the committed full-size report unless asked to.
+"""
+
+import argparse
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core import Configuration
+from repro.engine import Consensus, repeat_first_passage, run_counts_ensemble
+from repro.processes import ThreeMajority, TwoChoices
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+FULL_SCENARIOS = [
+    # (label, process factory, initial, repetitions, sequential backend, ensemble backend)
+    {
+        "label": "3-majority counts n=10^4 k=2 R=100",
+        "factory": ThreeMajority,
+        "initial": lambda: Configuration.balanced(10_000, 2),
+        "repetitions": 100,
+        "sequential": "counts",
+        "ensemble": "ensemble-counts",
+    },
+    {
+        "label": "2-choices agent n=2048 k=8 R=50",
+        "factory": TwoChoices,
+        "initial": lambda: Configuration.biased(2048, 8, 64),
+        "repetitions": 50,
+        "sequential": "agent",
+        "ensemble": "ensemble-agent",
+    },
+]
+
+SMOKE_SCENARIOS = [
+    {
+        "label": "3-majority counts n=2000 k=2 R=30 (smoke)",
+        "factory": ThreeMajority,
+        "initial": lambda: Configuration.balanced(2000, 2),
+        "repetitions": 30,
+        "sequential": "counts",
+        "ensemble": "ensemble-counts",
+    },
+]
+
+SEED = 20170725  # PODC'17 presentation date
+
+
+def _time_backend(scenario, backend: str) -> "tuple[float, np.ndarray]":
+    factory = scenario["factory"]
+    initial = scenario["initial"]()
+    # One warm-up replica keeps allocator/JIT-free numpy setup noise out of
+    # the measured section.
+    repeat_first_passage(
+        lambda: factory(), initial, Consensus(), 1, rng=SEED, backend=backend
+    )
+    start = time.perf_counter()
+    times = repeat_first_passage(
+        lambda: factory(),
+        initial,
+        Consensus(),
+        scenario["repetitions"],
+        rng=SEED,
+        backend=backend,
+    )
+    return time.perf_counter() - start, times
+
+
+def _exactness_check(scenario) -> bool:
+    """Per-replica ensemble must equal the sequential counts samples."""
+    factory = scenario["factory"]
+    initial = scenario["initial"]()
+    repetitions = min(scenario["repetitions"], 25)
+    sequential = repeat_first_passage(
+        lambda: factory(), initial, Consensus(), repetitions, rng=SEED, backend="counts"
+    )
+    ensemble = run_counts_ensemble(
+        factory(), initial, repetitions, rng=SEED, rng_mode="per-replica"
+    )
+    return bool(np.array_equal(sequential, ensemble.times))
+
+
+def run_benchmark(smoke: bool = False, output: "pathlib.Path | None" = None) -> dict:
+    """Measure every scenario and (optionally) write the JSON report."""
+    scenarios = SMOKE_SCENARIOS if smoke else FULL_SCENARIOS
+    report = {"mode": "smoke" if smoke else "full", "seed": SEED, "scenarios": []}
+    for scenario in scenarios:
+        seq_seconds, seq_times = _time_backend(scenario, scenario["sequential"])
+        ens_seconds, ens_times = _time_backend(scenario, scenario["ensemble"])
+        entry = {
+            "label": scenario["label"],
+            "repetitions": scenario["repetitions"],
+            "sequential_backend": scenario["sequential"],
+            "ensemble_backend": scenario["ensemble"],
+            "sequential_seconds": round(seq_seconds, 4),
+            "ensemble_seconds": round(ens_seconds, 4),
+            "speedup": round(seq_seconds / ens_seconds, 2),
+            "sequential_mean_rounds": round(float(seq_times.mean()), 2),
+            "ensemble_mean_rounds": round(float(ens_times.mean()), 2),
+        }
+        if scenario["sequential"] == "counts":
+            entry["per_replica_rng_exact_match"] = _exactness_check(scenario)
+        report["scenarios"].append(entry)
+        print(
+            f"{entry['label']}: sequential {entry['sequential_seconds']}s, "
+            f"ensemble {entry['ensemble_seconds']}s -> {entry['speedup']}x"
+        )
+    if output is not None:
+        output = pathlib.Path(output)
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report written to {output}")
+    return report
+
+
+def bench_engine_throughput(benchmark):
+    """pytest-benchmark entry point (full scenarios, asserts the target)."""
+    report = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    headline = report["scenarios"][0]
+    assert headline["speedup"] >= 10.0, headline
+    assert headline["per_replica_rng_exact_match"], headline
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="≤30 s sanity mode")
+    parser.add_argument(
+        "--output",
+        default=None,
+        help=f"report path (default: {DEFAULT_OUTPUT} in full mode, none in smoke)",
+    )
+    args = parser.parse_args()
+    output = args.output
+    if output is None and not args.smoke:
+        output = DEFAULT_OUTPUT
+    report = run_benchmark(smoke=args.smoke, output=output)
+    headline = report["scenarios"][0]
+    floor = 2.0 if args.smoke else 10.0
+    if headline["speedup"] < floor:
+        print(f"FAIL: speedup {headline['speedup']}x below the {floor}x target")
+        return 1
+    if headline.get("per_replica_rng_exact_match") is False:
+        print("FAIL: per-replica ensemble diverged from the sequential samples")
+        return 1
+    print(f"OK: {headline['speedup']}x (target {floor}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# One-command verification: tier-1 test-suite + engine-throughput smoke.
+#
+#   scripts/check.sh            # everything
+#   scripts/check.sh -k engine  # extra args forwarded to pytest
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m pytest -x -q "$@"
+python benchmarks/bench_engine_throughput.py --smoke

@@ -66,6 +66,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--repetitions", "-r", type=int, default=3)
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--output", "-o", default=None, help="save raw sweep JSON here")
+    sweep.add_argument(
+        "--backend",
+        default="ensemble-auto",
+        choices=["auto", "agent", "counts", "ensemble-auto", "ensemble-agent", "ensemble-counts"],
+        help=(
+            "execution strategy: ensemble-* runs all repetitions lock-step "
+            "in one array (default: ensemble-auto); auto/agent/counts is "
+            "the sequential reference path"
+        ),
+    )
 
     sub.add_parser("counterexample", help="print the Appendix-B 7/12 report")
     return parser
@@ -124,6 +134,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         predicted=three_majority_consensus_upper,
         max_rounds=lambda n: 10**7,
+        backend=args.backend,
     )
     print(result.to_table(predicted_label="Thm-4 scale").render())
     if args.output:

@@ -32,6 +32,7 @@ __all__ = [
     "HMajorityFunction",
     "PowerDriftFunction",
     "multinomial_step",
+    "multinomial_step_batch",
     "expected_next_counts",
 ]
 
@@ -72,6 +73,32 @@ class ACProcessFunction(abc.ABC):
         """One exact synchronous round on a :class:`Configuration`."""
         return Configuration(self.step_counts(config.counts_array(), rng))
 
+    def probabilities_batch(self, counts: np.ndarray) -> np.ndarray:
+        """``α`` applied row-wise to an ``(R, k)`` counts matrix.
+
+        The base implementation loops :meth:`probabilities` over the rows,
+        so every process function works in the ensemble engine day one;
+        closed-form functions override with a fully vectorized version.
+        """
+        counts = np.asarray(counts)
+        return np.stack(
+            [self.probabilities(counts[r]) for r in range(counts.shape[0])]
+        )
+
+    def step_counts_batch(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One exact round for a whole ensemble of count vectors.
+
+        ``counts`` is an ``(R, k)`` matrix of independent replicas; the
+        result is one ``Mult(n_r, α(c_r))`` draw per row, all taken from the
+        single shared ``rng`` stream (replicas stay independent because each
+        row's draw uses fresh variates).
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        alpha = self.probabilities_batch(counts)
+        return multinomial_step_batch(counts.sum(axis=1), alpha, rng)
+
     def expected_next(self, config: Configuration) -> np.ndarray:
         """The exact expectation ``E[P(c)] = n · α(c)`` (a real vector)."""
         return expected_next_counts(config.counts_array(), self)
@@ -102,6 +129,24 @@ def multinomial_step(n: int, alpha: np.ndarray, rng: np.random.Generator) -> np.
     return rng.multinomial(n, alpha / total).astype(np.int64)
 
 
+def multinomial_step_batch(
+    n: "int | np.ndarray", alpha: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Row-wise ``Mult(n_r, alpha_r)`` draws in one broadcast call.
+
+    ``alpha`` is ``(R, k)``; ``n`` is a scalar or an ``(R,)`` vector of
+    population sizes.  Uses :meth:`numpy.random.Generator.multinomial`
+    broadcasting (last axis = probabilities), so the whole ensemble costs a
+    single call regardless of ``R``.
+    """
+    alpha = np.asarray(alpha, dtype=float)
+    alpha = np.clip(alpha, 0.0, None)
+    totals = alpha.sum(axis=-1, keepdims=True)
+    if np.any(totals <= 0):
+        raise ValueError("adoption probabilities sum to zero")
+    return rng.multinomial(n, alpha / totals).astype(np.int64)
+
+
 def expected_next_counts(counts: np.ndarray, process: "ACProcessFunction") -> np.ndarray:
     """Exact one-step expected counts ``n · α(c)`` for an AC-process."""
     counts = np.asarray(counts, dtype=np.int64)
@@ -122,6 +167,10 @@ class VoterFunction(ACProcessFunction):
     def probabilities(self, counts: np.ndarray) -> np.ndarray:
         counts = np.asarray(counts, dtype=float)
         return counts / counts.sum()
+
+    def probabilities_batch(self, counts: np.ndarray) -> np.ndarray:
+        counts = np.asarray(counts, dtype=float)
+        return counts / counts.sum(axis=-1, keepdims=True)
 
 
 class ThreeMajorityFunction(ACProcessFunction):
@@ -147,6 +196,13 @@ class ThreeMajorityFunction(ACProcessFunction):
         # The closed form sums to exactly 1 analytically; renormalise away
         # floating-point dust so downstream multinomials stay happy.
         return alpha / alpha.sum()
+
+    def probabilities_batch(self, counts: np.ndarray) -> np.ndarray:
+        x = np.asarray(counts, dtype=float)
+        x = x / x.sum(axis=-1, keepdims=True)
+        norm_sq = np.sum(x * x, axis=-1, keepdims=True)
+        alpha = x * (1.0 + x - norm_sq)
+        return alpha / alpha.sum(axis=-1, keepdims=True)
 
 
 class HMajorityFunction(ACProcessFunction):
@@ -245,6 +301,15 @@ class PowerDriftFunction(ACProcessFunction):
         if total <= 0:
             raise ValueError("degenerate configuration for power drift")
         return powered / total
+
+    def probabilities_batch(self, counts: np.ndarray) -> np.ndarray:
+        x = np.asarray(counts, dtype=float)
+        x = x / x.sum(axis=-1, keepdims=True)
+        powered = np.where(x > 0, x**self.beta, 0.0)
+        totals = powered.sum(axis=-1, keepdims=True)
+        if np.any(totals <= 0):
+            raise ValueError("degenerate configuration for power drift")
+        return powered / totals
 
 
 def adoption_matrix_over_rounds(

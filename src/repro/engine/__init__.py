@@ -6,10 +6,18 @@
 * :mod:`repro.engine.stopping` — stopping conditions (consensus, ``T^κ``,
   symmetry breaking);
 * :mod:`repro.engine.metrics` — per-round trajectory metrics;
-* :mod:`repro.engine.batch` — repetitions, summaries, CDF dominance.
+* :mod:`repro.engine.batch` — repetitions, summaries, CDF dominance;
+* :mod:`repro.engine.ensemble` — vectorized lock-step simulation of a
+  whole ensemble of replicas (the fast path for repeated measurements).
 """
 
 from .asynchronous import AsyncResult, run_asynchronous, ticks_to_round_equivalents
+from .ensemble import (
+    EnsembleResult,
+    run_agent_ensemble,
+    run_counts_ensemble,
+    run_ensemble,
+)
 from .batch import (
     BatchSummary,
     cdf_dominates,
@@ -48,6 +56,7 @@ __all__ = [
     "BiasAtLeast",
     "ColorsAtMost",
     "Consensus",
+    "EnsembleResult",
     "METRICS",
     "MaxSupportAbove",
     "MetricRecorder",
@@ -65,7 +74,10 @@ __all__ = [
     "repeat_first_passage",
     "run",
     "run_agent",
+    "run_agent_ensemble",
     "run_counts",
+    "run_counts_ensemble",
+    "run_ensemble",
     "spawn_generators",
     "summarize",
     "symmetry_breaking_time",

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..core.configuration import Configuration
 from ..processes.base import AgentProcess
+from .ensemble import run_ensemble
 from .rng import RandomSource, spawn_generators
 from .simulator import run
 from .stopping import StoppingCondition
@@ -87,14 +88,43 @@ def repeat_first_passage(
     rng: RandomSource,
     max_rounds: "int | None" = None,
     backend: str = "auto",
+    rng_mode: str = "batched",
 ) -> np.ndarray:
     """Sample the first-passage time of ``stop`` over independent runs.
 
-    ``process_factory`` builds a fresh process per run so that processes
-    with mutable internals stay independent across repetitions.
+    ``backend`` picks the execution strategy:
+
+    * ``"auto"`` / ``"agent"`` / ``"counts"`` — the sequential path: one
+      :func:`repro.engine.simulator.run` per repetition, each with its own
+      spawned child generator.
+    * ``"ensemble-auto"`` / ``"ensemble-agent"`` / ``"ensemble-counts"`` —
+      the vectorized lock-step path (:mod:`repro.engine.ensemble`): all
+      replicas advance in one array, which is ~an-order-of-magnitude
+      faster at production replica counts.  ``rng_mode`` is forwarded to
+      the ensemble engine; ``"per-replica"`` reproduces the sequential
+      samples bit-for-bit on the count-level backend, ``"batched"``
+      (default) is fastest and statistically equivalent.
+
+    On the sequential path ``process_factory`` builds a fresh process per
+    run so that processes with mutable internals stay independent across
+    repetitions; the ensemble path builds one process and requires it to
+    be safe to share across lock-step replicas (true for all built-ins,
+    which keep no per-run state).
     """
     if repetitions < 1:
         raise ValueError("repetitions must be positive")
+    if backend.startswith("ensemble-"):
+        result = run_ensemble(
+            process_factory(),
+            initial,
+            repetitions,
+            rng=rng,
+            stop=stop,
+            max_rounds=max_rounds,
+            backend=backend[len("ensemble-"):],
+            rng_mode=rng_mode,
+        )
+        return result.times
     generators = spawn_generators(rng, repetitions)
     times = np.empty(repetitions, dtype=np.int64)
     for i, generator in enumerate(generators):
@@ -129,11 +159,14 @@ def cdf_dominates(
     True iff ``P[T_fast ≤ t] ≥ P[T_slow ≤ t] − slack`` at every observed
     time ``t``.  ``slack`` absorbs Monte-Carlo noise; the benchmarks report
     the worst violation alongside the verdict.
+
+    Both empirical CDFs are evaluated on the merged grid with a single
+    ``searchsorted`` per sample array (the grid is sorted, so one binary
+    search batch covers every grid point).
     """
-    cdf_fast = empirical_cdf(fast_samples)
-    cdf_slow = empirical_cdf(slow_samples)
-    grid = np.unique(np.concatenate([fast_samples, slow_samples]))
-    for t in grid:
-        if cdf_fast(float(t)) < cdf_slow(float(t)) - slack:
-            return False
-    return True
+    fast = np.sort(np.asarray(fast_samples, dtype=float))
+    slow = np.sort(np.asarray(slow_samples, dtype=float))
+    grid = np.unique(np.concatenate([fast, slow]))
+    cdf_fast = np.searchsorted(fast, grid, side="right") / fast.size
+    cdf_slow = np.searchsorted(slow, grid, side="right") / slow.size
+    return bool(np.all(cdf_fast >= cdf_slow - slack))

@@ -1,0 +1,338 @@
+"""Vectorized ensemble engine: all replicas advance lock-step in one array.
+
+The paper's statements are about *distributions* of first-passage times,
+so every benchmark repeats a run over tens-to-hundreds of independent
+replicas.  The sequential path (:func:`repro.engine.simulator.run` looped
+by :func:`repro.engine.batch.repeat_first_passage`) pays Python-call and
+tiny-numpy overhead once per replica per round; this module amortises it
+across the whole ensemble:
+
+* **count-level** (:func:`run_counts_ensemble`) — an ``(R, k)`` counts
+  matrix advanced by a row-wise ``α`` (vectorized for the closed-form
+  process functions) and a single broadcast multinomial draw per round.
+* **agent-level** (:func:`run_agent_ensemble`) — an ``(R, n)`` color
+  matrix advanced by the process's batched ``update_ensemble`` rule
+  (3-Majority, 2-Choices, Voter, …); processes without a vectorized rule
+  fall back to a per-replica loop, so every process works day one.
+
+Per-replica stopping masks (:meth:`StoppingCondition.satisfied_ensemble`)
+record each replica's first-passage round, and finished replicas are
+*compacted out* of the active matrix so they stop paying for rounds.
+
+RNG regimes
+-----------
+``rng_mode="batched"`` (default) draws all replicas' randomness from one
+shared stream — fastest, statistically equivalent (each row consumes
+fresh variates).  ``rng_mode="per-replica"`` spawns one child generator
+per replica exactly like :func:`repeat_first_passage` does, and consumes
+each stream exactly as the sequential backend would: on the count-level
+backend the resulting first-passage samples are *bit-identical* to the
+sequential ones (one ``Mult(n, α(c))`` draw per replica per active
+round), which the test-suite verifies.  The same guarantee holds for the
+agent-level per-replica loop, since each replica's ``update`` sees the
+same generator state sequence as a sequential run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.configuration import Configuration
+from ..processes.base import ACAgentProcess, AgentProcess
+from .rng import RandomSource, as_generator, spawn_generators
+from .simulator import (
+    RoundLimitExceeded,
+    default_round_limit,
+    prefers_counts_backend,
+)
+from .stopping import Consensus, StoppingCondition
+
+__all__ = [
+    "EnsembleResult",
+    "run_ensemble",
+    "run_agent_ensemble",
+    "run_counts_ensemble",
+]
+
+_RNG_MODES = ("batched", "per-replica")
+
+
+@dataclass
+class EnsembleResult:
+    """Outcome of one lock-step ensemble run of ``R`` replicas."""
+
+    process_name: str
+    #: ``(R,)`` first-passage round per replica (the round limit where a
+    #: replica never stopped and ``raise_on_limit`` was off).
+    times: np.ndarray
+    #: ``(R,)`` boolean mask — did the stopping condition fire?
+    stopped: np.ndarray
+    #: ``(R, k)`` counts matrix at each replica's stopping round.
+    final_counts: np.ndarray
+    backend: str
+    stop_label: str
+    #: RNG regime that actually ran — a ``"batched"`` request downgrades to
+    #: ``"per-replica"`` for processes without a vectorized ensemble rule.
+    rng_mode: str
+
+    @property
+    def repetitions(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def all_stopped(self) -> bool:
+        return bool(np.all(self.stopped))
+
+    def finals(self) -> "list[Configuration]":
+        """The stopping configurations as :class:`Configuration` objects."""
+        return [Configuration(row) for row in self.final_counts]
+
+
+def _check_args(repetitions: int, rng_mode: str) -> None:
+    if repetitions < 1:
+        raise ValueError("repetitions must be positive")
+    if rng_mode not in _RNG_MODES:
+        raise ValueError(f"unknown rng_mode {rng_mode!r}; pick one of {_RNG_MODES}")
+
+
+def _finalize(
+    process: AgentProcess,
+    condition: StoppingCondition,
+    backend: str,
+    rng_mode: str,
+    times: np.ndarray,
+    stopped: np.ndarray,
+    final_counts: np.ndarray,
+    limit: int,
+    raise_on_limit: bool,
+) -> EnsembleResult:
+    if raise_on_limit and not np.all(stopped):
+        raise RoundLimitExceeded(process.name, limit, condition.label)
+    return EnsembleResult(
+        process_name=process.name,
+        times=times,
+        stopped=stopped,
+        final_counts=final_counts,
+        backend=backend,
+        stop_label=condition.label,
+        rng_mode=rng_mode,
+    )
+
+
+def _retire(
+    mask: np.ndarray,
+    active: np.ndarray,
+    rounds: int,
+    counts_matrix: np.ndarray,
+    times: np.ndarray,
+    stopped: np.ndarray,
+    final_counts: np.ndarray,
+) -> np.ndarray:
+    """Record finished replicas and return the surviving active indices."""
+    done = active[mask]
+    times[done] = rounds
+    stopped[done] = True
+    final_counts[done] = counts_matrix[mask]
+    return active[~mask]
+
+
+def run_counts_ensemble(
+    process: "ACAgentProcess",
+    initial: Configuration,
+    repetitions: int,
+    rng: RandomSource = None,
+    stop: "StoppingCondition | None" = None,
+    max_rounds: "int | None" = None,
+    rng_mode: str = "batched",
+    raise_on_limit: bool = True,
+) -> EnsembleResult:
+    """Exact count-level chain for ``R`` replicas lock-step (AC-processes).
+
+    Every replica starts from ``initial`` and performs one ``Mult(n, α(c))``
+    transition per round; with ``rng_mode="batched"`` the whole ensemble's
+    draws happen in a single broadcast multinomial call per round.
+    """
+    if not isinstance(process, ACAgentProcess):
+        raise TypeError(
+            f"count-level simulation requires an AC-process; {process.name} is not one"
+        )
+    _check_args(repetitions, rng_mode)
+    condition = stop if stop is not None else Consensus()
+    limit = max_rounds if max_rounds is not None else default_round_limit(initial.num_nodes)
+
+    counts = np.tile(initial.counts_array(), (repetitions, 1))
+    times = np.zeros(repetitions, dtype=np.int64)
+    stopped = np.zeros(repetitions, dtype=bool)
+    final_counts = counts.copy()
+    active = np.arange(repetitions)
+
+    if rng_mode == "per-replica":
+        generators = spawn_generators(rng, repetitions)
+        master = None
+    else:
+        generators = None
+        master = as_generator(rng)
+
+    mask = condition.satisfied_ensemble(counts)
+    active = _retire(mask, active, 0, counts, times, stopped, final_counts)
+    counts = counts[~mask]
+
+    rounds = 0
+    while active.size and rounds < limit:
+        if master is not None:
+            counts = process.step_counts_ensemble(counts, master)
+        else:
+            for row, replica in enumerate(active):
+                counts[row] = process.step_counts(counts[row], generators[replica])
+        rounds += 1
+        mask = condition.satisfied_ensemble(counts)
+        if mask.any():
+            active = _retire(mask, active, rounds, counts, times, stopped, final_counts)
+            counts = counts[~mask]
+    if active.size:
+        times[active] = rounds
+        final_counts[active] = counts
+    return _finalize(
+        process, condition, "counts", rng_mode, times, stopped, final_counts,
+        limit, raise_on_limit,
+    )
+
+
+def _counts_matrix_fast(colors: np.ndarray, num_slots: int) -> np.ndarray:
+    """Row-wise bincount of an ``(R, n)`` color matrix in one pass."""
+    reps = colors.shape[0]
+    offsets = (np.arange(reps, dtype=np.int64) * num_slots)[:, None]
+    flat = (colors.astype(np.int64, copy=False) + offsets).ravel()
+    return np.bincount(flat, minlength=reps * num_slots).reshape(reps, num_slots)
+
+
+def _counts_matrix(
+    process: AgentProcess, colors: np.ndarray, num_slots: int, projected: bool
+) -> np.ndarray:
+    """Per-replica counts, honouring process-specific projections."""
+    if not projected:
+        return _counts_matrix_fast(colors, num_slots)
+    return np.stack(
+        [
+            process.configuration_of(colors[r], num_slots).counts_array()
+            for r in range(colors.shape[0])
+        ]
+    )
+
+
+def run_agent_ensemble(
+    process: AgentProcess,
+    initial: Configuration,
+    repetitions: int,
+    rng: RandomSource = None,
+    stop: "StoppingCondition | None" = None,
+    max_rounds: "int | None" = None,
+    rng_mode: str = "batched",
+    raise_on_limit: bool = True,
+) -> EnsembleResult:
+    """Agent-level simulation of ``R`` replicas as one ``(R, n)`` matrix.
+
+    Processes with a vectorized :meth:`AgentProcess.update_ensemble`
+    advance all replicas per round in a handful of array operations; other
+    processes fall back to a per-replica ``update`` loop (still sharing
+    the stopping-mask and compaction machinery).  ``rng_mode="per-replica"``
+    forces the loop with spawned child generators, reproducing sequential
+    runs exactly for *any* process.
+    """
+    _check_args(repetitions, rng_mode)
+    condition = stop if stop is not None else Consensus()
+    limit = max_rounds if max_rounds is not None else default_round_limit(initial.num_nodes)
+    num_slots = initial.num_slots
+    projected = type(process).configuration_of is not AgentProcess.configuration_of
+
+    batched = process.has_vectorized_ensemble and rng_mode == "batched"
+    if batched:
+        generators = None
+        master = as_generator(rng)
+    else:
+        # Processes without a vectorized rule always take per-replica
+        # streams; report the mode that actually ran.
+        rng_mode = "per-replica"
+        generators = spawn_generators(rng, repetitions)
+        master = None
+
+    colors = np.tile(process.initial_colors(initial), (repetitions, 1))
+    counts = _counts_matrix(process, colors, num_slots, projected)
+    times = np.zeros(repetitions, dtype=np.int64)
+    stopped = np.zeros(repetitions, dtype=bool)
+    final_counts = counts.copy()
+    active = np.arange(repetitions)
+
+    mask = condition.satisfied_ensemble(counts)
+    active = _retire(mask, active, 0, counts, times, stopped, final_counts)
+    colors = colors[~mask]
+    counts = counts[~mask]
+
+    rounds = 0
+    while active.size and rounds < limit:
+        if batched:
+            colors = process.update_ensemble(colors, master)
+        else:
+            for row, replica in enumerate(active):
+                colors[row] = process.update(colors[row], generators[replica])
+        rounds += 1
+        counts = _counts_matrix(process, colors, num_slots, projected)
+        mask = condition.satisfied_ensemble(counts)
+        if mask.any():
+            active = _retire(mask, active, rounds, counts, times, stopped, final_counts)
+            colors = colors[~mask]
+            counts = counts[~mask]
+    if active.size:
+        times[active] = rounds
+        final_counts[active] = counts
+    return _finalize(
+        process, condition, "agent", rng_mode, times, stopped, final_counts,
+        limit, raise_on_limit,
+    )
+
+
+def run_ensemble(
+    process: AgentProcess,
+    initial: Configuration,
+    repetitions: int,
+    rng: RandomSource = None,
+    stop: "StoppingCondition | None" = None,
+    max_rounds: "int | None" = None,
+    backend: str = "auto",
+    rng_mode: str = "batched",
+    raise_on_limit: bool = True,
+) -> EnsembleResult:
+    """Simulate ``R`` independent replicas of ``process`` lock-step.
+
+    ``backend`` is ``"auto"``, ``"agent"`` or ``"counts"``, with the same
+    dispatch rule as the sequential :func:`repro.engine.simulator.run`:
+    auto prefers the exact count-level chain for AC-processes with a
+    moderate slot count, else the agent-level matrix.
+    """
+    if prefers_counts_backend(process, initial, backend):
+        if isinstance(process, ACAgentProcess):
+            return run_counts_ensemble(
+                process,
+                initial,
+                repetitions,
+                rng=rng,
+                stop=stop,
+                max_rounds=max_rounds,
+                rng_mode=rng_mode,
+                raise_on_limit=raise_on_limit,
+            )
+        raise TypeError(
+            f"{process.name} is not an AC-process; use the agent backend"
+        )
+    return run_agent_ensemble(
+        process,
+        initial,
+        repetitions,
+        rng=rng,
+        stop=stop,
+        max_rounds=max_rounds,
+        rng_mode=rng_mode,
+        raise_on_limit=raise_on_limit,
+    )

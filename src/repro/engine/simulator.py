@@ -15,6 +15,21 @@ count-level chain whenever the process allows it and the slot count is
 moderate), and the first-passage helpers :func:`consensus_time`,
 :func:`reduction_time` and :func:`symmetry_breaking_time` express the
 paper's three target quantities directly.
+
+Backend dispatch across the engine:
+
+* ``"agent"`` — faithful for every process; cost ``O(n)`` array work per
+  round per replica.  The only choice for non-AC processes and for AC
+  configurations wider than ``_COUNT_BACKEND_SLOT_LIMIT`` slots.
+* ``"counts"`` — exact and far cheaper when the slot count is small
+  (``O(k)`` per round); AC-processes only.
+* ensemble variants (:mod:`repro.engine.ensemble`) — the same two
+  semantics but advancing *all repetitions lock-step in one array*; wins
+  whenever a measurement repeats runs (benchmarks, sweeps, CDFs), which
+  is nearly always.  :func:`repro.engine.batch.repeat_first_passage`
+  exposes them as ``backend="ensemble-auto"`` / ``"ensemble-agent"`` /
+  ``"ensemble-counts"``; the sequential path remains the reference for
+  exactness cross-checks.
 """
 
 from __future__ import annotations
@@ -36,6 +51,7 @@ __all__ = [
     "run",
     "run_agent",
     "run_counts",
+    "prefers_counts_backend",
     "consensus_time",
     "reduction_time",
     "symmetry_breaking_time",
@@ -96,6 +112,25 @@ def default_round_limit(n: int) -> int:
 
 def _resolve_stop(stop: "StoppingCondition | None") -> StoppingCondition:
     return stop if stop is not None else Consensus()
+
+
+def prefers_counts_backend(
+    process: AgentProcess, initial: Configuration, backend: str
+) -> bool:
+    """The shared backend-dispatch rule of :func:`run` and the ensemble engine.
+
+    ``backend`` must be ``"auto"``, ``"agent"`` or ``"counts"``.  True when
+    the exact count-level chain should be used: forced by ``"counts"``, or
+    chosen by ``"auto"`` for AC-processes with a moderate slot count.
+    """
+    if backend not in ("auto", "agent", "counts"):
+        raise ValueError(f"unknown backend {backend!r}")
+    return backend == "counts" or (
+        backend == "auto"
+        and isinstance(process, ACAgentProcess)
+        and initial.num_slots <= _COUNT_BACKEND_SLOT_LIMIT
+        and process.supports_count_backend(initial)
+    )
 
 
 def run_agent(
@@ -202,14 +237,7 @@ def run(
     picks the exact count-level chain for AC-processes with a moderate slot
     count, else the agent-level backend.
     """
-    if backend not in ("auto", "agent", "counts"):
-        raise ValueError(f"unknown backend {backend!r}")
-    if backend == "counts" or (
-        backend == "auto"
-        and isinstance(process, ACAgentProcess)
-        and initial.num_slots <= _COUNT_BACKEND_SLOT_LIMIT
-        and process.supports_count_backend(initial)
-    ):
+    if prefers_counts_backend(process, initial, backend):
         if isinstance(process, ACAgentProcess):
             return run_counts(
                 process,

@@ -39,6 +39,22 @@ class StoppingCondition(abc.ABC):
     def satisfied(self, counts: np.ndarray) -> bool:
         """True iff the run should stop in this configuration."""
 
+    def satisfied_ensemble(self, counts: np.ndarray) -> np.ndarray:
+        """Vectorized predicate over an ``(R, k)`` counts matrix.
+
+        Returns an ``(R,)`` boolean mask — entry ``r`` is
+        ``satisfied(counts[r])``.  The base implementation loops
+        :meth:`satisfied` row-wise so custom conditions work in the
+        ensemble engine unchanged; the built-in conditions override with
+        one-pass array reductions.
+        """
+        counts = np.asarray(counts)
+        return np.fromiter(
+            (self.satisfied(counts[r]) for r in range(counts.shape[0])),
+            dtype=bool,
+            count=counts.shape[0],
+        )
+
     def __call__(self, counts: np.ndarray) -> bool:
         return self.satisfied(counts)
 
@@ -60,6 +76,9 @@ class Consensus(StoppingCondition):
     def satisfied(self, counts: np.ndarray) -> bool:
         return int(np.count_nonzero(counts)) <= 1
 
+    def satisfied_ensemble(self, counts: np.ndarray) -> np.ndarray:
+        return np.count_nonzero(counts, axis=1) <= 1
+
 
 class ColorsAtMost(StoppingCondition):
     """Stop when at most ``kappa`` colors remain (``T^κ``)."""
@@ -72,6 +91,9 @@ class ColorsAtMost(StoppingCondition):
 
     def satisfied(self, counts: np.ndarray) -> bool:
         return int(np.count_nonzero(counts)) <= self.kappa
+
+    def satisfied_ensemble(self, counts: np.ndarray) -> np.ndarray:
+        return np.count_nonzero(counts, axis=1) <= self.kappa
 
 
 class MaxSupportAbove(StoppingCondition):
@@ -90,6 +112,9 @@ class MaxSupportAbove(StoppingCondition):
     def satisfied(self, counts: np.ndarray) -> bool:
         return int(counts.max()) > self.threshold
 
+    def satisfied_ensemble(self, counts: np.ndarray) -> np.ndarray:
+        return np.max(counts, axis=1) > self.threshold
+
 
 class BiasAtLeast(StoppingCondition):
     """Stop when the bias (top-two support gap) reaches ``threshold``."""
@@ -106,6 +131,13 @@ class BiasAtLeast(StoppingCondition):
         top_two = np.partition(counts, counts.size - 2)[-2:]
         return int(top_two[1] - top_two[0]) >= self.threshold
 
+    def satisfied_ensemble(self, counts: np.ndarray) -> np.ndarray:
+        counts = np.asarray(counts)
+        if counts.shape[1] == 1:
+            return counts[:, 0] >= self.threshold
+        top_two = np.partition(counts, counts.shape[1] - 2, axis=1)[:, -2:]
+        return (top_two[:, 1] - top_two[:, 0]) >= self.threshold
+
 
 class AnyOf(StoppingCondition):
     """Disjunction of conditions (stop when any fires)."""
@@ -119,6 +151,12 @@ class AnyOf(StoppingCondition):
     def satisfied(self, counts: np.ndarray) -> bool:
         return any(c.satisfied(counts) for c in self.conditions)
 
+    def satisfied_ensemble(self, counts: np.ndarray) -> np.ndarray:
+        mask = self.conditions[0].satisfied_ensemble(counts)
+        for condition in self.conditions[1:]:
+            mask = mask | condition.satisfied_ensemble(counts)
+        return mask
+
 
 class AllOf(StoppingCondition):
     """Conjunction of conditions (stop when all hold simultaneously)."""
@@ -131,3 +169,9 @@ class AllOf(StoppingCondition):
 
     def satisfied(self, counts: np.ndarray) -> bool:
         return all(c.satisfied(counts) for c in self.conditions)
+
+    def satisfied_ensemble(self, counts: np.ndarray) -> np.ndarray:
+        mask = self.conditions[0].satisfied_ensemble(counts)
+        for condition in self.conditions[1:]:
+            mask = mask & condition.satisfied_ensemble(counts)
+        return mask

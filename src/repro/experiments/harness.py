@@ -109,6 +109,12 @@ def sweep_first_passage(
     ``n``, e.g. for thresholds), ``workload(n)`` the start configuration,
     ``stop(n)`` the stopping condition, ``predicted(n)`` the paper's
     scale.  Seeds derive deterministically from ``seed`` per sweep point.
+
+    ``backend`` is forwarded to :func:`repeat_first_passage`; pass
+    ``"ensemble-auto"`` to run each sweep point's repetitions lock-step in
+    the vectorized ensemble engine (the fast path for production-scale
+    sweeps), or keep the sequential ``"auto"``/``"agent"``/``"counts"``
+    for exactness cross-checks.
     """
     points = []
     for index, n in enumerate(n_values):

@@ -70,6 +70,11 @@ class AgentProcess(abc.ABC):
     samples_per_round: int = 1
     #: Whether the process is an AC-process in the sense of Definition 1.
     is_anonymous: bool = False
+    #: True when :meth:`update_ensemble` is a vectorized batched rule (one
+    #: shared stream, a handful of array ops for all replicas).  The
+    #: ensemble engine uses this to pick between the batched path and the
+    #: exactness-preserving per-replica loop.
+    has_vectorized_ensemble: bool = False
 
     @abc.abstractmethod
     def update(self, colors: np.ndarray, rng: np.random.Generator) -> np.ndarray:
@@ -78,6 +83,27 @@ class AgentProcess(abc.ABC):
         ``colors`` is an ``n``-vector of non-negative color ids.  The input
         array must not be mutated.
         """
+
+    def update_ensemble(
+        self, colors: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One synchronous round for an ``(R, n)`` ensemble of replicas.
+
+        Vectorized overrides (3-Majority, 2-Choices, Voter, …) set
+        :attr:`has_vectorized_ensemble` and advance all replicas with a few
+        array operations; replicas remain independent because every row
+        consumes fresh variates from the shared stream.
+
+        The base implementation loops :meth:`update` over the replica rows
+        with the single shared generator — a convenience for stepping a
+        batch directly.  Note the ensemble *engine* does not call it for
+        non-vectorized processes: :func:`repro.engine.ensemble.run_agent_ensemble`
+        falls back to its own per-replica loop with spawned child
+        generators, which reproduces sequential runs bit-for-bit.
+        """
+        return np.stack(
+            [self.update(colors[r], rng) for r in range(colors.shape[0])]
+        )
 
     def initial_colors(self, config: Configuration) -> np.ndarray:
         """Expand a configuration into a per-node assignment for this process.
@@ -141,3 +167,14 @@ class ACAgentProcess(AgentProcess):
     ) -> np.ndarray:
         """Exact count-level round (delegates to the process function)."""
         return self._function.step_counts(counts, rng)
+
+    def step_counts_ensemble(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Exact count-level round for an ``(R, k)`` ensemble of replicas.
+
+        Delegates to the process function's batched sampler: row-wise
+        ``α`` (vectorized where a closed form exists) followed by one
+        broadcast multinomial draw for the whole ensemble.
+        """
+        return self._function.step_counts_batch(counts, rng)

@@ -35,6 +35,7 @@ class ThreeMajority(ACAgentProcess):
     """Agent-level 3-Majority via the literal three-sample plurality rule."""
 
     samples_per_round = 3
+    has_vectorized_ensemble = True
 
     def __init__(self):
         super().__init__(ThreeMajorityFunction())
@@ -42,17 +43,27 @@ class ThreeMajority(ACAgentProcess):
     def update(self, colors: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         n = colors.shape[0]
         sampled = sample_uniform_nodes(n, 3, rng)
-        a = colors[sampled[:, 0]]
-        b = colors[sampled[:, 1]]
-        c = colors[sampled[:, 2]]
+        picks = colors[sampled]
+        a, b, c = picks[:, 0], picks[:, 1], picks[:, 2]
         # A color seen at least twice wins; with all three distinct, a
         # uniformly random sample is adopted (footnote 1: a *fixed* sample
         # would do as well — the distributions coincide — but we implement
         # the stated rule).
         random_pick = rng.integers(0, 3, size=n)
-        fallback = np.choose(random_pick, [a, b, c])
+        fallback = np.take_along_axis(picks, random_pick[:, None], axis=1)[:, 0]
         out = np.where(a == b, a, np.where(b == c, b, np.where(a == c, a, fallback)))
         return out
+
+    def update_ensemble(
+        self, colors: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        reps, n = colors.shape
+        sampled = rng.integers(0, n, size=(reps, 3 * n))
+        picks = np.take_along_axis(colors, sampled, axis=1).reshape(reps, n, 3)
+        a, b, c = picks[..., 0], picks[..., 1], picks[..., 2]
+        random_pick = rng.integers(0, 3, size=(reps, n))
+        fallback = np.take_along_axis(picks, random_pick[..., None], axis=2)[..., 0]
+        return np.where(a == b, a, np.where(b == c, b, np.where(a == c, a, fallback)))
 
 
 class ThreeMajorityResample(ACAgentProcess):
@@ -75,6 +86,7 @@ class ThreeMajorityResample(ACAgentProcess):
 
     name = "3-majority/resample"
     samples_per_round = 3
+    has_vectorized_ensemble = True
 
     def __init__(self):
         super().__init__(ThreeMajorityFunction())
@@ -87,3 +99,13 @@ class ThreeMajorityResample(ACAgentProcess):
         second = colors[sampled[:, 1]]
         third = colors[sampled[:, 2]]
         return np.where(first == second, first, third)
+
+    def update_ensemble(
+        self, colors: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        reps, n = colors.shape
+        sampled = rng.integers(0, n, size=(reps, 3 * n))
+        picks = np.take_along_axis(colors, sampled, axis=1).reshape(reps, n, 3)
+        return np.where(
+            picks[..., 0] == picks[..., 1], picks[..., 0], picks[..., 2]
+        )

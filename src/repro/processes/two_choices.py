@@ -42,6 +42,7 @@ class TwoChoices(AgentProcess):
     name = "2-choices"
     samples_per_round = 2
     is_anonymous = False
+    has_vectorized_ensemble = True
 
     def update(self, colors: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         n = colors.shape[0]
@@ -49,6 +50,14 @@ class TwoChoices(AgentProcess):
         first = colors[sampled[:, 0]]
         second = colors[sampled[:, 1]]
         return np.where(first == second, first, colors)
+
+    def update_ensemble(
+        self, colors: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        reps, n = colors.shape
+        sampled = rng.integers(0, n, size=(reps, 2 * n))
+        picks = np.take_along_axis(colors, sampled, axis=1).reshape(reps, n, 2)
+        return np.where(picks[..., 0] == picks[..., 1], picks[..., 0], colors)
 
     def expected_next_fractions(self, config: Configuration) -> np.ndarray:
         """Exact expected next fraction vector (footnote 2's identity)."""

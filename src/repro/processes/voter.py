@@ -26,6 +26,7 @@ class Voter(ACAgentProcess):
     """Agent-level Voter: adopt the color of one uniform sample."""
 
     samples_per_round = 1
+    has_vectorized_ensemble = True
 
     def __init__(self):
         super().__init__(VoterFunction())
@@ -34,3 +35,10 @@ class Voter(ACAgentProcess):
         n = colors.shape[0]
         sampled = sample_uniform_nodes(n, 1, rng)[:, 0]
         return colors[sampled]
+
+    def update_ensemble(
+        self, colors: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        reps, n = colors.shape
+        sampled = rng.integers(0, n, size=(reps, n))
+        return np.take_along_axis(colors, sampled, axis=1)

@@ -4,6 +4,13 @@ import numpy as np
 import pytest
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "bench_smoke: fast throughput-benchmark smoke check wired into tier-1",
+    )
+
+
 @pytest.fixture
 def rng():
     """A fresh deterministic generator per test."""

@@ -1,0 +1,40 @@
+"""Tier-1 smoke wrapper for the engine-throughput benchmark.
+
+Runs :mod:`benchmarks.bench_engine_throughput` in its ≤30 s smoke mode so
+every tier-1 run notices an ensemble-engine performance or correctness
+regression.  Deselect with ``-m "not bench_smoke"`` when only the
+functional suite is wanted.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+_BENCHMARKS_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+if str(_BENCHMARKS_DIR) not in sys.path:
+    sys.path.insert(0, str(_BENCHMARKS_DIR))
+
+from bench_engine_throughput import run_benchmark  # noqa: E402
+
+pytestmark = pytest.mark.bench_smoke
+
+
+def test_engine_throughput_smoke(tmp_path):
+    # Timing in tier-1 only guards against the ensemble path regressing to
+    # *slower than sequential*; the real ≥10× target is enforced by the
+    # committed BENCH_engine.json and `benchmarks/bench_engine_throughput.py`
+    # (which scripts/check.sh runs with a 2× smoke floor).  The measurement
+    # window at smoke scale is milliseconds, so a scheduler preemption can
+    # distort one attempt — retry before declaring a regression.
+    for attempt in range(3):
+        report = run_benchmark(smoke=True, output=tmp_path / "BENCH_engine.json")
+        assert report["mode"] == "smoke"
+        headline = report["scenarios"][0]
+        # Correctness gate (deterministic): per-replica rng must reproduce
+        # the sequential samples exactly.
+        assert headline["per_replica_rng_exact_match"] is True
+        if headline["speedup"] > 1.0:
+            break
+    assert headline["speedup"] > 1.0, headline
+    assert (tmp_path / "BENCH_engine.json").exists()

@@ -10,6 +10,8 @@ Expected shape: exponent clearly below 1 (ours lands well below 3/4 —
 the paper's bound is an upper bound, not a tight estimate).
 """
 
+import os
+
 import numpy as np
 
 from repro.analysis import three_majority_consensus_upper
@@ -18,11 +20,16 @@ from repro.engine import Consensus
 from repro.experiments import sweep_first_passage
 from repro.processes import ThreeMajority
 
-from conftest import emit
+from conftest import emit, env_workers
 
 N_VALUES = [256, 512, 1024, 2048, 4096, 8192]
 REPETITIONS = 5
 SEED = 20170217  # the paper's arXiv date
+# Execution strategy knobs shared by the sweep benches: REPRO_BACKEND
+# picks any repeat_first_passage backend (sharded-* spreads each sweep
+# point over REPRO_WORKERS pool workers; unset = all cores).
+BACKEND = os.environ.get("REPRO_BACKEND", "ensemble-auto")
+WORKERS = env_workers(None)
 
 
 def _run_sweep():
@@ -37,8 +44,10 @@ def _run_sweep():
         predicted=three_majority_consensus_upper,
         # Lock-step vectorized replicas; auto picks the agent-level matrix
         # for the wide singleton configurations and the exact count-level
-        # chain where the slot count allows it.
-        backend="ensemble-auto",
+        # chain where the slot count allows it.  Override with
+        # REPRO_BACKEND=sharded-auto REPRO_WORKERS=4 for the multicore path.
+        backend=BACKEND,
+        workers=WORKERS,
     )
 
 

@@ -19,15 +19,24 @@ import numpy as np
 
 from repro.analysis import fit_power_law_with_log_correction
 from repro.core import Configuration
-from repro.engine import MaxSupportAbove, run_ensemble
+from repro.engine import MaxSupportAbove, ShardedEnsembleExecutor
 from repro.experiments import Table
 from repro.processes import ThreeMajority, TwoChoices
 
-from conftest import emit
+from conftest import emit, env_workers
 
 GAMMA = 3.0
 N_VALUES = [1024, 2048, 4096, 8192]
 REPLICAS = 5
+# workers=1 (the default) runs in-process, bit-for-bit the plain ensemble
+# engine, so the committed assertions see exactly the trajectories they
+# were tuned on.  REPRO_WORKERS>1 spreads each ensemble over a
+# multiprocessing pool as a perf experiment: the default batched streams
+# are repartitioned per shard, so trajectories differ (statistically
+# equivalent) and the seed-tuned qualitative assertions below, while
+# expected to hold, are not guaranteed bit-for-bit.
+_EXECUTOR = ShardedEnsembleExecutor(workers=env_workers(1))
+run_ensemble = _EXECUTOR.run
 
 
 def _budget_table():

@@ -9,6 +9,8 @@ Regenerated series: consensus time of both processes from the n-color
 configuration, their ratio (growing with n), and fitted exponents.
 """
 
+import os
+
 import numpy as np
 
 from repro.analysis import fit_power_law
@@ -17,10 +19,14 @@ from repro.engine import Consensus, repeat_first_passage
 from repro.experiments import Table
 from repro.processes import ThreeMajority, TwoChoices
 
-from conftest import emit
+from conftest import emit, env_workers
 
 N_VALUES = [512, 1024, 2048, 4096, 8192]
 REPLICAS = 3
+# REPRO_BACKEND=sharded-auto REPRO_WORKERS=4 moves both measurement loops
+# onto the multicore pool; the default stays the in-process ensemble.
+BACKEND = os.environ.get("REPRO_BACKEND", "ensemble-auto")
+WORKERS = env_workers(None)
 
 
 def _measure():
@@ -33,7 +39,8 @@ def _measure():
             REPLICAS,
             rng=n,
             max_rounds=10**7,
-            backend="ensemble-auto",
+            backend=BACKEND,
+            workers=WORKERS,
         ).mean()
         t3m = repeat_first_passage(
             lambda: ThreeMajority(),
@@ -41,7 +48,8 @@ def _measure():
             Consensus(),
             REPLICAS,
             rng=n,
-            backend="ensemble-auto",
+            backend=BACKEND,
+            workers=WORKERS,
         ).mean()
         rows.append((n, float(t2c), float(t3m), float(t2c / t3m)))
     return rows

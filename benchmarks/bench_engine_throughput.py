@@ -1,38 +1,54 @@
-"""Engine throughput: sequential vs vectorized-ensemble ``repeat_first_passage``.
+"""Engine throughput: sequential vs ensemble vs sharded execution paths.
 
-The reproducible speedup benchmark behind the ensemble engine.  The
-headline scenario is the one the repo's perf target names — 3-Majority on
-the exact count-level chain, ``n = 10⁴``, ``k = 2`` balanced, ``R = 100``
-replicas — timed through ``repeat_first_passage`` on both paths:
+The reproducible speedup report behind the engine layer, in four sections:
 
-* ``backend="counts"`` — the sequential reference: one run per replica,
-  each paying per-round Python and small-array overhead;
-* ``backend="ensemble-counts"`` — all replicas lock-step in one
-  ``(R, k)`` matrix, one broadcast multinomial per round.
-
-A second scenario covers the agent-level matrix path (2-Choices, which
-has no count-level chain).  The report also re-checks correctness: with
-``rng_mode="per-replica"`` the ensemble engine must reproduce the
-sequential first-passage samples bit-for-bit.
+* ``scenarios`` — the PR-1 headline: ``repeat_first_passage`` through the
+  sequential and vectorized-ensemble paths (3-Majority counts n=10⁴ k=2
+  R=100; 2-Choices agent n=2048).  With ``rng_mode="per-replica"`` the
+  ensemble engine must reproduce the sequential samples bit-for-bit.
+* ``sharded`` — the multicore path: the same ensemble split over a
+  ``multiprocessing`` pool (``ShardedEnsembleExecutor``), timed at
+  worker counts 1/2/4 on a heavy counts workload (3-Majority, n=10⁴,
+  k=1024 balanced, R=200).  ``workers=1`` is bit-for-bit the in-process
+  ensemble; the ≥2× multicore target applies on machines with ≥4 cores
+  (the report records ``cpu_count`` so single-core CI stays honest).
+* ``async`` — the one-node-per-tick scheduler: looping the sequential
+  :func:`run_asynchronous` vs the lock-step
+  :func:`run_asynchronous_ensemble` over a fixed tick budget.
+* ``adversary`` — §5 robust runs: looping :func:`run_with_adversary` vs
+  :func:`run_with_adversary_ensemble` (count-level fast path for the
+  AC-process; agent-level timing reported alongside).
 
 Run as a script to (re)generate ``BENCH_engine.json`` at the repo root::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py [--smoke]
 
-``--smoke`` shrinks the scenarios to a ≤30 s sanity check (used by tier-1
-via ``tests/test_bench_engine_smoke.py`` and ``scripts/check.sh``) and
-does not overwrite the committed full-size report unless asked to.
+``--smoke`` shrinks every section to a ≤30 s sanity check (used by tier-1
+via ``tests/test_bench_engine_smoke.py`` and ``scripts/check.sh``; the
+sharded smoke runs R=4 over workers=2 so pool plumbing and seed
+derivation are exercised on every run) and does not overwrite the
+committed full-size report unless asked to.
 """
 
 import argparse
 import json
+import os
 import pathlib
 import time
 
 import numpy as np
 
+from repro.adversary import PlantInvalid, run_with_adversary, run_with_adversary_ensemble
 from repro.core import Configuration
-from repro.engine import Consensus, repeat_first_passage, run_counts_ensemble
+from repro.engine import (
+    Consensus,
+    ShardedEnsembleExecutor,
+    repeat_first_passage,
+    run_asynchronous,
+    run_asynchronous_ensemble,
+    run_counts_ensemble,
+    spawn_generators,
+)
 from repro.processes import ThreeMajority, TwoChoices
 
 DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
@@ -67,6 +83,58 @@ SMOKE_SCENARIOS = [
         "ensemble": "ensemble-counts",
     },
 ]
+
+FULL_SHARDED = {
+    "label": "3-majority sharded-counts n=10^4 k=1024 R=200",
+    "factory": ThreeMajority,
+    "initial": lambda: Configuration.balanced(10_000, 1024),
+    "repetitions": 200,
+    "backend": "counts",
+    "workers": (1, 2, 4),
+}
+
+SMOKE_SHARDED = {
+    "label": "3-majority sharded-counts n=2000 k=2 R=4 workers=2 (smoke)",
+    "factory": ThreeMajority,
+    "initial": lambda: Configuration.balanced(2000, 2),
+    "repetitions": 4,
+    "backend": "counts",
+    "workers": (1, 2),
+}
+
+FULL_ASYNC = {
+    "label": "3-majority async n=2048 k=2 R=50 T=2n",
+    "factory": ThreeMajority,
+    "initial": lambda: Configuration.balanced(2048, 2),
+    "repetitions": 50,
+    "tick_budget": lambda n: 2 * n,
+}
+
+SMOKE_ASYNC = {
+    "label": "3-majority async n=256 k=2 R=8 T=2n (smoke)",
+    "factory": ThreeMajority,
+    "initial": lambda: Configuration.balanced(256, 2),
+    "repetitions": 8,
+    "tick_budget": lambda n: 2 * n,
+}
+
+FULL_ADVERSARY = {
+    "label": "3-majority vs plant-invalid n=2048 k=3 F=5 R=50",
+    "factory": ThreeMajority,
+    "initial": lambda: Configuration.balanced(2048, 3),
+    "adversary": lambda: PlantInvalid(5, invalid_color=8),
+    "repetitions": 50,
+    "max_rounds": 4000,
+}
+
+SMOKE_ADVERSARY = {
+    "label": "3-majority vs plant-invalid n=400 k=3 F=2 R=20 (smoke)",
+    "factory": ThreeMajority,
+    "initial": lambda: Configuration.balanced(400, 3),
+    "adversary": lambda: PlantInvalid(2, invalid_color=8),
+    "repetitions": 20,
+    "max_rounds": 3000,
+}
 
 SEED = 20170725  # PODC'17 presentation date
 
@@ -105,10 +173,8 @@ def _exactness_check(scenario) -> bool:
     return bool(np.array_equal(sequential, ensemble.times))
 
 
-def run_benchmark(smoke: bool = False, output: "pathlib.Path | None" = None) -> dict:
-    """Measure every scenario and (optionally) write the JSON report."""
-    scenarios = SMOKE_SCENARIOS if smoke else FULL_SCENARIOS
-    report = {"mode": "smoke" if smoke else "full", "seed": SEED, "scenarios": []}
+def _measure_scenarios(scenarios) -> list:
+    entries = []
     for scenario in scenarios:
         seq_seconds, seq_times = _time_backend(scenario, scenario["sequential"])
         ens_seconds, ens_times = _time_backend(scenario, scenario["ensemble"])
@@ -125,11 +191,160 @@ def run_benchmark(smoke: bool = False, output: "pathlib.Path | None" = None) -> 
         }
         if scenario["sequential"] == "counts":
             entry["per_replica_rng_exact_match"] = _exactness_check(scenario)
-        report["scenarios"].append(entry)
+        entries.append(entry)
         print(
             f"{entry['label']}: sequential {entry['sequential_seconds']}s, "
             f"ensemble {entry['ensemble_seconds']}s -> {entry['speedup']}x"
         )
+    return entries
+
+
+def _measure_sharded(scenario) -> dict:
+    """Shard-scaling: the same ensemble at increasing worker counts."""
+    factory = scenario["factory"]
+    initial = scenario["initial"]()
+    repetitions = scenario["repetitions"]
+    entry = {
+        "label": scenario["label"],
+        "repetitions": repetitions,
+        "backend": scenario["backend"],
+        "workers": [],
+    }
+    baseline_seconds = None
+    baseline_times = None
+    for workers in scenario["workers"]:
+        executor = ShardedEnsembleExecutor(workers=workers)
+        start = time.perf_counter()
+        result = executor.run(
+            factory(),
+            initial,
+            repetitions,
+            rng=SEED,
+            backend=scenario["backend"],
+            rng_mode="per-replica",
+        )
+        elapsed = time.perf_counter() - start
+        if baseline_seconds is None:
+            baseline_seconds = elapsed
+            baseline_times = result.times
+        entry["workers"].append(
+            {
+                "workers": workers,
+                "seconds": round(elapsed, 4),
+                "speedup_vs_workers1": round(baseline_seconds / elapsed, 2),
+                "mean_rounds": round(float(result.times.mean()), 2),
+                # Per-replica streams make merged results bit-for-bit
+                # invariant to the worker count — verified on every run.
+                "times_match_workers1": bool(
+                    np.array_equal(result.times, baseline_times)
+                ),
+            }
+        )
+        print(
+            f"{entry['label']} workers={workers}: {elapsed:.3f}s "
+            f"({entry['workers'][-1]['speedup_vs_workers1']}x vs workers=1)"
+        )
+    return entry
+
+
+def _measure_async(scenario) -> dict:
+    """Fixed-tick-budget throughput: sequential loop vs lock-step ensemble."""
+    factory = scenario["factory"]
+    initial = scenario["initial"]()
+    repetitions = scenario["repetitions"]
+    budget = scenario["tick_budget"](initial.num_nodes)
+    # Warm-up.
+    run_asynchronous(factory(), initial, rng=SEED, max_ticks=16)
+    generators = spawn_generators(SEED, repetitions)
+    start = time.perf_counter()
+    for generator in generators:
+        run_asynchronous(factory(), initial, rng=generator, max_ticks=budget)
+    seq_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    run_asynchronous_ensemble(
+        factory(), initial, repetitions, rng=SEED, max_ticks=budget
+    )
+    ens_seconds = time.perf_counter() - start
+    entry = {
+        "label": scenario["label"],
+        "repetitions": repetitions,
+        "tick_budget": budget,
+        "sequential_seconds": round(seq_seconds, 4),
+        "ensemble_seconds": round(ens_seconds, 4),
+        "speedup": round(seq_seconds / ens_seconds, 2),
+    }
+    print(
+        f"{entry['label']}: sequential {entry['sequential_seconds']}s, "
+        f"ensemble {entry['ensemble_seconds']}s -> {entry['speedup']}x"
+    )
+    return entry
+
+
+def _measure_adversary(scenario) -> dict:
+    """§5 robust runs: sequential loop vs count-level/agent-level ensemble."""
+    factory = scenario["factory"]
+    initial = scenario["initial"]()
+    adversary = scenario["adversary"]
+    repetitions = scenario["repetitions"]
+    max_rounds = scenario["max_rounds"]
+    generators = spawn_generators(SEED, repetitions)
+    start = time.perf_counter()
+    sequential = [
+        run_with_adversary(
+            factory(), initial, adversary(), rng=generator,
+            max_rounds=max_rounds, stable_fraction=0.9,
+        )
+        for generator in generators
+    ]
+    seq_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    counts_result = run_with_adversary_ensemble(
+        factory(), initial, adversary(), repetitions, rng=SEED,
+        max_rounds=max_rounds, stable_fraction=0.9, backend="counts",
+    )
+    counts_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    agent_result = run_with_adversary_ensemble(
+        factory(), initial, adversary(), repetitions, rng=SEED,
+        max_rounds=max_rounds, stable_fraction=0.9, backend="agent",
+    )
+    agent_seconds = time.perf_counter() - start
+    entry = {
+        "label": scenario["label"],
+        "repetitions": repetitions,
+        "sequential_seconds": round(seq_seconds, 4),
+        "counts_ensemble_seconds": round(counts_seconds, 4),
+        "agent_ensemble_seconds": round(agent_seconds, 4),
+        "speedup": round(seq_seconds / counts_seconds, 2),
+        "agent_speedup": round(seq_seconds / agent_seconds, 2),
+        "sequential_stabilized": sum(r.stabilized for r in sequential),
+        "counts_stabilized": int(counts_result.stabilized.sum()),
+        "agent_stabilized": int(agent_result.stabilized.sum()),
+        "counts_all_valid": bool(
+            np.all(counts_result.winner_is_valid[counts_result.stabilized])
+        ),
+    }
+    print(
+        f"{entry['label']}: sequential {entry['sequential_seconds']}s, "
+        f"counts-ensemble {entry['counts_ensemble_seconds']}s -> "
+        f"{entry['speedup']}x (agent {entry['agent_speedup']}x)"
+    )
+    return entry
+
+
+def run_benchmark(smoke: bool = False, output: "pathlib.Path | None" = None) -> dict:
+    """Measure every section and (optionally) write the JSON report."""
+    report = {
+        "mode": "smoke" if smoke else "full",
+        "seed": SEED,
+        "cpu_count": os.cpu_count() or 1,
+        "scenarios": _measure_scenarios(SMOKE_SCENARIOS if smoke else FULL_SCENARIOS),
+        "sharded": _measure_sharded(SMOKE_SHARDED if smoke else FULL_SHARDED),
+        "async": _measure_async(SMOKE_ASYNC if smoke else FULL_ASYNC),
+        "adversary": _measure_adversary(
+            SMOKE_ADVERSARY if smoke else FULL_ADVERSARY
+        ),
+    }
     if output is not None:
         output = pathlib.Path(output)
         output.write_text(json.dumps(report, indent=2) + "\n")
@@ -138,11 +353,16 @@ def run_benchmark(smoke: bool = False, output: "pathlib.Path | None" = None) -> 
 
 
 def bench_engine_throughput(benchmark):
-    """pytest-benchmark entry point (full scenarios, asserts the target)."""
+    """pytest-benchmark entry point (full scenarios, asserts the targets)."""
     report = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
     headline = report["scenarios"][0]
     assert headline["speedup"] >= 10.0, headline
     assert headline["per_replica_rng_exact_match"], headline
+    assert report["async"]["speedup"] >= 5.0, report["async"]
+    assert report["adversary"]["speedup"] >= 5.0, report["adversary"]
+    if report["cpu_count"] >= 4:
+        best = max(w["speedup_vs_workers1"] for w in report["sharded"]["workers"])
+        assert best >= 2.0, report["sharded"]
 
 
 def main() -> int:
@@ -160,13 +380,41 @@ def main() -> int:
     report = run_benchmark(smoke=args.smoke, output=output)
     headline = report["scenarios"][0]
     floor = 2.0 if args.smoke else 10.0
+    failures = []
     if headline["speedup"] < floor:
-        print(f"FAIL: speedup {headline['speedup']}x below the {floor}x target")
-        return 1
+        failures.append(
+            f"headline speedup {headline['speedup']}x below the {floor}x target"
+        )
     if headline.get("per_replica_rng_exact_match") is False:
-        print("FAIL: per-replica ensemble diverged from the sequential samples")
+        failures.append("per-replica ensemble diverged from the sequential samples")
+    if not all(w["times_match_workers1"] for w in report["sharded"]["workers"]):
+        failures.append("sharded per-replica results varied with the worker count")
+    async_floor = 1.5 if args.smoke else 5.0
+    if report["async"]["speedup"] < async_floor:
+        failures.append(
+            f"async ensemble speedup {report['async']['speedup']}x "
+            f"below the {async_floor}x target"
+        )
+    if report["adversary"]["speedup"] < async_floor:
+        failures.append(
+            f"adversary ensemble speedup {report['adversary']['speedup']}x "
+            f"below the {async_floor}x target"
+        )
+    if not args.smoke and report["cpu_count"] >= 4:
+        best = max(w["speedup_vs_workers1"] for w in report["sharded"]["workers"])
+        if best < 2.0:
+            failures.append(
+                f"sharded speedup {best}x below the 2x multicore target"
+            )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
         return 1
-    print(f"OK: {headline['speedup']}x (target {floor}x)")
+    print(
+        f"OK: headline {headline['speedup']}x, async {report['async']['speedup']}x, "
+        f"adversary {report['adversary']['speedup']}x "
+        f"(cpu_count={report['cpu_count']})"
+    )
     return 0
 
 

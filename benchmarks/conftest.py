@@ -10,7 +10,21 @@ timing, prints the paper-shaped table, and asserts the qualitative claim
 (the ``-s`` shows the tables; EXPERIMENTS.md records a reference copy).
 """
 
+import os
+
 import pytest
+
+
+def env_workers(default: "int | None") -> "int | None":
+    """One shared meaning for the ``REPRO_WORKERS`` perf knob.
+
+    A value ≥ 1 requests that many pool workers in every bench that takes
+    the sharded path; ``0`` or unset keeps the bench's own ``default``
+    (``None`` = all cores once a sharded backend is selected, ``1`` =
+    in-process, bit-for-bit the plain ensemble engine).
+    """
+    raw = int(os.environ.get("REPRO_WORKERS", "0"))
+    return raw if raw >= 1 else default
 
 
 def emit(renderable) -> None:

@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # One-command verification: tier-1 test-suite + engine-throughput smoke.
 #
+# The smoke covers every execution path: sequential vs ensemble headline,
+# the sharded pool (R=4 over workers=2, bit-for-bit merge check), and the
+# async / adversary ensemble engines at tiny shapes.
+#
 #   scripts/check.sh            # everything
 #   scripts/check.sh -k engine  # extra args forwarded to pytest
 set -euo pipefail

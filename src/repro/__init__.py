@@ -33,12 +33,15 @@ from .core import (
 from .engine import (
     ColorsAtMost,
     Consensus,
+    EnsembleMetricRecorder,
     MaxSupportAbove,
     MetricRecorder,
+    ShardedEnsembleExecutor,
     SimulationResult,
     consensus_time,
     reduction_time,
     run,
+    run_ensemble,
     symmetry_breaking_time,
 )
 from .processes import (
@@ -58,10 +61,12 @@ __all__ = [
     "ColorsAtMost",
     "Configuration",
     "Consensus",
+    "EnsembleMetricRecorder",
     "HMajority",
     "HMajorityFunction",
     "MaxSupportAbove",
     "MetricRecorder",
+    "ShardedEnsembleExecutor",
     "SimulationResult",
     "ThreeMajority",
     "ThreeMajorityFunction",
@@ -77,6 +82,7 @@ __all__ = [
     "make_process",
     "reduction_time",
     "run",
+    "run_ensemble",
     "strassen_coupling",
     "symmetry_breaking_time",
     "verify_dominance_exhaustive",

@@ -8,7 +8,12 @@ from .adversary import (
     RandomNoise,
     recommended_corruption_budget,
 )
-from .robust_runner import RobustRunResult, run_with_adversary
+from .robust_runner import (
+    RobustEnsembleResult,
+    RobustRunResult,
+    run_with_adversary,
+    run_with_adversary_ensemble,
+)
 
 __all__ = [
     "Adversary",
@@ -16,7 +21,9 @@ __all__ = [
     "BoostRunnerUp",
     "PlantInvalid",
     "RandomNoise",
+    "RobustEnsembleResult",
     "RobustRunResult",
     "recommended_corruption_budget",
     "run_with_adversary",
+    "run_with_adversary_ensemble",
 ]

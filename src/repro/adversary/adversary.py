@@ -51,6 +51,12 @@ def recommended_corruption_budget(n: int, k: int) -> int:
 class Adversary(abc.ABC):
     """A round adversary corrupting at most ``budget`` nodes per round."""
 
+    #: True when :meth:`corrupt_counts` implements the same corruption law
+    #: directly on count vectors — the hook the count-level adversary
+    #: ensemble needs (valid for AC-processes, where node identity carries
+    #: no information).
+    supports_counts: bool = False
+
     def __init__(self, budget: int):
         if budget < 0:
             raise ValueError("budget must be non-negative")
@@ -63,12 +69,88 @@ class Adversary(abc.ABC):
         Implementations must not mutate the input.
         """
 
+    def color_ceiling(self, num_slots: int) -> int:
+        """Slot width needed to hold every color this adversary can write.
+
+        The ensemble engines size their count matrices with this so that
+        planted/resurrected colors (which may lie outside the honest slot
+        range) have somewhere to be counted.
+        """
+        return int(num_slots)
+
+    def corrupt_ensemble(
+        self, colors: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Corrupt an ``(R, n)`` color matrix, each replica independently.
+
+        The base implementation loops :meth:`corrupt` row-wise so every
+        adversary works in the ensemble runner day one; adversaries whose
+        victim choice is expressible as a per-replica mask override with a
+        vectorized version.
+        """
+        return np.stack(
+            [self.corrupt(colors[r], rng) for r in range(colors.shape[0])]
+        )
+
+    def corrupt_counts(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """The corruption law applied to an ``(R, k)`` counts matrix.
+
+        Only meaningful against AC-processes, whose anonymity makes the
+        node-level corruption distribution a pure function of the counts
+        (uniform victim sets become multivariate-hypergeometric draws).
+        Adversaries that support it set :attr:`supports_counts`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no count-level corruption law"
+        )
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(budget={self.budget})"
 
 
+def _uniform_victim_masks(
+    shape: "tuple[int, int]", budget: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``(R, n)`` boolean masks with exactly ``min(budget, n)`` True per row.
+
+    Uniform victim sets for every replica in one vectorized step: rank a
+    matrix of uniforms per row and take the ``budget`` smallest —
+    equivalent to an independent without-replacement draw per replica.
+    """
+    reps, n = shape
+    take = min(budget, n)
+    if take == 0:
+        return np.zeros(shape, dtype=bool)
+    keys = rng.random(size=shape)
+    victims = np.argpartition(keys, take - 1, axis=1)[:, :take]
+    mask = np.zeros(shape, dtype=bool)
+    mask[np.repeat(np.arange(reps), take), victims.ravel()] = True
+    return mask
+
+
+def _victim_color_counts(
+    counts: np.ndarray, budget: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Color counts of ``budget`` uniform victims per replica row.
+
+    Choosing ``F`` victims uniformly without replacement from a population
+    with color counts ``c`` makes the victims' color counts multivariate-
+    hypergeometric — the count-level image of uniform node corruption.
+    """
+    out = np.empty_like(counts)
+    for r in range(counts.shape[0]):
+        row = counts[r]
+        take = min(budget, int(row.sum()))
+        out[r] = rng.multivariate_hypergeometric(row, take)
+    return out
+
+
 class RandomNoise(Adversary):
     """Corrupt ``budget`` uniform nodes to uniform colors among ``num_colors``."""
+
+    supports_counts = True
 
     def __init__(self, budget: int, num_colors: int):
         super().__init__(budget)
@@ -84,6 +166,34 @@ class RandomNoise(Adversary):
         out[victims] = rng.integers(0, self.num_colors, size=victims.size)
         return out
 
+    def color_ceiling(self, num_slots: int) -> int:
+        return max(num_slots, self.num_colors)
+
+    def corrupt_ensemble(
+        self, colors: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        out = colors.copy()
+        if self.budget == 0:
+            return out
+        mask = _uniform_victim_masks(out.shape, self.budget, rng)
+        out[mask] = rng.integers(
+            0, self.num_colors, size=int(mask.sum())
+        ).astype(out.dtype, copy=False)
+        return out
+
+    def corrupt_counts(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        if self.budget == 0:
+            return counts.copy()
+        victims = _victim_color_counts(counts, self.budget, rng)
+        replacements = rng.multinomial(
+            victims.sum(axis=1), np.full(self.num_colors, 1.0 / self.num_colors)
+        )
+        out = counts - victims
+        out[:, : self.num_colors] += replacements
+        return out
+
 
 class BoostRunnerUp(Adversary):
     """Move ``budget`` plurality nodes onto the strongest challenger color.
@@ -92,6 +202,8 @@ class BoostRunnerUp(Adversary):
     bias every round.  Consensus-time degradation under this adversary is
     the quantity experiment E11 tracks.
     """
+
+    supports_counts = True
 
     def corrupt(self, colors: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         if self.budget == 0:
@@ -119,6 +231,46 @@ class BoostRunnerUp(Adversary):
         out[victims] = challenger
         return out
 
+    def color_ceiling(self, num_slots: int) -> int:
+        # Resurrecting opposition at consensus writes ``leader + 1``.
+        return int(num_slots) + 1
+
+    def corrupt_counts(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Count-level image of the boost: move mass leader → challenger.
+
+        Which leader nodes are hit is irrelevant at count level, so the
+        corruption is deterministic: ``min(budget, leader support)`` nodes
+        leave the plurality color for the strongest remaining challenger
+        (or a fresh color id when the replica is already at consensus —
+        clamped to the last slot if the matrix has no room above).
+        """
+        out = counts.copy()
+        if self.budget == 0:
+            return out
+        reps, width = out.shape
+        rows = np.arange(reps)
+        # Match the sequential tie-break (``argsort(counts)[::-1]``): among
+        # tied supports the *highest* color id leads, and the strongest
+        # remaining color by the same order is the challenger.  At an exact
+        # tie this decides which way the boost tips the replica, so the two
+        # backends must agree.
+        leader = width - 1 - np.argmax(out[:, ::-1], axis=1)
+        masked = out.copy()
+        masked[rows, leader] = -1
+        challenger = width - 1 - np.argmax(masked[:, ::-1], axis=1)
+        no_opposition = masked[rows, challenger] <= 0
+        resurrected = np.minimum(leader + 1, width - 1)
+        challenger = np.where(no_opposition, resurrected, challenger)
+        take = np.minimum(self.budget, out[rows, leader])
+        # A consensus replica whose leader occupies the last slot has no
+        # spare color id to resurrect; leave it untouched.
+        take = np.where(challenger == leader, 0, take)
+        out[rows, leader] -= take
+        out[rows, challenger] += take
+        return out
+
 
 class PlantInvalid(Adversary):
     """Corrupt ``budget`` uniform nodes to a color with no initial support.
@@ -128,6 +280,8 @@ class PlantInvalid(Adversary):
     budgets; the E11/E12 benches demonstrate the contrast with 2-Median,
     where planted extreme *values* drag the median to an invalid value.
     """
+
+    supports_counts = True
 
     def __init__(self, budget: int, invalid_color: int):
         super().__init__(budget)
@@ -141,6 +295,29 @@ class PlantInvalid(Adversary):
         out = colors.copy()
         victims = rng.choice(colors.size, size=min(self.budget, colors.size), replace=False)
         out[victims] = self.invalid_color
+        return out
+
+    def color_ceiling(self, num_slots: int) -> int:
+        return max(num_slots, self.invalid_color + 1)
+
+    def corrupt_ensemble(
+        self, colors: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        out = colors.copy()
+        if self.budget == 0:
+            return out
+        mask = _uniform_victim_masks(out.shape, self.budget, rng)
+        out[mask] = self.invalid_color
+        return out
+
+    def corrupt_counts(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        if self.budget == 0:
+            return counts.copy()
+        victims = _victim_color_counts(counts, self.budget, rng)
+        out = counts - victims
+        out[:, self.invalid_color] += victims.sum(axis=1)
         return out
 
 
@@ -167,6 +344,22 @@ class AdversarySchedule:
         if not self.active(round_index):
             return colors
         return self.adversary.corrupt(colors, rng)
+
+    def corrupt_ensemble(
+        self, round_index: int, colors: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Window-gated ``(R, n)`` corruption for the ensemble runner."""
+        if not self.active(round_index):
+            return colors
+        return self.adversary.corrupt_ensemble(colors, rng)
+
+    def corrupt_counts(
+        self, round_index: int, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Window-gated ``(R, k)`` corruption for the count-level runner."""
+        if not self.active(round_index):
+            return counts
+        return self.adversary.corrupt_counts(counts, rng)
 
 
 __all__.append("AdversarySchedule")

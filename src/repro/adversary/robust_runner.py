@@ -9,6 +9,17 @@ adversary rewrites the colors of at most ``F`` nodes.  The run tracks
   ``1 − ε`` fraction of nodes on one valid color, and
 * whether validity is ever violated at stabilisation (the failure mode of
   2-Median under :class:`~repro.adversary.adversary.PlantInvalid`).
+
+Two execution paths:
+
+* :func:`run_with_adversary` — one replica, the sequential reference.
+* :func:`run_with_adversary_ensemble` — ``R`` replicas lock-step with
+  vectorized per-replica corruption masks, plurality/streak tracking and
+  replica retirement.  ``backend="counts"`` additionally moves the whole
+  run onto the exact count-level chain (AC-processes with a count-capable
+  adversary), which is the production fast path;
+  ``rng_mode="per-replica"`` reproduces the sequential runner bit-for-bit
+  (one spawned stream per replica, consumed identically).
 """
 
 from __future__ import annotations
@@ -18,11 +29,18 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.configuration import Configuration
-from ..engine.rng import RandomSource, as_generator
-from ..processes.base import AgentProcess
+from ..engine.ensemble import _counts_matrix_fast, narrow_int_dtype
+from ..engine.rng import RandomSource, as_generator, spawn_generators
+from ..engine.simulator import _COUNT_BACKEND_SLOT_LIMIT
+from ..processes.base import ACAgentProcess, AgentProcess
 from .adversary import Adversary, AdversarySchedule
 
-__all__ = ["RobustRunResult", "run_with_adversary"]
+__all__ = [
+    "RobustRunResult",
+    "RobustEnsembleResult",
+    "run_with_adversary",
+    "run_with_adversary_ensemble",
+]
 
 
 @dataclass
@@ -117,3 +135,343 @@ def _plurality(colors: np.ndarray) -> "tuple[int, float]":
     counts = np.bincount(decided)
     leader = int(np.argmax(counts))
     return leader, float(counts[leader] / colors.size)
+
+
+@dataclass
+class RobustEnsembleResult:
+    """Per-replica outcomes of a lock-step adversarial ensemble run."""
+
+    process_name: str
+    adversary_repr: str
+    #: ``(R,)`` stabilisation round per replica (the horizon if never).
+    rounds: np.ndarray
+    #: ``(R,)`` mask — did the replica reach the stable regime?
+    stabilized: np.ndarray
+    #: ``(R,)`` plurality color at stabilisation (or at the horizon).
+    winning_color: np.ndarray
+    #: ``(R,)`` plurality fraction at stabilisation (or at the horizon).
+    winning_fraction: np.ndarray
+    #: ``(R,)`` mask — is the winner one of the initially supported colors?
+    winner_is_valid: np.ndarray
+    valid_colors: frozenset
+    backend: str
+    rng_mode: str
+
+    @property
+    def repetitions(self) -> int:
+        return int(self.rounds.size)
+
+    @property
+    def all_stabilized(self) -> bool:
+        return bool(np.all(self.stabilized))
+
+    @property
+    def valid_almost_all_consensus(self) -> np.ndarray:
+        """Per-replica §5 success mask: stabilised on a *valid* color."""
+        return self.stabilized & self.winner_is_valid
+
+    def results(self) -> "list[RobustRunResult]":
+        """The per-replica outcomes as :class:`RobustRunResult` objects."""
+        return [
+            RobustRunResult(
+                process_name=self.process_name,
+                adversary_repr=self.adversary_repr,
+                rounds=int(self.rounds[r]),
+                stabilized=bool(self.stabilized[r]),
+                winning_color=int(self.winning_color[r]),
+                winning_fraction=float(self.winning_fraction[r]),
+                winner_is_valid=bool(self.winner_is_valid[r]),
+                valid_colors=self.valid_colors,
+            )
+            for r in range(self.repetitions)
+        ]
+
+
+def _plurality_matrix(
+    colors: np.ndarray, width: int, n: int
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Row-wise plurality of an ``(R, n)`` color matrix in one pass.
+
+    Returns ``(counts, leaders, fractions)``; negative sentinel colors are
+    excluded from the counts (matching :func:`_plurality`) by shifting all
+    colors up one slot and dropping the sentinel column.
+    """
+    shifted = np.maximum(colors.astype(np.int64, copy=False), -1) + 1
+    counts = _counts_matrix_fast(shifted, width + 1)[:, 1:]
+    leaders = np.argmax(counts, axis=1)
+    fractions = counts[np.arange(colors.shape[0]), leaders] / float(n)
+    return counts, leaders, fractions
+
+
+def run_with_adversary_ensemble(
+    process: AgentProcess,
+    initial: Configuration,
+    adversary: "Adversary | AdversarySchedule",
+    repetitions: int,
+    rng: RandomSource = None,
+    max_rounds: int = 50_000,
+    stable_fraction: float = 0.95,
+    stable_rounds: int = 3,
+    backend: str = "auto",
+    rng_mode: str = "batched",
+) -> RobustEnsembleResult:
+    """``R`` independent adversarial runs advanced lock-step.
+
+    ``backend`` picks the state representation:
+
+    * ``"agent"`` — an ``(R, n)`` color matrix: the honest step is the
+      process's batched ``update_ensemble`` (per-replica loop fallback for
+      processes without one), corruption a vectorized per-replica mask.
+      Faithful for every process/adversary pair.
+    * ``"counts"`` — an ``(R, k)`` counts matrix: the honest step is one
+      broadcast ``Mult(n, α(c))`` draw, corruption the adversary's exact
+      count-level law (multivariate-hypergeometric victim draws).  Valid
+      for AC-processes with a count-capable adversary, and faster by the
+      same margin as the synchronous counts ensemble (node identity is
+      meaningless under anonymity, so the two backends induce the same
+      process on counts).
+    * ``"auto"`` — ``"counts"`` whenever it is valid, else ``"agent"``.
+
+    ``rng_mode="per-replica"`` forces the agent backend with one spawned
+    child generator per replica, consumed exactly as
+    :func:`run_with_adversary` would — the ensemble then reproduces the
+    sequential results bit-for-bit (the test-suite verifies).
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be positive")
+    if not 0.5 < stable_fraction <= 1.0:
+        raise ValueError("stable_fraction must lie in (0.5, 1]")
+    if stable_rounds < 1:
+        raise ValueError("stable_rounds must be positive")
+    if rng_mode not in ("batched", "per-replica"):
+        raise ValueError(f"unknown rng_mode {rng_mode!r}")
+    schedule = (
+        adversary
+        if isinstance(adversary, AdversarySchedule)
+        else AdversarySchedule(adversary)
+    )
+    counts_capable = (
+        isinstance(process, ACAgentProcess)
+        and schedule.adversary.supports_counts
+        and type(process).initial_colors is AgentProcess.initial_colors
+        and process.supports_count_backend(initial)
+    )
+    if backend == "auto":
+        # Mirror the shared engine dispatch rule: the exact chain must be
+        # tractable (supports_count_backend) and the slot space moderate —
+        # including any extra slots the adversary can write into.
+        backend = (
+            "counts"
+            if (
+                counts_capable
+                and rng_mode == "batched"
+                and schedule.adversary.color_ceiling(initial.num_slots)
+                <= _COUNT_BACKEND_SLOT_LIMIT
+            )
+            else "agent"
+        )
+    if backend not in ("agent", "counts"):
+        raise ValueError(f"unknown backend {backend!r}")
+    if backend == "counts":
+        if not counts_capable:
+            raise TypeError(
+                "count-level adversarial runs need an AC-process and an "
+                f"adversary with a count-level law; got {process.name} vs "
+                f"{schedule.adversary!r}"
+            )
+        if rng_mode != "batched":
+            raise ValueError(
+                "rng_mode='per-replica' reproduces the sequential agent-"
+                "level runner; use backend='agent'"
+            )
+        return _adversary_counts_ensemble(
+            process, initial, schedule, repetitions, rng,
+            max_rounds, stable_fraction, stable_rounds,
+        )
+    return _adversary_agent_ensemble(
+        process, initial, schedule, repetitions, rng,
+        max_rounds, stable_fraction, stable_rounds, rng_mode,
+    )
+
+
+def _finalize_robust(
+    process: AgentProcess,
+    schedule: AdversarySchedule,
+    valid_colors: frozenset,
+    backend: str,
+    rng_mode: str,
+    rounds: np.ndarray,
+    stabilized: np.ndarray,
+    winning_color: np.ndarray,
+    winning_fraction: np.ndarray,
+) -> RobustEnsembleResult:
+    valid_array = np.asarray(sorted(valid_colors), dtype=np.int64)
+    winner_is_valid = np.isin(winning_color, valid_array)
+    return RobustEnsembleResult(
+        process_name=process.name,
+        adversary_repr=repr(schedule.adversary),
+        rounds=rounds,
+        stabilized=stabilized,
+        winning_color=winning_color,
+        winning_fraction=winning_fraction,
+        winner_is_valid=winner_is_valid,
+        valid_colors=valid_colors,
+        backend=backend,
+        rng_mode=rng_mode,
+    )
+
+
+def _streak_retire(
+    stable_fraction: float,
+    stable_rounds: int,
+    rounds: int,
+    streak: np.ndarray,
+    active: np.ndarray,
+    state: np.ndarray,
+    leaders: np.ndarray,
+    fractions: np.ndarray,
+    rounds_out: np.ndarray,
+    stabilized: np.ndarray,
+    winning_color: np.ndarray,
+    winning_fraction: np.ndarray,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+    """Shared stabilisation bookkeeping of both adversary backends.
+
+    Bumps each active replica's stable-streak counter, records the ones
+    whose streak just reached ``stable_rounds``, and compacts them out of
+    ``(active, state, leaders, fractions)`` — ``state`` being whichever
+    matrix the backend advances (colors or counts).
+    """
+    stable_now = fractions >= stable_fraction
+    streak_active = np.where(stable_now, streak[active] + 1, 0)
+    streak[active] = streak_active
+    mask = streak_active >= stable_rounds
+    if not mask.any():
+        return active, state, leaders, fractions
+    done = active[mask]
+    rounds_out[done] = rounds
+    stabilized[done] = True
+    winning_color[done] = leaders[mask]
+    winning_fraction[done] = fractions[mask]
+    keep = ~mask
+    return active[keep], state[keep], leaders[keep], fractions[keep]
+
+
+def _adversary_agent_ensemble(
+    process: AgentProcess,
+    initial: Configuration,
+    schedule: AdversarySchedule,
+    repetitions: int,
+    rng: RandomSource,
+    max_rounds: int,
+    stable_fraction: float,
+    stable_rounds: int,
+    rng_mode: str,
+) -> RobustEnsembleResult:
+    """Lock-step ``(R, n)`` adversarial runs with replica retirement."""
+    n = initial.num_nodes
+    width = schedule.adversary.color_ceiling(initial.num_slots)
+    batched = process.has_vectorized_ensemble and rng_mode == "batched"
+    if batched:
+        generators = None
+        master = as_generator(rng)
+    else:
+        rng_mode = "per-replica"
+        generators = spawn_generators(rng, repetitions)
+        master = None
+
+    base = process.initial_colors(initial)
+    valid_colors = frozenset(int(c) for c in np.unique(base))
+    dtype = narrow_int_dtype(max(n, width + 1))
+    colors = np.tile(base.astype(dtype, copy=False), (repetitions, 1))
+
+    rounds_out = np.full(repetitions, max_rounds, dtype=np.int64)
+    stabilized = np.zeros(repetitions, dtype=bool)
+    winning_color = np.empty(repetitions, dtype=np.int64)
+    winning_fraction = np.empty(repetitions, dtype=float)
+    streak = np.zeros(repetitions, dtype=np.int64)
+    active = np.arange(repetitions)
+
+    _, leaders, fractions = _plurality_matrix(colors, width, n)
+    rounds = 0
+    while active.size and rounds < max_rounds:
+        if batched:
+            colors = process.update_ensemble(colors, master)
+            colors = schedule.corrupt_ensemble(rounds, colors, master)
+        else:
+            for row, replica in enumerate(active):
+                updated = process.update(colors[row], generators[replica])
+                colors[row] = schedule.corrupt(
+                    rounds, updated, generators[replica]
+                )
+        rounds += 1
+        # BoostRunnerUp can resurrect fresh color ids past the static
+        # ceiling in long stalls (consensus on c resurrects c+1, which may
+        # itself win); widen the transient counts to whatever is present.
+        width_now = max(width, int(colors.max()) + 1)
+        _, leaders, fractions = _plurality_matrix(colors, width_now, n)
+        active, colors, leaders, fractions = _streak_retire(
+            stable_fraction, stable_rounds, rounds,
+            streak, active, colors, leaders, fractions,
+            rounds_out, stabilized, winning_color, winning_fraction,
+        )
+    if active.size:
+        winning_color[active] = leaders
+        winning_fraction[active] = fractions
+        rounds_out[active] = rounds
+    return _finalize_robust(
+        process, schedule, valid_colors, "agent", rng_mode,
+        rounds_out, stabilized, winning_color, winning_fraction,
+    )
+
+
+def _adversary_counts_ensemble(
+    process: "ACAgentProcess",
+    initial: Configuration,
+    schedule: AdversarySchedule,
+    repetitions: int,
+    rng: RandomSource,
+    max_rounds: int,
+    stable_fraction: float,
+    stable_rounds: int,
+) -> RobustEnsembleResult:
+    """Exact count-level adversarial chain for AC-processes."""
+    n = initial.num_nodes
+    width = schedule.adversary.color_ceiling(initial.num_slots)
+    master = as_generator(rng)
+
+    base = initial.counts_array()
+    valid_colors = frozenset(int(c) for c in np.flatnonzero(base))
+    counts = np.zeros((repetitions, width), dtype=np.int64)
+    counts[:, : base.size] = base
+
+    rounds_out = np.full(repetitions, max_rounds, dtype=np.int64)
+    stabilized = np.zeros(repetitions, dtype=bool)
+    winning_color = np.empty(repetitions, dtype=np.int64)
+    winning_fraction = np.empty(repetitions, dtype=float)
+    streak = np.zeros(repetitions, dtype=np.int64)
+    active = np.arange(repetitions)
+
+    leaders = np.argmax(counts, axis=1)
+    fractions = counts[np.arange(repetitions), leaders] / float(n)
+    rounds = 0
+    while active.size and rounds < max_rounds:
+        counts = process.step_counts_ensemble(counts, master)
+        counts = schedule.corrupt_counts(rounds, counts, master)
+        rounds += 1
+        rows = np.arange(active.size)
+        leaders = np.argmax(counts, axis=1)
+        fractions = counts[rows, leaders] / float(n)
+        active, counts, leaders, fractions = _streak_retire(
+            stable_fraction, stable_rounds, rounds,
+            streak, active, counts, leaders, fractions,
+            rounds_out, stabilized, winning_color, winning_fraction,
+        )
+    if active.size:
+        winning_color[active] = leaders
+        winning_fraction[active] = fractions
+        rounds_out[active] = rounds
+    return _finalize_robust(
+        process, schedule, valid_colors, "counts", "batched",
+        rounds_out, stabilized, winning_color, winning_fraction,
+    )

@@ -69,11 +69,25 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--backend",
         default="ensemble-auto",
-        choices=["auto", "agent", "counts", "ensemble-auto", "ensemble-agent", "ensemble-counts"],
+        choices=[
+            "auto", "agent", "counts",
+            "ensemble-auto", "ensemble-agent", "ensemble-counts",
+            "sharded-auto", "sharded-agent", "sharded-counts",
+        ],
         help=(
             "execution strategy: ensemble-* runs all repetitions lock-step "
-            "in one array (default: ensemble-auto); auto/agent/counts is "
-            "the sequential reference path"
+            "in one array (default: ensemble-auto); sharded-* additionally "
+            "splits them over a multiprocessing pool (see --workers); "
+            "auto/agent/counts is the sequential reference path"
+        ),
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the sharded-* backends (default: all "
+            "cores; 1 = in-process, bit-for-bit the ensemble-* backend)"
         ),
     )
 
@@ -135,6 +149,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         predicted=three_majority_consensus_upper,
         max_rounds=lambda n: 10**7,
         backend=args.backend,
+        workers=args.workers,
     )
     print(result.to_table(predicted_label="Thm-4 scale").render())
     if args.output:

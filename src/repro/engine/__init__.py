@@ -5,19 +5,32 @@
   first-passage helpers for the paper's target quantities;
 * :mod:`repro.engine.stopping` — stopping conditions (consensus, ``T^κ``,
   symmetry breaking);
-* :mod:`repro.engine.metrics` — per-round trajectory metrics;
+* :mod:`repro.engine.metrics` — per-round trajectory metrics (with
+  ensemble-aware recorders);
 * :mod:`repro.engine.batch` — repetitions, summaries, CDF dominance;
 * :mod:`repro.engine.ensemble` — vectorized lock-step simulation of a
-  whole ensemble of replicas (the fast path for repeated measurements).
+  whole ensemble of replicas (the fast path for repeated measurements);
+* :mod:`repro.engine.sharded` — the same ensembles sharded across a
+  ``multiprocessing`` pool (the multicore fast path);
+* :mod:`repro.engine.asynchronous` — the one-node-per-tick companion
+  scheduler, sequential and lock-step ensemble.
 """
 
-from .asynchronous import AsyncResult, run_asynchronous, ticks_to_round_equivalents
+from .asynchronous import (
+    AsyncEnsembleResult,
+    AsyncResult,
+    run_asynchronous,
+    run_asynchronous_ensemble,
+    ticks_to_round_equivalents,
+)
 from .ensemble import (
     EnsembleResult,
+    narrow_int_dtype,
     run_agent_ensemble,
     run_counts_ensemble,
     run_ensemble,
 )
+from .sharded import ShardedEnsembleExecutor, resolve_workers, shard_bounds
 from .batch import (
     BatchSummary,
     cdf_dominates,
@@ -25,8 +38,14 @@ from .batch import (
     repeat_first_passage,
     summarize,
 )
-from .metrics import METRICS, MetricRecorder
-from .rng import as_generator, derive_seed, spawn_generators
+from .metrics import METRICS, EnsembleMetricRecorder, MetricRecorder
+from .rng import (
+    as_generator,
+    derive_seed,
+    per_replica_generators,
+    replica_seed_sequences,
+    spawn_generators,
+)
 from .simulator import (
     RoundLimitExceeded,
     SimulationResult,
@@ -50,17 +69,20 @@ from .stopping import (
 
 __all__ = [
     "AllOf",
+    "AsyncEnsembleResult",
     "AsyncResult",
     "AnyOf",
     "BatchSummary",
     "BiasAtLeast",
     "ColorsAtMost",
     "Consensus",
+    "EnsembleMetricRecorder",
     "EnsembleResult",
     "METRICS",
     "MaxSupportAbove",
     "MetricRecorder",
     "RoundLimitExceeded",
+    "ShardedEnsembleExecutor",
     "SimulationResult",
     "StoppingCondition",
     "as_generator",
@@ -69,8 +91,13 @@ __all__ = [
     "default_round_limit",
     "derive_seed",
     "empirical_cdf",
+    "narrow_int_dtype",
+    "per_replica_generators",
     "reduction_time",
+    "replica_seed_sequences",
+    "resolve_workers",
     "run_asynchronous",
+    "run_asynchronous_ensemble",
     "repeat_first_passage",
     "run",
     "run_agent",
@@ -78,6 +105,7 @@ __all__ = [
     "run_counts",
     "run_counts_ensemble",
     "run_ensemble",
+    "shard_bounds",
     "spawn_generators",
     "summarize",
     "symmetry_breaking_time",

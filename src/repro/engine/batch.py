@@ -18,6 +18,7 @@ from ..core.configuration import Configuration
 from ..processes.base import AgentProcess
 from .ensemble import run_ensemble
 from .rng import RandomSource, spawn_generators
+from .sharded import ShardedEnsembleExecutor
 from .simulator import run
 from .stopping import StoppingCondition
 
@@ -89,6 +90,7 @@ def repeat_first_passage(
     max_rounds: "int | None" = None,
     backend: str = "auto",
     rng_mode: str = "batched",
+    workers: "int | None" = None,
 ) -> np.ndarray:
     """Sample the first-passage time of ``stop`` over independent runs.
 
@@ -104,15 +106,35 @@ def repeat_first_passage(
       the ensemble engine; ``"per-replica"`` reproduces the sequential
       samples bit-for-bit on the count-level backend, ``"batched"``
       (default) is fastest and statistically equivalent.
+    * ``"sharded-auto"`` / ``"sharded-agent"`` / ``"sharded-counts"`` —
+      the ensemble path split across a ``multiprocessing`` pool of
+      ``workers`` processes (:mod:`repro.engine.sharded`); the multicore
+      fast path for heavy ensembles.  ``workers=None`` uses every core;
+      ``workers=1`` is bit-for-bit the matching ``ensemble-*`` backend,
+      and ``rng_mode="per-replica"`` results are bit-for-bit invariant to
+      the worker count.
 
     On the sequential path ``process_factory`` builds a fresh process per
     run so that processes with mutable internals stay independent across
-    repetitions; the ensemble path builds one process and requires it to
-    be safe to share across lock-step replicas (true for all built-ins,
-    which keep no per-run state).
+    repetitions; the ensemble and sharded paths build one process and
+    require it to be safe to share across lock-step replicas (true for
+    all built-ins, which keep no per-run state).
     """
     if repetitions < 1:
         raise ValueError("repetitions must be positive")
+    if backend.startswith("sharded-"):
+        executor = ShardedEnsembleExecutor(workers=workers)
+        result = executor.run(
+            process_factory(),
+            initial,
+            repetitions,
+            rng=rng,
+            stop=stop,
+            max_rounds=max_rounds,
+            backend=backend[len("sharded-"):],
+            rng_mode=rng_mode,
+        )
+        return result.times
     if backend.startswith("ensemble-"):
         result = run_ensemble(
             process_factory(),

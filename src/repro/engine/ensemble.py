@@ -41,7 +41,8 @@ import numpy as np
 
 from ..core.configuration import Configuration
 from ..processes.base import ACAgentProcess, AgentProcess
-from .rng import RandomSource, as_generator, spawn_generators
+from .metrics import MetricRecorder
+from .rng import RandomSource, as_generator, per_replica_generators
 from .simulator import (
     RoundLimitExceeded,
     default_round_limit,
@@ -51,12 +52,25 @@ from .stopping import Consensus, StoppingCondition
 
 __all__ = [
     "EnsembleResult",
+    "narrow_int_dtype",
     "run_ensemble",
     "run_agent_ensemble",
     "run_counts_ensemble",
 ]
 
 _RNG_MODES = ("batched", "per-replica")
+
+
+def narrow_int_dtype(max_value: int) -> np.dtype:
+    """The narrowest of ``int32``/``int64`` that can hold ``max_value``.
+
+    The agent-level ensemble stores its ``(R, n)`` color matrix and
+    ``(R, k)`` counts with this dtype: color ids are bounded by the slot
+    count and counts by ``n``, so ``int32`` is safe for every ``n`` up to
+    ``2³¹ − 1`` (in particular the 10⁸-node production target) and halves
+    the memory bandwidth of the per-round gather.
+    """
+    return np.dtype(np.int32 if max_value <= np.iinfo(np.int32).max else np.int64)
 
 
 @dataclass
@@ -147,12 +161,17 @@ def run_counts_ensemble(
     max_rounds: "int | None" = None,
     rng_mode: str = "batched",
     raise_on_limit: bool = True,
+    recorder: "MetricRecorder | None" = None,
 ) -> EnsembleResult:
     """Exact count-level chain for ``R`` replicas lock-step (AC-processes).
 
     Every replica starts from ``initial`` and performs one ``Mult(n, α(c))``
     transition per round; with ``rng_mode="batched"`` the whole ensemble's
     draws happen in a single broadcast multinomial call per round.
+
+    ``recorder`` receives :meth:`MetricRecorder.observe_ensemble` every
+    round (counts of the still-active replicas plus their indices), so
+    per-round trajectory metrics ride the fast path.
     """
     if not isinstance(process, ACAgentProcess):
         raise TypeError(
@@ -169,12 +188,14 @@ def run_counts_ensemble(
     active = np.arange(repetitions)
 
     if rng_mode == "per-replica":
-        generators = spawn_generators(rng, repetitions)
+        generators = per_replica_generators(rng, repetitions)
         master = None
     else:
         generators = None
         master = as_generator(rng)
 
+    if recorder is not None:
+        recorder.observe_ensemble(0, counts, active)
     mask = condition.satisfied_ensemble(counts)
     active = _retire(mask, active, 0, counts, times, stopped, final_counts)
     counts = counts[~mask]
@@ -187,6 +208,8 @@ def run_counts_ensemble(
             for row, replica in enumerate(active):
                 counts[row] = process.step_counts(counts[row], generators[replica])
         rounds += 1
+        if recorder is not None:
+            recorder.observe_ensemble(rounds, counts, active)
         mask = condition.satisfied_ensemble(counts)
         if mask.any():
             active = _retire(mask, active, rounds, counts, times, stopped, final_counts)
@@ -231,6 +254,7 @@ def run_agent_ensemble(
     max_rounds: "int | None" = None,
     rng_mode: str = "batched",
     raise_on_limit: bool = True,
+    recorder: "MetricRecorder | None" = None,
 ) -> EnsembleResult:
     """Agent-level simulation of ``R`` replicas as one ``(R, n)`` matrix.
 
@@ -240,6 +264,12 @@ def run_agent_ensemble(
     the stopping-mask and compaction machinery).  ``rng_mode="per-replica"``
     forces the loop with spawned child generators, reproducing sequential
     runs exactly for *any* process.
+
+    The color matrix (and the derived counts) are stored at the narrowest
+    safe integer dtype — ``int32`` for every ``n`` below ``2³¹`` — which
+    halves the memory traffic of the ``O(R·n)`` per-round gather without
+    touching the rng streams (indices stay ``int64``), so per-replica runs
+    remain bit-for-bit equal to the sequential backend.
     """
     _check_args(repetitions, rng_mode)
     condition = stop if stop is not None else Consensus()
@@ -255,16 +285,24 @@ def run_agent_ensemble(
         # Processes without a vectorized rule always take per-replica
         # streams; report the mode that actually ran.
         rng_mode = "per-replica"
-        generators = spawn_generators(rng, repetitions)
+        generators = per_replica_generators(rng, repetitions)
         master = None
 
-    colors = np.tile(process.initial_colors(initial), (repetitions, 1))
-    counts = _counts_matrix(process, colors, num_slots, projected)
+    dtype = narrow_int_dtype(max(initial.num_nodes, num_slots + 1))
+    colors = np.tile(
+        process.initial_colors(initial).astype(dtype, copy=False),
+        (repetitions, 1),
+    )
+    counts = _counts_matrix(process, colors, num_slots, projected).astype(
+        dtype, copy=False
+    )
     times = np.zeros(repetitions, dtype=np.int64)
     stopped = np.zeros(repetitions, dtype=bool)
     final_counts = counts.copy()
     active = np.arange(repetitions)
 
+    if recorder is not None:
+        recorder.observe_ensemble(0, counts, active)
     mask = condition.satisfied_ensemble(counts)
     active = _retire(mask, active, 0, counts, times, stopped, final_counts)
     colors = colors[~mask]
@@ -278,7 +316,11 @@ def run_agent_ensemble(
             for row, replica in enumerate(active):
                 colors[row] = process.update(colors[row], generators[replica])
         rounds += 1
-        counts = _counts_matrix(process, colors, num_slots, projected)
+        counts = _counts_matrix(process, colors, num_slots, projected).astype(
+            dtype, copy=False
+        )
+        if recorder is not None:
+            recorder.observe_ensemble(rounds, counts, active)
         mask = condition.satisfied_ensemble(counts)
         if mask.any():
             active = _retire(mask, active, rounds, counts, times, stopped, final_counts)
@@ -303,6 +345,7 @@ def run_ensemble(
     backend: str = "auto",
     rng_mode: str = "batched",
     raise_on_limit: bool = True,
+    recorder: "MetricRecorder | None" = None,
 ) -> EnsembleResult:
     """Simulate ``R`` independent replicas of ``process`` lock-step.
 
@@ -322,6 +365,7 @@ def run_ensemble(
                 max_rounds=max_rounds,
                 rng_mode=rng_mode,
                 raise_on_limit=raise_on_limit,
+                recorder=recorder,
             )
         raise TypeError(
             f"{process.name} is not an AC-process; use the agent backend"
@@ -335,4 +379,5 @@ def run_ensemble(
         max_rounds=max_rounds,
         rng_mode=rng_mode,
         raise_on_limit=raise_on_limit,
+        recorder=recorder,
     )

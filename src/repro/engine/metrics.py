@@ -22,6 +22,7 @@ __all__ = [
     "monochromatic_fraction",
     "METRICS",
     "MetricRecorder",
+    "EnsembleMetricRecorder",
 ]
 
 
@@ -103,6 +104,22 @@ class MetricRecorder:
         for name in self.names:
             self._values[name].append(METRICS[name](counts))
 
+    def observe_ensemble(
+        self, round_index: int, counts: np.ndarray, active: np.ndarray
+    ) -> None:
+        """Ensemble-engine hook: record one replica from an ``(A, k)`` matrix.
+
+        ``counts`` holds the still-active replicas' count vectors and
+        ``active`` their (sorted) global replica indices.  The base recorder
+        follows replica 0 while it is active — the natural "trace one
+        trajectory out of the ensemble" behaviour; see
+        :class:`EnsembleMetricRecorder` for a designated replica or
+        ensemble-aggregated series.
+        """
+        position = np.searchsorted(active, 0)
+        if position < active.size and active[position] == 0:
+            self.observe(round_index, counts[position])
+
     def series(self, name: str) -> np.ndarray:
         """The recorded series of metric ``name`` as an array."""
         return np.asarray(self._values[name])
@@ -116,3 +133,62 @@ class MetricRecorder:
 
     def __len__(self) -> int:
         return len(self.rounds)
+
+
+class EnsembleMetricRecorder(MetricRecorder):
+    """Per-round metrics of an ensemble run (the lock-step engines' hook).
+
+    Two recording modes:
+
+    * ``aggregate=None`` (default) — follow the count vector of the
+      ``replica`` with the given global index; recording stops at that
+      replica's stopping round (its final configuration is included).
+    * ``aggregate="mean"`` — record each metric averaged over the replicas
+      still active at the round, an ensemble-level trajectory summary.
+
+    Either way the trajectory metrics the ROADMAP tracks no longer force
+    the sequential path: pass an instance as ``recorder=`` to
+    :func:`repro.engine.ensemble.run_ensemble` (or the counts/agent
+    variants, or the asynchronous ensemble, where the index is the tick).
+    """
+
+    _AGGREGATES = (None, "mean")
+
+    def __init__(
+        self,
+        names=("num_colors", "bias", "max_support"),
+        stride: int = 1,
+        replica: int = 0,
+        aggregate: "str | None" = None,
+    ):
+        super().__init__(names=names, stride=stride)
+        if replica < 0:
+            raise ValueError("replica index must be non-negative")
+        if aggregate not in self._AGGREGATES:
+            raise ValueError(
+                f"unknown aggregate {aggregate!r}; pick one of {self._AGGREGATES}"
+            )
+        if aggregate is not None and replica != 0:
+            raise ValueError(
+                "replica= and aggregate= are mutually exclusive: an "
+                "aggregated series records no single replica"
+            )
+        self.replica = int(replica)
+        self.aggregate = aggregate
+
+    def observe_ensemble(
+        self, round_index: int, counts: np.ndarray, active: np.ndarray
+    ) -> None:
+        if self.aggregate is None:
+            position = np.searchsorted(active, self.replica)
+            if position < active.size and active[position] == self.replica:
+                self.observe(round_index, counts[position])
+            return
+        if round_index % self.stride != 0 or counts.shape[0] == 0:
+            return
+        self.rounds.append(int(round_index))
+        for name in self.names:
+            metric = METRICS[name]
+            self._values[name].append(
+                float(np.mean([metric(row) for row in counts]))
+            )

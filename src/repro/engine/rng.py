@@ -17,7 +17,14 @@ from typing import Iterable, Sequence, Union
 
 import numpy as np
 
-__all__ = ["RandomSource", "as_generator", "spawn_generators", "derive_seed"]
+__all__ = [
+    "RandomSource",
+    "as_generator",
+    "spawn_generators",
+    "replica_seed_sequences",
+    "per_replica_generators",
+    "derive_seed",
+]
 
 #: Anything accepted where randomness is needed.
 RandomSource = Union[int, np.random.Generator, np.random.SeedSequence, None]
@@ -42,6 +49,29 @@ def as_generator(source: RandomSource) -> np.random.Generator:
     raise TypeError(f"cannot build a Generator from {type(source).__name__}")
 
 
+def replica_seed_sequences(source: RandomSource, count: int) -> list:
+    """Derive ``count`` independent child :class:`~numpy.random.SeedSequence`\\ s.
+
+    This is the derivation underlying :func:`spawn_generators`, exposed so
+    callers that ship streams across process boundaries (the sharded
+    ensemble executor) can hand each worker exactly the sequences the
+    in-process engine would have spawned — replica ``i`` receives the same
+    stream no matter how the ensemble is sharded.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if isinstance(source, np.random.Generator):
+        seed_seq = source.bit_generator.seed_seq
+        if seed_seq is None:  # pragma: no cover - exotic bit generators
+            seed_seq = np.random.SeedSequence(int(source.integers(2**63)))
+        return seed_seq.spawn(count)
+    if isinstance(source, np.random.SeedSequence):
+        return source.spawn(count)
+    return np.random.SeedSequence(
+        int(source) if source is not None else None
+    ).spawn(count)
+
+
 def spawn_generators(source: RandomSource, count: int) -> list:
     """Derive ``count`` independent child generators from ``source``.
 
@@ -50,20 +80,27 @@ def spawn_generators(source: RandomSource, count: int) -> list:
     existing ``Generator`` we spawn from its bit generator's seed sequence,
     so repeated calls hand out fresh, non-overlapping streams.
     """
-    if count < 0:
-        raise ValueError("count must be non-negative")
-    if isinstance(source, np.random.Generator):
-        seed_seq = source.bit_generator.seed_seq
-        if seed_seq is None:  # pragma: no cover - exotic bit generators
-            seed_seq = np.random.SeedSequence(int(source.integers(2**63)))
-        children = seed_seq.spawn(count)
-    elif isinstance(source, np.random.SeedSequence):
-        children = source.spawn(count)
-    else:
-        children = np.random.SeedSequence(
-            int(source) if source is not None else None
-        ).spawn(count)
-    return [np.random.default_rng(child) for child in children]
+    return [
+        np.random.default_rng(child)
+        for child in replica_seed_sequences(source, count)
+    ]
+
+
+def per_replica_generators(source, count: int) -> list:
+    """One generator per replica, honouring pre-derived stream lists.
+
+    ``source`` may be any :data:`RandomSource` (spawn ``count`` children as
+    :func:`spawn_generators` does) or a list/tuple of exactly ``count``
+    sources, one per replica — the hand-off used by the sharded executor so
+    a shard's replicas keep their global stream identities.
+    """
+    if isinstance(source, (list, tuple)):
+        if len(source) != count:
+            raise ValueError(
+                f"need exactly {count} per-replica rng sources, got {len(source)}"
+            )
+        return [as_generator(item) for item in source]
+    return spawn_generators(source, count)
 
 
 def derive_seed(source: RandomSource, stream: int) -> int:

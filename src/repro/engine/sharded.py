@@ -1,0 +1,232 @@
+"""Sharded multicore ensembles: one ensemble, many worker processes.
+
+The vectorized ensemble engine (:mod:`repro.engine.ensemble`) saturates a
+single core; this module scales past it by splitting an ``R``-replica
+ensemble into per-worker *shards*, running each shard through the
+existing :func:`~repro.engine.ensemble.run_ensemble` in a
+``multiprocessing`` pool, and merging the shard results back into one
+:class:`~repro.engine.ensemble.EnsembleResult` in replica order.
+
+Reproducibility is seed-derived, not scheduler-derived:
+
+* Replica streams are spawned once, up front, with
+  :func:`repro.engine.rng.replica_seed_sequences` — exactly the children
+  the in-process engine would spawn — and each shard receives its
+  replicas' sequences.  With ``rng_mode="per-replica"`` every replica
+  therefore consumes the same stream no matter how the ensemble is
+  sharded: results are **bit-for-bit invariant to the worker count** (and
+  equal to the sequential backend, the existing engine guarantee).
+* With ``rng_mode="batched"`` a shard shares one stream (its first
+  replica's sequence), so results are deterministic for a fixed
+  ``(seed, workers)`` pair and statistically equivalent across worker
+  counts.
+* ``workers=1`` skips the pool entirely and runs in-process — bit-for-bit
+  identical to ``backend="ensemble-*"``.
+
+Workers are started with the ``spawn`` method (fork-safety: no inherited
+locks or rng state; the payloads — process object, configuration,
+stopping condition, seed sequences — are all plain picklable values).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.configuration import Configuration
+from ..processes.base import AgentProcess
+from .ensemble import EnsembleResult, run_ensemble
+from .rng import RandomSource, replica_seed_sequences
+from .simulator import RoundLimitExceeded, default_round_limit
+from .stopping import StoppingCondition
+
+__all__ = ["ShardedEnsembleExecutor", "resolve_workers", "shard_bounds"]
+
+
+def resolve_workers(workers: "int | None") -> int:
+    """Normalise a ``workers`` request (``None`` → all available cores)."""
+    if workers is None:
+        return os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    return int(workers)
+
+
+def shard_bounds(repetitions: int, shards: int) -> "list[tuple[int, int]]":
+    """Split ``repetitions`` replicas into ``shards`` contiguous ranges.
+
+    Balanced to within one replica; earlier shards take the remainder.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be positive")
+    if shards < 1:
+        raise ValueError("shards must be positive")
+    shards = min(shards, repetitions)
+    base, extra = divmod(repetitions, shards)
+    bounds = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+@dataclass(frozen=True)
+class _ShardPayload:
+    """Everything one worker needs; shipped through pickle to the pool."""
+
+    process: AgentProcess
+    initial: Configuration
+    repetitions: int
+    rng: object  # SeedSequence (batched) or list of SeedSequences (per-replica)
+    stop: "StoppingCondition | None"
+    max_rounds: "int | None"
+    backend: str
+    rng_mode: str
+
+
+def _run_shard(payload: _ShardPayload) -> EnsembleResult:
+    """Pool worker: one in-process ensemble run over the shard's replicas.
+
+    Round limits are *reported*, not raised, so a straggler shard cannot
+    poison the pool with an exception; the merge step re-raises once the
+    full ensemble view is assembled.
+    """
+    return run_ensemble(
+        payload.process,
+        payload.initial,
+        payload.repetitions,
+        rng=payload.rng,
+        stop=payload.stop,
+        max_rounds=payload.max_rounds,
+        backend=payload.backend,
+        rng_mode=payload.rng_mode,
+        raise_on_limit=False,
+    )
+
+
+class ShardedEnsembleExecutor:
+    """Run ensembles sharded across a pool of worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count; ``None`` means one per available core.
+        ``workers=1`` executes in-process (no pool, no pickling) and is
+        bit-for-bit identical to calling
+        :func:`~repro.engine.ensemble.run_ensemble` directly.
+    mp_context:
+        ``multiprocessing`` start method; ``"spawn"`` (default) is safe
+        everywhere.  Workers inherit the parent environment, so
+        ``PYTHONPATH``-based source checkouts work unchanged.
+    """
+
+    def __init__(self, workers: "int | None" = None, mp_context: str = "spawn"):
+        self.workers = resolve_workers(workers)
+        self.mp_context = mp_context
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(workers={self.workers}, "
+            f"mp_context={self.mp_context!r})"
+        )
+
+    def run(
+        self,
+        process: AgentProcess,
+        initial: Configuration,
+        repetitions: int,
+        rng: RandomSource = None,
+        stop: "StoppingCondition | None" = None,
+        max_rounds: "int | None" = None,
+        backend: str = "auto",
+        rng_mode: str = "batched",
+        raise_on_limit: bool = True,
+        recorder=None,
+    ) -> EnsembleResult:
+        """Simulate ``R`` replicas, sharded over the executor's workers.
+
+        Accepts the :func:`~repro.engine.ensemble.run_ensemble` surface;
+        ``recorder`` is only supported in-process (``workers=1``), since a
+        recorder mutated inside pool workers would be lost on pickling.
+        """
+        if repetitions < 1:
+            raise ValueError("repetitions must be positive")
+        shards = min(self.workers, repetitions)
+        if shards == 1:
+            return run_ensemble(
+                process,
+                initial,
+                repetitions,
+                rng=rng,
+                stop=stop,
+                max_rounds=max_rounds,
+                backend=backend,
+                rng_mode=rng_mode,
+                raise_on_limit=raise_on_limit,
+                recorder=recorder,
+            )
+        if recorder is not None:
+            raise ValueError(
+                "metric recording requires workers=1 (recorders cannot be "
+                "merged across pool workers)"
+            )
+        sequences = replica_seed_sequences(rng, repetitions)
+        payloads = []
+        for lo, hi in shard_bounds(repetitions, shards):
+            shard_rng = (
+                sequences[lo:hi] if rng_mode == "per-replica" else sequences[lo]
+            )
+            payloads.append(
+                _ShardPayload(
+                    process=process,
+                    initial=initial,
+                    repetitions=hi - lo,
+                    rng=shard_rng,
+                    stop=stop,
+                    max_rounds=max_rounds,
+                    backend=backend,
+                    rng_mode=rng_mode,
+                )
+            )
+        context = multiprocessing.get_context(self.mp_context)
+        with context.Pool(processes=len(payloads)) as pool:
+            shard_results = pool.map(_run_shard, payloads)
+        return self._merge(
+            process, stop, initial, max_rounds, shard_results, raise_on_limit
+        )
+
+    @staticmethod
+    def _merge(
+        process: AgentProcess,
+        stop: "StoppingCondition | None",
+        initial: Configuration,
+        max_rounds: "int | None",
+        shard_results: "list[EnsembleResult]",
+        raise_on_limit: bool,
+    ) -> EnsembleResult:
+        """Concatenate shard results back into global replica order."""
+        first = shard_results[0]
+        times = np.concatenate([r.times for r in shard_results])
+        stopped = np.concatenate([r.stopped for r in shard_results])
+        final_counts = np.vstack([r.final_counts for r in shard_results])
+        if raise_on_limit and not np.all(stopped):
+            limit = (
+                max_rounds
+                if max_rounds is not None
+                else default_round_limit(initial.num_nodes)
+            )
+            raise RoundLimitExceeded(process.name, limit, first.stop_label)
+        return EnsembleResult(
+            process_name=first.process_name,
+            times=times,
+            stopped=stopped,
+            final_counts=final_counts,
+            backend=first.backend,
+            stop_label=first.stop_label,
+            rng_mode=first.rng_mode,
+        )

@@ -101,6 +101,7 @@ def sweep_first_passage(
     max_rounds: "Callable[[int], int] | None" = None,
     backend: str = "auto",
     param_name: str = "n",
+    workers: "int | None" = None,
 ) -> SweepResult:
     """Run a first-passage scaling sweep.
 
@@ -113,8 +114,9 @@ def sweep_first_passage(
     ``backend`` is forwarded to :func:`repeat_first_passage`; pass
     ``"ensemble-auto"`` to run each sweep point's repetitions lock-step in
     the vectorized ensemble engine (the fast path for production-scale
-    sweeps), or keep the sequential ``"auto"``/``"agent"``/``"counts"``
-    for exactness cross-checks.
+    sweeps), ``"sharded-auto"`` to additionally spread them over
+    ``workers`` processes, or keep the sequential
+    ``"auto"``/``"agent"``/``"counts"`` for exactness cross-checks.
     """
     points = []
     for index, n in enumerate(n_values):
@@ -128,6 +130,7 @@ def sweep_first_passage(
             rng=point_seed,
             max_rounds=max_rounds(n) if max_rounds is not None else None,
             backend=backend,
+            workers=workers,
         )
         points.append(
             SweepPoint(

@@ -30,6 +30,7 @@ from ..core.configuration import Configuration
 __all__ = [
     "AgentProcess",
     "ACAgentProcess",
+    "row_gather",
     "sample_uniform_nodes",
     "counts_from_colors",
 ]
@@ -56,6 +57,20 @@ def counts_from_colors(colors: np.ndarray, num_slots: int) -> np.ndarray:
     return np.bincount(colors, minlength=num_slots).astype(np.int64)
 
 
+def row_gather(colors: np.ndarray, sampled: np.ndarray) -> np.ndarray:
+    """Gather ``colors[r, sampled[r]]`` row-wise via one flat ``take``.
+
+    ``ndarray.take`` on the flattened matrix is several times faster than
+    ``np.take_along_axis`` for the ensemble engines' ``(R, c·n)`` sample
+    shapes (the ``O(R·n)`` gather is the agent-ensemble hot path), and it
+    is a pure indexing change: the rng stream is untouched, so batched
+    runs stay reproducible.
+    """
+    reps, n = colors.shape
+    offsets = (np.arange(reps, dtype=sampled.dtype) * n)[:, None]
+    return colors.ravel().take(sampled + offsets)
+
+
 class AgentProcess(abc.ABC):
     """A synchronous update rule executed by every node in parallel.
 
@@ -75,6 +90,13 @@ class AgentProcess(abc.ABC):
     #: ensemble engine uses this to pick between the batched path and the
     #: exactness-preserving per-replica loop.
     has_vectorized_ensemble: bool = False
+    #: True when :meth:`update_from_samples` expresses the node rule as a
+    #: pure function of the node's own color and its uniform samples.  The
+    #: asynchronous engines use it to update one node in ``O(samples)`` work
+    #: instead of running the full synchronous round and discarding all but
+    #: one entry.  Processes whose rule needs more than (own color, sampled
+    #: colors) — graph topologies, auxiliary per-node state — leave it off.
+    has_sample_update: bool = False
 
     @abc.abstractmethod
     def update(self, colors: np.ndarray, rng: np.random.Generator) -> np.ndarray:
@@ -83,6 +105,37 @@ class AgentProcess(abc.ABC):
         ``colors`` is an ``n``-vector of non-negative color ids.  The input
         array must not be mutated.
         """
+
+    def update_from_samples(
+        self, own: np.ndarray, picks: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """The node rule applied to pre-drawn uniform samples.
+
+        ``own`` holds the updating nodes' current colors (any shape) and
+        ``picks`` their sampled colors with a trailing axis of length
+        :attr:`samples_per_round`; the result has ``own``'s shape.  Only
+        meaningful when :attr:`has_sample_update` is set — the asynchronous
+        engines vectorize one-tick-per-replica updates through it.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not expose a per-sample update rule"
+        )
+
+    def update_node(
+        self, colors: np.ndarray, node: int, rng: np.random.Generator
+    ) -> int:
+        """The next color of ``node`` alone under one asynchronous tick.
+
+        Processes with :attr:`has_sample_update` draw just the node's
+        :attr:`samples_per_round` samples (``O(1)`` work); the generic
+        fallback runs the full synchronous :meth:`update` and keeps the
+        node's entry — correct for every process, since updates depend only
+        on the node's own samples, but ``O(n)`` per tick.
+        """
+        if self.has_sample_update:
+            ids = rng.integers(0, colors.shape[0], size=self.samples_per_round)
+            return self.update_from_samples(colors[node], colors[ids], rng)
+        return self.update(colors, rng)[node]
 
     def update_ensemble(
         self, colors: np.ndarray, rng: np.random.Generator

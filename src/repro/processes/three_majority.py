@@ -26,7 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.ac_process import ThreeMajorityFunction
-from .base import ACAgentProcess, sample_uniform_nodes
+from .base import ACAgentProcess, row_gather, sample_uniform_nodes
 
 __all__ = ["ThreeMajority", "ThreeMajorityResample"]
 
@@ -36,6 +36,7 @@ class ThreeMajority(ACAgentProcess):
 
     samples_per_round = 3
     has_vectorized_ensemble = True
+    has_sample_update = True
 
     def __init__(self):
         super().__init__(ThreeMajorityFunction())
@@ -44,26 +45,27 @@ class ThreeMajority(ACAgentProcess):
         n = colors.shape[0]
         sampled = sample_uniform_nodes(n, 3, rng)
         picks = colors[sampled]
-        a, b, c = picks[:, 0], picks[:, 1], picks[:, 2]
+        return self.update_from_samples(colors, picks, rng)
+
+    def update_from_samples(
+        self, own: np.ndarray, picks: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        a, b, c = picks[..., 0], picks[..., 1], picks[..., 2]
         # A color seen at least twice wins; with all three distinct, a
         # uniformly random sample is adopted (footnote 1: a *fixed* sample
         # would do as well — the distributions coincide — but we implement
         # the stated rule).
-        random_pick = rng.integers(0, 3, size=n)
-        fallback = np.take_along_axis(picks, random_pick[:, None], axis=1)[:, 0]
-        out = np.where(a == b, a, np.where(b == c, b, np.where(a == c, a, fallback)))
-        return out
+        random_pick = rng.integers(0, 3, size=a.shape)
+        fallback = np.take_along_axis(picks, random_pick[..., None], axis=-1)[..., 0]
+        return np.where(a == b, a, np.where(b == c, b, np.where(a == c, a, fallback)))
 
     def update_ensemble(
         self, colors: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
         reps, n = colors.shape
         sampled = rng.integers(0, n, size=(reps, 3 * n))
-        picks = np.take_along_axis(colors, sampled, axis=1).reshape(reps, n, 3)
-        a, b, c = picks[..., 0], picks[..., 1], picks[..., 2]
-        random_pick = rng.integers(0, 3, size=(reps, n))
-        fallback = np.take_along_axis(picks, random_pick[..., None], axis=2)[..., 0]
-        return np.where(a == b, a, np.where(b == c, b, np.where(a == c, a, fallback)))
+        picks = row_gather(colors, sampled).reshape(reps, n, 3)
+        return self.update_from_samples(colors, picks, rng)
 
 
 class ThreeMajorityResample(ACAgentProcess):
@@ -87,6 +89,7 @@ class ThreeMajorityResample(ACAgentProcess):
     name = "3-majority/resample"
     samples_per_round = 3
     has_vectorized_ensemble = True
+    has_sample_update = True
 
     def __init__(self):
         super().__init__(ThreeMajorityFunction())
@@ -100,12 +103,17 @@ class ThreeMajorityResample(ACAgentProcess):
         third = colors[sampled[:, 2]]
         return np.where(first == second, first, third)
 
+    def update_from_samples(
+        self, own: np.ndarray, picks: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return np.where(
+            picks[..., 0] == picks[..., 1], picks[..., 0], picks[..., 2]
+        )
+
     def update_ensemble(
         self, colors: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
         reps, n = colors.shape
         sampled = rng.integers(0, n, size=(reps, 3 * n))
-        picks = np.take_along_axis(colors, sampled, axis=1).reshape(reps, n, 3)
-        return np.where(
-            picks[..., 0] == picks[..., 1], picks[..., 0], picks[..., 2]
-        )
+        picks = row_gather(colors, sampled).reshape(reps, n, 3)
+        return self.update_from_samples(colors, picks, rng)

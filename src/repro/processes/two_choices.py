@@ -31,7 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.configuration import Configuration
-from .base import AgentProcess, sample_uniform_nodes
+from .base import AgentProcess, row_gather, sample_uniform_nodes
 
 __all__ = ["TwoChoices", "TwoChoicesBirthUpper", "two_choices_expected_fractions"]
 
@@ -43,6 +43,7 @@ class TwoChoices(AgentProcess):
     samples_per_round = 2
     is_anonymous = False
     has_vectorized_ensemble = True
+    has_sample_update = True
 
     def update(self, colors: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         n = colors.shape[0]
@@ -51,13 +52,18 @@ class TwoChoices(AgentProcess):
         second = colors[sampled[:, 1]]
         return np.where(first == second, first, colors)
 
+    def update_from_samples(
+        self, own: np.ndarray, picks: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return np.where(picks[..., 0] == picks[..., 1], picks[..., 0], own)
+
     def update_ensemble(
         self, colors: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
         reps, n = colors.shape
         sampled = rng.integers(0, n, size=(reps, 2 * n))
-        picks = np.take_along_axis(colors, sampled, axis=1).reshape(reps, n, 2)
-        return np.where(picks[..., 0] == picks[..., 1], picks[..., 0], colors)
+        picks = row_gather(colors, sampled).reshape(reps, n, 2)
+        return self.update_from_samples(colors, picks, rng)
 
     def expected_next_fractions(self, config: Configuration) -> np.ndarray:
         """Exact expected next fraction vector (footnote 2's identity)."""

@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.ac_process import VoterFunction
-from .base import ACAgentProcess, sample_uniform_nodes
+from .base import ACAgentProcess, row_gather, sample_uniform_nodes
 
 __all__ = ["Voter"]
 
@@ -27,6 +27,7 @@ class Voter(ACAgentProcess):
 
     samples_per_round = 1
     has_vectorized_ensemble = True
+    has_sample_update = True
 
     def __init__(self):
         super().__init__(VoterFunction())
@@ -36,9 +37,14 @@ class Voter(ACAgentProcess):
         sampled = sample_uniform_nodes(n, 1, rng)[:, 0]
         return colors[sampled]
 
+    def update_from_samples(
+        self, own: np.ndarray, picks: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return picks[..., 0]
+
     def update_ensemble(
         self, colors: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
         reps, n = colors.shape
         sampled = rng.integers(0, n, size=(reps, n))
-        return np.take_along_axis(colors, sampled, axis=1)
+        return row_gather(colors, sampled)

@@ -1,0 +1,337 @@
+"""Tests for the lock-step adversarial ensemble (repro.adversary.robust_runner).
+
+The load-bearing guarantee mirrors the synchronous ensemble's: with
+``rng_mode="per-replica"`` the ensemble spawns one child generator per
+replica and consumes it exactly as the sequential
+:func:`run_with_adversary` would, so per-replica outcomes (rounds,
+stabilisation, winner, fraction, validity) agree **bit-for-bit**.  The
+batched agent and count-level backends are checked for distributional
+agreement and invariants, and the vectorized / count-level corruption
+laws against their sequential counterparts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    AdversarySchedule,
+    BoostRunnerUp,
+    PlantInvalid,
+    RandomNoise,
+    run_with_adversary,
+    run_with_adversary_ensemble,
+)
+from repro.core import Configuration
+from repro.engine import spawn_generators
+from repro.processes import ThreeMajority, TwoChoices, Voter
+
+
+# ---------------------------------------------------------------------------
+# Corruption laws: ensemble masks and count-level images.
+
+
+class TestCorruptEnsemble:
+    def test_random_noise_budget_and_colors(self, rng):
+        colors = np.zeros((6, 100), dtype=np.int64)
+        out = RandomNoise(budget=5, num_colors=3).corrupt_ensemble(colors, rng)
+        assert out.shape == colors.shape
+        changed = (out != colors).sum(axis=1)
+        assert np.all(changed <= 5)
+        assert out.max() < 3
+        # Input untouched.
+        assert colors.sum() == 0
+
+    def test_plant_invalid_exact_budget_per_replica(self, rng):
+        colors = np.zeros((4, 50), dtype=np.int64)
+        out = PlantInvalid(budget=7, invalid_color=9).corrupt_ensemble(colors, rng)
+        assert np.all((out == 9).sum(axis=1) == 7)
+
+    def test_boost_runner_up_row_loop_fallback(self, rng):
+        colors = np.tile(np.asarray([0] * 80 + [1] * 20), (3, 1))
+        out = BoostRunnerUp(budget=10).corrupt_ensemble(colors, rng)
+        assert np.all((out == 1).sum(axis=1) == 30)
+        assert np.all((out == 0).sum(axis=1) == 70)
+
+    def test_zero_budget_noop(self, rng):
+        colors = np.arange(40).reshape(4, 10)
+        for adversary in (RandomNoise(0, 2), PlantInvalid(0, 99)):
+            assert np.array_equal(adversary.corrupt_ensemble(colors, rng), colors)
+
+    def test_budget_larger_than_population(self, rng):
+        colors = np.zeros((2, 5), dtype=np.int64)
+        out = PlantInvalid(budget=50, invalid_color=3).corrupt_ensemble(colors, rng)
+        assert np.all(out == 3)
+
+
+class TestCorruptCounts:
+    def test_population_preserved(self, rng):
+        counts = np.tile(np.asarray([40, 30, 30, 0, 0]), (5, 1))
+        for adversary in (
+            RandomNoise(6, 3),
+            PlantInvalid(6, invalid_color=4),
+            BoostRunnerUp(6),
+        ):
+            assert adversary.supports_counts
+            out = adversary.corrupt_counts(counts, rng)
+            assert np.all(out.sum(axis=1) == 100)
+            assert np.all(out >= 0)
+
+    def test_plant_invalid_moves_exact_budget(self, rng):
+        counts = np.tile(np.asarray([50, 50, 0]), (4, 1))
+        out = PlantInvalid(5, invalid_color=2).corrupt_counts(counts, rng)
+        assert np.all(out[:, 2] == 5)
+        assert np.all(out.sum(axis=1) == 100)
+
+    def test_boost_runner_up_deterministic_move(self, rng):
+        counts = np.asarray([[70, 20, 10], [100, 0, 0]])
+        out = BoostRunnerUp(8).corrupt_counts(counts, rng)
+        # Row 0: leader 0 loses 8 to challenger 1.
+        assert list(out[0]) == [62, 28, 10]
+        # Row 1 (consensus): resurrect color 1.
+        assert list(out[1]) == [92, 8, 0]
+
+    def test_boost_runner_up_consensus_on_last_slot_is_noop(self, rng):
+        counts = np.asarray([[0, 0, 100]])
+        out = BoostRunnerUp(8).corrupt_counts(counts, rng)
+        assert list(out[0]) == [0, 0, 100]
+
+    def test_base_adversary_has_no_counts_law(self, rng):
+        class Custom(RandomNoise):
+            supports_counts = False
+
+            def corrupt_counts(self, counts, rng):
+                return super(RandomNoise, self).corrupt_counts(counts, rng)
+
+        with pytest.raises(NotImplementedError):
+            Custom(1, 2).corrupt_counts(np.asarray([[5, 5]]), rng)
+
+    def test_color_ceilings(self):
+        assert RandomNoise(1, 7).color_ceiling(3) == 7
+        assert PlantInvalid(1, 9).color_ceiling(3) == 10
+        assert BoostRunnerUp(1).color_ceiling(3) == 4
+
+    def test_schedule_gates_ensemble_and_counts(self, rng):
+        schedule = AdversarySchedule(PlantInvalid(5, 9), start=2, stop=4)
+        colors = np.zeros((3, 20), dtype=np.int64)
+        counts = np.tile(np.asarray([20, 0, 0, 0, 0, 0, 0, 0, 0, 0]), (3, 1))
+        assert schedule.corrupt_ensemble(0, colors, rng) is colors
+        assert np.all((schedule.corrupt_ensemble(2, colors, rng) == 9).sum(axis=1) == 5)
+        assert schedule.corrupt_counts(4, counts, rng) is counts
+        assert np.all(schedule.corrupt_counts(3, counts, rng)[:, 9] == 5)
+
+
+# ---------------------------------------------------------------------------
+# Per-replica mode: bit-for-bit agreement with the sequential runner.
+
+
+@pytest.mark.parametrize(
+    "make_adversary",
+    [
+        lambda: PlantInvalid(2, invalid_color=7),
+        lambda: BoostRunnerUp(3),
+        lambda: RandomNoise(2, 3),
+    ],
+)
+def test_per_replica_matches_sequential(make_adversary):
+    initial = Configuration.balanced(300, 3)
+    repetitions = 6
+    generators = spawn_generators(11, repetitions)
+    sequential = [
+        run_with_adversary(
+            ThreeMajority(), initial, make_adversary(), rng=generator,
+            max_rounds=3000, stable_fraction=0.9,
+        )
+        for generator in generators
+    ]
+    ensemble = run_with_adversary_ensemble(
+        ThreeMajority(), initial, make_adversary(), repetitions, rng=11,
+        max_rounds=3000, stable_fraction=0.9, rng_mode="per-replica",
+    )
+    assert ensemble.backend == "agent"
+    assert ensemble.rng_mode == "per-replica"
+    assert np.array_equal(ensemble.rounds, [s.rounds for s in sequential])
+    assert np.array_equal(ensemble.stabilized, [s.stabilized for s in sequential])
+    assert np.array_equal(
+        ensemble.winning_color, [s.winning_color for s in sequential]
+    )
+    assert np.allclose(
+        ensemble.winning_fraction, [s.winning_fraction for s in sequential]
+    )
+    assert np.array_equal(
+        ensemble.winner_is_valid, [s.winner_is_valid for s in sequential]
+    )
+    assert ensemble.valid_colors == sequential[0].valid_colors
+    # The round-trip view agrees field by field.
+    as_results = ensemble.results()
+    assert as_results[0].rounds == sequential[0].rounds
+    assert as_results[0].valid_almost_all_consensus == (
+        sequential[0].valid_almost_all_consensus
+    )
+
+
+def test_per_replica_with_schedule_window_matches_sequential():
+    initial = Configuration.balanced(200, 2)
+    repetitions = 5
+    make_schedule = lambda: AdversarySchedule(BoostRunnerUp(10), start=3, stop=20)
+    generators = spawn_generators(23, repetitions)
+    sequential = [
+        run_with_adversary(
+            ThreeMajority(), initial, make_schedule(), rng=generator,
+            max_rounds=2000,
+        )
+        for generator in generators
+    ]
+    ensemble = run_with_adversary_ensemble(
+        ThreeMajority(), initial, make_schedule(), repetitions, rng=23,
+        max_rounds=2000, rng_mode="per-replica",
+    )
+    assert np.array_equal(ensemble.rounds, [s.rounds for s in sequential])
+    assert np.array_equal(
+        ensemble.winning_color, [s.winning_color for s in sequential]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Batched agent and counts backends.
+
+
+def test_auto_dispatch():
+    initial = Configuration.balanced(200, 3)
+    counts_run = run_with_adversary_ensemble(
+        ThreeMajority(), initial, PlantInvalid(2, 7), 4, rng=1, max_rounds=2000,
+        stable_fraction=0.9,
+    )
+    assert counts_run.backend == "counts"
+    agent_run = run_with_adversary_ensemble(
+        TwoChoices(), Configuration.biased(200, 3, 40), RandomNoise(2, 3), 4,
+        rng=1, max_rounds=5000, stable_fraction=0.9,
+    )
+    assert agent_run.backend == "agent"
+    with pytest.raises(TypeError):
+        run_with_adversary_ensemble(
+            TwoChoices(), initial, RandomNoise(2, 3), 4, rng=1, backend="counts"
+        )
+    with pytest.raises(ValueError):
+        run_with_adversary_ensemble(
+            ThreeMajority(), initial, RandomNoise(2, 3), 4, rng=1,
+            backend="counts", rng_mode="per-replica",
+        )
+    with pytest.raises(ValueError):
+        run_with_adversary_ensemble(
+            ThreeMajority(), initial, RandomNoise(2, 3), 4, rng=1, backend="warp"
+        )
+    with pytest.raises(ValueError):
+        run_with_adversary_ensemble(
+            ThreeMajority(), initial, RandomNoise(2, 3), 0, rng=1
+        )
+    with pytest.raises(ValueError):
+        run_with_adversary_ensemble(
+            ThreeMajority(), initial, RandomNoise(2, 3), 4, rng=1,
+            stable_fraction=0.3,
+        )
+
+
+def test_auto_dispatch_respects_count_backend_tractability():
+    """auto must not pick the counts chain where the exact α is
+    intractable (HMajority wide configs) or the slot space is huge —
+    mirroring the shared engine dispatch rule."""
+    from repro.processes import HMajority
+
+    wide = Configuration.balanced(512, 64)
+    process = HMajority(5)
+    assert not process.supports_count_backend(wide)
+    result = run_with_adversary_ensemble(
+        process, wide, RandomNoise(1, 64), 2, rng=1, max_rounds=5,
+    )
+    assert result.backend == "agent"
+    # Explicitly forcing counts on an intractable config is a TypeError.
+    with pytest.raises(TypeError):
+        run_with_adversary_ensemble(
+            process, wide, RandomNoise(1, 64), 2, rng=1, backend="counts"
+        )
+    # A huge planted color id pushes the slot ceiling past the dense
+    # count-matrix limit; auto falls back to agent.
+    result = run_with_adversary_ensemble(
+        ThreeMajority(), Configuration.balanced(100, 2),
+        PlantInvalid(1, invalid_color=100_000), 2, rng=1, max_rounds=5,
+    )
+    assert result.backend == "agent"
+
+
+def test_batched_agent_backend_valid_stabilization():
+    result = run_with_adversary_ensemble(
+        ThreeMajority(), Configuration.balanced(400, 3), PlantInvalid(2, 7),
+        10, rng=3, max_rounds=3000, stable_fraction=0.9, backend="agent",
+    )
+    assert result.backend == "agent" and result.rng_mode == "batched"
+    assert result.all_stabilized
+    assert np.all(result.winner_is_valid)
+    assert np.all(result.winning_fraction >= 0.9)
+    assert np.all(result.rounds > 0)
+    assert np.all(result.valid_almost_all_consensus)
+
+
+def test_counts_backend_matches_sequential_distribution():
+    initial = Configuration.balanced(400, 3)
+    adversary = lambda: PlantInvalid(2, invalid_color=7)
+    ensemble = run_with_adversary_ensemble(
+        ThreeMajority(), initial, adversary(), 40, rng=3, max_rounds=3000,
+        stable_fraction=0.9, backend="counts",
+    )
+    assert ensemble.backend == "counts"
+    assert ensemble.all_stabilized
+    assert np.all(ensemble.winner_is_valid)
+    sequential_rounds = [
+        run_with_adversary(
+            ThreeMajority(), initial, adversary(), rng=100 + s,
+            max_rounds=3000, stable_fraction=0.9,
+        ).rounds
+        for s in range(40)
+    ]
+    ratio = ensemble.rounds.mean() / np.mean(sequential_rounds)
+    assert 0.5 < ratio < 2.0, (ensemble.rounds.mean(), np.mean(sequential_rounds))
+
+
+def test_counts_backend_boost_runner_up_stalls_but_stabilizes():
+    clean = run_with_adversary_ensemble(
+        ThreeMajority(), Configuration.balanced(300, 2), RandomNoise(0, 2),
+        8, rng=7, max_rounds=4000,
+    )
+    attacked = run_with_adversary_ensemble(
+        ThreeMajority(), Configuration.balanced(300, 2), BoostRunnerUp(10),
+        8, rng=7, max_rounds=4000,
+    )
+    assert attacked.rounds.mean() >= clean.rounds.mean()
+
+
+def test_unstabilized_replicas_report_horizon():
+    # Per-replica agent mode is bit-for-bit the sequential runner, whose
+    # overwhelming-adversary behaviour test_adversary.py pins down.
+    result = run_with_adversary_ensemble(
+        ThreeMajority(), Configuration.balanced(100, 2), BoostRunnerUp(50),
+        5, rng=9, max_rounds=50, rng_mode="per-replica",
+    )
+    assert not result.stabilized.any()
+    assert np.all(result.rounds == 50)
+    assert result.repetitions == 5
+
+
+def test_boost_runner_up_counts_tie_break_matches_sequential(rng):
+    """At an exact support tie the boost must tip the same way on both
+    backends (the sequential argsort order: highest color id leads)."""
+    counts = np.asarray([[0, 50, 50]])
+    out = BoostRunnerUp(50).corrupt_counts(counts, rng)
+    colors = np.asarray([1] * 50 + [2] * 50)
+    seq = BoostRunnerUp(50).corrupt(colors, rng)
+    assert list(out[0]) == [0, 100, 0]
+    assert np.bincount(seq, minlength=3)[1] == 100
+
+
+def test_voter_counts_backend_runs():
+    """A second AC-process exercises the counts dispatch."""
+    result = run_with_adversary_ensemble(
+        Voter(), Configuration.balanced(200, 2), RandomNoise(1, 2), 6,
+        rng=2, max_rounds=20_000, stable_fraction=0.9,
+    )
+    assert result.backend == "counts"
+    assert result.stabilized.sum() >= 5

@@ -352,6 +352,86 @@ def test_per_replica_stopping_mask_with_max_support():
     assert np.all(ensemble.final_counts.max(axis=1) > threshold)
 
 
+def test_agent_ensemble_narrow_dtype_and_overflow_guard():
+    """Color/count matrices ride int32 below 2³¹ and int64 above."""
+    from repro.engine import narrow_int_dtype
+
+    assert narrow_int_dtype(10**8) == np.int32
+    assert narrow_int_dtype(2**31 - 1) == np.int32
+    assert narrow_int_dtype(2**31) == np.int64
+    result = run_agent_ensemble(
+        ThreeMajority(), Configuration.biased(120, 4, 20), 5, rng=1
+    )
+    assert result.final_counts.dtype == np.int32
+    assert np.all(result.final_counts.sum(axis=1) == 120)
+
+
+def test_ensemble_recorder_designated_replica_matches_sequential():
+    """Recording replica 0 on the counts ensemble equals a sequential run
+    with the same stream (per-replica mode)."""
+    from repro.engine import (
+        EnsembleMetricRecorder,
+        MetricRecorder,
+        run,
+        spawn_generators,
+    )
+
+    initial = Configuration.biased(300, 3, 10)
+    recorder = EnsembleMetricRecorder(names=("num_colors", "max_support"))
+    run_counts_ensemble(
+        ThreeMajority(), initial, 5, rng=21, rng_mode="per-replica",
+        recorder=recorder,
+    )
+    reference = MetricRecorder(names=("num_colors", "max_support"))
+    run(
+        ThreeMajority(),
+        initial,
+        rng=spawn_generators(21, 5)[0],
+        backend="counts",
+        recorder=reference,
+    )
+    assert np.array_equal(recorder.series("num_colors"), reference.series("num_colors"))
+    assert np.array_equal(recorder.series("max_support"), reference.series("max_support"))
+    assert recorder.rounds == reference.rounds
+
+
+def test_ensemble_recorder_mean_aggregate_and_agent_backend():
+    from repro.engine import EnsembleMetricRecorder
+
+    recorder = EnsembleMetricRecorder(
+        names=("monochromatic_fraction",), aggregate="mean"
+    )
+    result = run_agent_ensemble(
+        ThreeMajority(), Configuration.balanced(100, 4), 6, rng=2,
+        recorder=recorder,
+    )
+    assert result.all_stopped
+    series = recorder.series("monochromatic_fraction")
+    assert len(series) >= 2
+    assert series[0] == pytest.approx(0.25)
+    # Replicas drift toward consensus, so the ensemble mean ends higher.
+    assert series[-1] > series[0]
+
+
+def test_ensemble_recorder_validation_and_plain_recorder_hook():
+    from repro.engine import EnsembleMetricRecorder, MetricRecorder
+
+    with pytest.raises(ValueError):
+        EnsembleMetricRecorder(aggregate="median")
+    with pytest.raises(ValueError):
+        EnsembleMetricRecorder(replica=-1)
+    with pytest.raises(ValueError):
+        EnsembleMetricRecorder(replica=3, aggregate="mean")
+    # A plain MetricRecorder rides the ensemble hook tracking replica 0.
+    recorder = MetricRecorder(names=("num_colors",))
+    run_ensemble(
+        ThreeMajority(), Configuration.balanced(200, 2), 4, rng=3,
+        recorder=recorder,
+    )
+    assert len(recorder) >= 1
+    assert recorder.series("num_colors")[-1] == 1
+
+
 def test_repeat_first_passage_ensemble_auto_sane():
     initial = Configuration.balanced(600, 3)
     times = repeat_first_passage(

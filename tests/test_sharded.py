@@ -1,0 +1,174 @@
+"""Tests for the sharded multicore ensemble executor (repro.engine.sharded).
+
+The load-bearing guarantees:
+
+* ``workers=1`` runs in-process and is bit-for-bit identical to the
+  plain ensemble engine (``backend="ensemble-*"``);
+* with ``rng_mode="per-replica"`` the per-replica seed sequences are
+  derived once, up front, so merged results are bit-for-bit invariant to
+  the worker count (and therefore also to the sequential backend, through
+  the existing ensemble guarantee);
+* the ``sharded-*`` backends thread through ``repeat_first_passage`` and
+  ``sweep_first_passage``.
+
+Pool runs use tiny shapes (R≤8, workers=2) — the point is to exercise the
+spawn/pickle/merge plumbing, not throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Configuration
+from repro.engine import (
+    Consensus,
+    MaxSupportAbove,
+    MetricRecorder,
+    RoundLimitExceeded,
+    ShardedEnsembleExecutor,
+    repeat_first_passage,
+    resolve_workers,
+    run_ensemble,
+    shard_bounds,
+)
+from repro.processes import ThreeMajority, TwoChoices
+
+
+class TestShardBounds:
+    def test_balanced_split(self):
+        assert shard_bounds(10, 3) == [(0, 4), (4, 7), (7, 10)]
+        assert shard_bounds(8, 2) == [(0, 4), (4, 8)]
+        assert shard_bounds(5, 1) == [(0, 5)]
+
+    def test_more_shards_than_replicas(self):
+        assert shard_bounds(2, 8) == [(0, 1), (1, 2)]
+
+    def test_covers_every_replica_exactly_once(self):
+        for repetitions in (1, 7, 16, 33):
+            for shards in (1, 2, 3, 5, 40):
+                bounds = shard_bounds(repetitions, shards)
+                covered = [i for lo, hi in bounds for i in range(lo, hi)]
+                assert covered == list(range(repetitions))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shard_bounds(0, 2)
+        with pytest.raises(ValueError):
+            shard_bounds(4, 0)
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+    def test_resolve_workers_default_is_cpu_count(self):
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(3) == 3
+
+
+class TestInProcessFallback:
+    def test_workers1_matches_ensemble_bit_for_bit(self):
+        initial = Configuration.balanced(400, 3)
+        executor = ShardedEnsembleExecutor(workers=1)
+        for rng_mode in ("batched", "per-replica"):
+            sharded = executor.run(
+                ThreeMajority(), initial, 10, rng=42, rng_mode=rng_mode
+            )
+            plain = run_ensemble(
+                ThreeMajority(), initial, 10, rng=42, rng_mode=rng_mode
+            )
+            assert np.array_equal(sharded.times, plain.times)
+            assert np.array_equal(sharded.final_counts, plain.final_counts)
+            assert sharded.backend == plain.backend
+
+    def test_workers1_supports_recorder(self):
+        recorder = MetricRecorder(names=("num_colors",))
+        result = ShardedEnsembleExecutor(workers=1).run(
+            ThreeMajority(),
+            Configuration.balanced(200, 2),
+            4,
+            rng=1,
+            recorder=recorder,
+        )
+        assert result.all_stopped
+        assert len(recorder) >= 1
+
+    def test_recorder_rejected_with_pool(self):
+        with pytest.raises(ValueError):
+            ShardedEnsembleExecutor(workers=2).run(
+                ThreeMajority(),
+                Configuration.balanced(200, 2),
+                4,
+                rng=1,
+                recorder=MetricRecorder(),
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardedEnsembleExecutor(workers=1).run(
+                ThreeMajority(), Configuration.balanced(20, 2), 0, rng=0
+            )
+
+
+@pytest.mark.bench_smoke
+class TestPoolExecution:
+    """Real multiprocessing runs — grouped so one pool spawn per guarantee."""
+
+    def test_worker_count_invariance_per_replica(self):
+        initial = Configuration.balanced(400, 3)
+        reference = run_ensemble(
+            ThreeMajority(), initial, 7, rng=42, rng_mode="per-replica"
+        )
+        sharded = ShardedEnsembleExecutor(workers=2).run(
+            ThreeMajority(), initial, 7, rng=42, rng_mode="per-replica"
+        )
+        # Bit-for-bit: same replica streams regardless of sharding.
+        assert np.array_equal(sharded.times, reference.times)
+        assert np.array_equal(sharded.stopped, reference.stopped)
+        assert np.array_equal(sharded.final_counts, reference.final_counts)
+
+    def test_merged_summary_worker_invariance_and_agent_backend(self):
+        """Agent backend through repeat_first_passage, workers=2 == workers=1."""
+        initial = Configuration.biased(120, 4, 20)
+        kwargs = dict(
+            initial=initial,
+            stop=Consensus(),
+            repetitions=6,
+            rng=7,
+            max_rounds=5000,
+            rng_mode="per-replica",
+        )
+        pooled = repeat_first_passage(
+            lambda: TwoChoices(), backend="sharded-agent", workers=2, **kwargs
+        )
+        inproc = repeat_first_passage(
+            lambda: TwoChoices(), backend="ensemble-agent", **kwargs
+        )
+        assert np.array_equal(pooled, inproc)
+        assert pooled.mean() == inproc.mean()
+
+    def test_batched_mode_deterministic_and_plausible(self):
+        initial = Configuration.balanced(600, 2)
+        executor = ShardedEnsembleExecutor(workers=2)
+        a = executor.run(ThreeMajority(), initial, 8, rng=9)
+        b = executor.run(ThreeMajority(), initial, 8, rng=9)
+        assert np.array_equal(a.times, b.times)
+        assert a.all_stopped
+        assert np.all(a.times > 0)
+        assert np.all(a.final_counts.sum(axis=1) == 600)
+
+    def test_round_limit_raises_after_merge(self):
+        with pytest.raises(RoundLimitExceeded):
+            ShardedEnsembleExecutor(workers=2).run(
+                TwoChoices(),
+                Configuration.singletons(64),
+                4,
+                rng=0,
+                max_rounds=1,
+            )
+        lenient = ShardedEnsembleExecutor(workers=2).run(
+            TwoChoices(),
+            Configuration.singletons(64),
+            4,
+            rng=0,
+            stop=MaxSupportAbove(2),
+            max_rounds=1,
+            raise_on_limit=False,
+        )
+        assert lenient.repetitions == 4

@@ -10,11 +10,12 @@ such guarantees through the AC-framework as open.
 Regenerated table: 3-Majority from a balanced k-color start against three
 adversaries (plant-invalid, boost-runner-up, random noise) at multiples
 of the [BCN+16] budget scale: stabilisation rate, rounds, and validity of
-the winner.  All replicas of one scenario run lock-step through
-``run_with_adversary_ensemble`` — the count-level fast path (3-Majority
-is an AC-process and all three adversaries have count-level corruption
-laws), which is what lets this bench afford more replicas per scenario
-than the old sequential loop.
+the winner.  Each scenario is one adversarial :class:`SimulationPlan`
+executed through the unified runtime, whose cost model resolves the
+count-level lock-step fast path (``ensemble-adversary-counts``:
+3-Majority is an AC-process and all three adversaries have count-level
+corruption laws) — which is what lets this bench afford more replicas
+per scenario than the old sequential loop.
 """
 
 import numpy as np
@@ -24,9 +25,9 @@ from repro.adversary import (
     PlantInvalid,
     RandomNoise,
     recommended_corruption_budget,
-    run_with_adversary_ensemble,
 )
 from repro.core import Configuration
+from repro.engine import SimulationPlan, execute, resolve_backend
 from repro.experiments import Table
 from repro.processes import ThreeMajority
 
@@ -52,16 +53,19 @@ def _measure():
         )
     rows = []
     for label, adversary in scenarios:
-        result = run_with_adversary_ensemble(
-            ThreeMajority(),
-            Configuration.balanced(N, K),
-            adversary,
-            REPLICAS,
+        plan = SimulationPlan(
+            process=ThreeMajority,
+            initial=Configuration.balanced(N, K),
+            repetitions=REPLICAS,
+            adversary=adversary,
             rng=SEED,
             max_rounds=8000,
             stable_fraction=0.9,
         )
-        assert result.backend == "counts", result.backend  # the fast path
+        # The registry's cost model must pick the §5 count-level fast path.
+        resolved = resolve_backend(plan).spec.name
+        assert resolved == "ensemble-adversary-counts", resolved
+        result = execute(plan).raw
         stabilized = int(result.stabilized.sum())
         valid = int(result.valid_almost_all_consensus.sum())
         rows.append(

@@ -20,16 +20,21 @@ from repro.engine import Consensus
 from repro.experiments import sweep_first_passage
 from repro.processes import ThreeMajority
 
-from conftest import emit, env_workers
+from conftest import emit, env_backend, env_workers
 
 N_VALUES = [256, 512, 1024, 2048, 4096, 8192]
 REPETITIONS = 5
 SEED = 20170217  # the paper's arXiv date
-# Execution strategy knobs shared by the sweep benches: REPRO_BACKEND
-# picks any repeat_first_passage backend (sharded-* spreads each sweep
-# point over REPRO_WORKERS pool workers; unset = all cores).
-BACKEND = os.environ.get("REPRO_BACKEND", "ensemble-auto")
+# Execution knobs shared by the sweep benches, validated against the
+# runtime's backend registry: REPRO_BACKEND picks any registered backend
+# or resolution alias (sharded-* spreads each sweep point over
+# REPRO_WORKERS pool workers; unset = all cores), and REPRO_SCHEDULER
+# moves the whole sweep onto the asynchronous one-node-per-tick model
+# (tick counts; predictions are scaled by n to match).
+BACKEND = env_backend("ensemble-auto")
+SCHEDULER = os.environ.get("REPRO_SCHEDULER", "synchronous")
 WORKERS = env_workers(None)
+_ASYNC = SCHEDULER == "asynchronous"
 
 
 def _run_sweep():
@@ -41,23 +46,27 @@ def _run_sweep():
         n_values=N_VALUES,
         repetitions=REPETITIONS,
         seed=SEED,
-        predicted=three_majority_consensus_upper,
-        # Lock-step vectorized replicas; auto picks the agent-level matrix
-        # for the wide singleton configurations and the exact count-level
-        # chain where the slot count allows it.  Override with
-        # REPRO_BACKEND=sharded-auto REPRO_WORKERS=4 for the multicore path.
+        predicted=(
+            (lambda n: three_majority_consensus_upper(n) * n)
+            if _ASYNC
+            else three_majority_consensus_upper
+        ),
         backend=BACKEND,
         workers=WORKERS,
+        scheduler=SCHEDULER,
     )
 
 
 def bench_e1_three_majority_sublinear(benchmark):
     result = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
-    table = result.to_table(predicted_label="n^0.75*log^0.875")
+    table = result.to_table(
+        predicted_label="n^1.75*log^0.875" if _ASYNC else "n^0.75*log^0.875"
+    )
     fit = result.fit()
     emit(table)
 
-    # Theorem 4's qualitative content: sublinear growth, bounded by the
-    # paper's scale with a constant below 1 (it is a generous upper bound).
-    assert fit.exponent < 0.85, fit.summary()
+    # Theorem 4's qualitative content: sublinear growth (ticks carry an
+    # extra factor n), bounded by the paper's scale with a constant below
+    # 1 (it is a generous upper bound).
+    assert fit.exponent < (1.85 if _ASYNC else 0.85), fit.summary()
     assert np.all(result.means() <= result.predictions()), "exceeded paper bound"

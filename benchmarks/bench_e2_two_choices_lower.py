@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.analysis import fit_power_law_with_log_correction
 from repro.core import Configuration
-from repro.engine import MaxSupportAbove, ShardedEnsembleExecutor
+from repro.engine import MaxSupportAbove, SimulationPlan, execute
 from repro.experiments import Table
 from repro.processes import ThreeMajority, TwoChoices
 
@@ -28,15 +28,31 @@ from conftest import emit, env_workers
 GAMMA = 3.0
 N_VALUES = [1024, 2048, 4096, 8192]
 REPLICAS = 5
-# workers=1 (the default) runs in-process, bit-for-bit the plain ensemble
-# engine, so the committed assertions see exactly the trajectories they
-# were tuned on.  REPRO_WORKERS>1 spreads each ensemble over a
-# multiprocessing pool as a perf experiment: the default batched streams
-# are repartitioned per shard, so trajectories differ (statistically
-# equivalent) and the seed-tuned qualitative assertions below, while
-# expected to hold, are not guaranteed bit-for-bit.
-_EXECUTOR = ShardedEnsembleExecutor(workers=env_workers(1))
-run_ensemble = _EXECUTOR.run
+# workers=1 (the default) degenerates the sharded backends to the plain
+# in-process ensemble, so the committed assertions see exactly the
+# trajectories they were tuned on.  REPRO_WORKERS>1 spreads each ensemble
+# over the runtime's persistent multiprocessing pool as a perf
+# experiment: the default batched streams are repartitioned per shard, so
+# trajectories differ (statistically equivalent) and the seed-tuned
+# qualitative assertions below, while expected to hold, are not
+# guaranteed bit-for-bit.
+WORKERS = env_workers(1)
+
+
+def run_ensemble(process, initial, repetitions, rng, stop, max_rounds,
+                 raise_on_limit=True, backend="sharded-auto"):
+    """One measurement through the unified runtime (sharded family)."""
+    return execute(SimulationPlan(
+        process=process,
+        initial=initial,
+        stop=stop,
+        repetitions=repetitions,
+        rng=rng,
+        max_rounds=max_rounds,
+        raise_on_limit=raise_on_limit,
+        workers=WORKERS,
+        backend=backend,
+    ))
 
 
 def _budget_table():
@@ -68,7 +84,7 @@ def _budget_table():
             stop=MaxSupportAbove(threshold),
             max_rounds=budget,
             raise_on_limit=False,
-            backend="agent",
+            backend="sharded-agent",
         )
         broke_2c = int(result_2c.stopped.sum())
         broke_3m = int(result_3m.stopped.sum())

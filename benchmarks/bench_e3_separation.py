@@ -9,8 +9,6 @@ Regenerated series: consensus time of both processes from the n-color
 configuration, their ratio (growing with n), and fitted exponents.
 """
 
-import os
-
 import numpy as np
 
 from repro.analysis import fit_power_law
@@ -19,13 +17,14 @@ from repro.engine import Consensus, repeat_first_passage
 from repro.experiments import Table
 from repro.processes import ThreeMajority, TwoChoices
 
-from conftest import emit, env_workers
+from conftest import emit, env_backend, env_workers
 
 N_VALUES = [512, 1024, 2048, 4096, 8192]
 REPLICAS = 3
-# REPRO_BACKEND=sharded-auto REPRO_WORKERS=4 moves both measurement loops
-# onto the multicore pool; the default stays the in-process ensemble.
-BACKEND = os.environ.get("REPRO_BACKEND", "ensemble-auto")
+# REPRO_BACKEND accepts any runtime-registry backend or alias
+# (sharded-auto + REPRO_WORKERS=4 moves both measurement loops onto the
+# persistent multicore pool); the default stays the in-process ensemble.
+BACKEND = env_backend("ensemble-auto")
 WORKERS = env_workers(None)
 
 

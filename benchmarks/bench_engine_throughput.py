@@ -19,6 +19,11 @@ The reproducible speedup report behind the engine layer, in four sections:
   :func:`run_with_adversary_ensemble` (count-level fast path for the
   AC-process; agent-level timing reported alongside).
 
+Each section also records which backend the unified runtime's
+``resolve_backend`` cost model picks for its representative plan
+(``resolved_backend``), so the report documents the registry's decisions
+alongside the measured speedups.
+
 Run as a script to (re)generate ``BENCH_engine.json`` at the repo root::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py [--smoke]
@@ -43,13 +48,20 @@ from repro.core import Configuration
 from repro.engine import (
     Consensus,
     ShardedEnsembleExecutor,
+    SimulationPlan,
     repeat_first_passage,
+    resolve_backend,
     run_asynchronous,
     run_asynchronous_ensemble,
     run_counts_ensemble,
     spawn_generators,
 )
 from repro.processes import ThreeMajority, TwoChoices
+
+
+def _resolved(**plan_kwargs) -> str:
+    """Which backend the runtime's cost model picks for this section."""
+    return resolve_backend(SimulationPlan(backend="auto", **plan_kwargs)).spec.name
 
 DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
@@ -183,6 +195,13 @@ def _measure_scenarios(scenarios) -> list:
             "repetitions": scenario["repetitions"],
             "sequential_backend": scenario["sequential"],
             "ensemble_backend": scenario["ensemble"],
+            "resolved_backend": _resolved(
+                process=scenario["factory"],
+                initial=scenario["initial"](),
+                stop=Consensus(),
+                repetitions=scenario["repetitions"],
+                rng=SEED,
+            ),
             "sequential_seconds": round(seq_seconds, 4),
             "ensemble_seconds": round(ens_seconds, 4),
             "speedup": round(seq_seconds / ens_seconds, 2),
@@ -208,6 +227,15 @@ def _measure_sharded(scenario) -> dict:
         "label": scenario["label"],
         "repetitions": repetitions,
         "backend": scenario["backend"],
+        "resolved_backend": _resolved(
+            process=factory,
+            initial=initial,
+            stop=Consensus(),
+            repetitions=repetitions,
+            rng=SEED,
+            rng_mode="per-replica",
+            workers=max(scenario["workers"]),
+        ),
         "workers": [],
     }
     baseline_seconds = None
@@ -269,6 +297,15 @@ def _measure_async(scenario) -> dict:
         "label": scenario["label"],
         "repetitions": repetitions,
         "tick_budget": budget,
+        "resolved_backend": _resolved(
+            process=factory,
+            initial=initial,
+            stop=Consensus(),
+            repetitions=repetitions,
+            scheduler="asynchronous",
+            rng=SEED,
+            max_rounds=budget,
+        ),
         "sequential_seconds": round(seq_seconds, 4),
         "ensemble_seconds": round(ens_seconds, 4),
         "speedup": round(seq_seconds / ens_seconds, 2),
@@ -312,6 +349,15 @@ def _measure_adversary(scenario) -> dict:
     entry = {
         "label": scenario["label"],
         "repetitions": repetitions,
+        "resolved_backend": _resolved(
+            process=factory,
+            initial=initial,
+            adversary=adversary(),
+            repetitions=repetitions,
+            rng=SEED,
+            max_rounds=max_rounds,
+            stable_fraction=0.9,
+        ),
         "sequential_seconds": round(seq_seconds, 4),
         "counts_ensemble_seconds": round(counts_seconds, 4),
         "agent_ensemble_seconds": round(agent_seconds, 4),

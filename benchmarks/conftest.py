@@ -15,6 +15,23 @@ import os
 import pytest
 
 
+def env_backend(default: str) -> str:
+    """The ``REPRO_BACKEND`` perf knob, validated against the registry.
+
+    Accepts any registered backend name or resolution alias of the
+    unified runtime; a typo fails fast with the registry's vocabulary
+    instead of deep inside a sweep.
+    """
+    from repro.engine.runtime import backend_choices
+
+    backend = os.environ.get("REPRO_BACKEND", default)
+    if backend not in backend_choices():
+        raise SystemExit(
+            f"REPRO_BACKEND={backend!r}: pick one of {', '.join(backend_choices())}"
+        )
+    return backend
+
+
 def env_workers(default: "int | None") -> "int | None":
     """One shared meaning for the ``REPRO_WORKERS`` perf knob.
 

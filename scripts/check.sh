@@ -1,15 +1,25 @@
 #!/usr/bin/env bash
-# One-command verification: tier-1 test-suite + engine-throughput smoke.
+# One-command verification: tier-1 test-suite + plan-matrix + throughput smoke.
 #
-# The smoke covers every execution path: sequential vs ensemble headline,
-# the sharded pool (R=4 over workers=2, bit-for-bit merge check), and the
-# async / adversary ensemble engines at tiny shapes.
+# Steps:
+#   1. tier-1    — the full test suite.
+#   2. plan-matrix — the cross-backend equivalence matrix (bench_smoke
+#      marker): per-replica bit-for-bit agreement of sequential vs
+#      ensemble vs sharded(workers=1,2) vs plan-resolved "auto" on
+#      3-Majority / 2-Choices / Voter, plus the async and adversary plan
+#      axes against their sequential runners.
+#   3. smoke     — the engine-throughput benchmark in ≤30 s mode
+#      (sequential vs ensemble headline, the persistent sharded pool at
+#      R=4 / workers=2, async / adversary engines, and the runtime's
+#      resolved-backend record per section).
 #
 #   scripts/check.sh            # everything
-#   scripts/check.sh -k engine  # extra args forwarded to pytest
+#   scripts/check.sh -k engine  # extra args forwarded to the tier-1 run
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 python -m pytest -x -q "$@"
+echo "== plan-matrix: cross-backend equivalence =="
+python -m pytest -x -q -m bench_smoke tests/test_runtime_matrix.py
 python benchmarks/bench_engine_throughput.py --smoke

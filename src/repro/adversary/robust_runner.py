@@ -30,7 +30,7 @@ import numpy as np
 
 from ..core.configuration import Configuration
 from ..engine.ensemble import _counts_matrix_fast, narrow_int_dtype
-from ..engine.rng import RandomSource, as_generator, spawn_generators
+from ..engine.rng import RandomSource, as_generator, per_replica_generators
 from ..engine.simulator import _COUNT_BACKEND_SLOT_LIMIT
 from ..processes.base import ACAgentProcess, AgentProcess
 from .adversary import Adversary, AdversarySchedule
@@ -376,8 +376,11 @@ def _adversary_agent_ensemble(
         generators = None
         master = as_generator(rng)
     else:
+        # per_replica_generators honours pre-derived stream lists, so the
+        # runtime's generic sharding hands each worker its replicas'
+        # global stream identities (worker-count-invariant results).
         rng_mode = "per-replica"
-        generators = spawn_generators(rng, repetitions)
+        generators = per_replica_generators(rng, repetitions)
         master = None
 
     base = process.initial_colors(initial)

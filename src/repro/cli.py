@@ -10,7 +10,12 @@ Three subcommands cover the common interactive uses of the library:
     A consensus-time scaling sweep over ``n`` for one process, with a
     power-law fit — the quick-look version of benchmark E1/E3.  With
     ``--output`` the raw sweep is saved as JSON (see
-    :mod:`repro.experiments.persistence`).
+    :mod:`repro.experiments.persistence`).  The execution strategy is any
+    runtime registry backend (``--backend``, choices derived from
+    :func:`repro.engine.runtime.backend_choices`), and the model axes are
+    plan fields: ``--scheduler asynchronous`` sweeps the one-node-per-
+    tick model (tick counts), ``--adversary plant-invalid --budget 4``
+    sweeps §5 rounds-to-stabilisation under a dynamic adversary.
 
 ``counterexample``
     Print the Appendix-B report (the exact ``7/12`` computation).
@@ -25,14 +30,31 @@ import argparse
 import sys
 from typing import Sequence
 
+from .adversary import (
+    BoostRunnerUp,
+    PlantInvalid,
+    RandomNoise,
+    recommended_corruption_budget,
+)
 from .analysis import fit_power_law, three_majority_consensus_upper
 from .core import Configuration
 from .core.hierarchy import appendix_b_counterexample, equation_24_terms
 from .engine import Consensus, MetricRecorder, repeat_first_passage, run
+from .engine.plan import SCHEDULERS
+from .engine.runtime import backend_choices
 from .experiments import Table
 from .experiments.persistence import save_sweep
 from .experiments.harness import sweep_first_passage
 from .processes import available_processes, make_process
+
+#: §5 adversary strategies the sweep subcommand can instantiate per n.
+_ADVERSARIES = {
+    "plant-invalid": lambda budget, colors: PlantInvalid(
+        budget, invalid_color=colors + 5
+    ),
+    "boost-runner-up": lambda budget, colors: BoostRunnerUp(budget),
+    "random-noise": lambda budget, colors: RandomNoise(budget, colors),
+}
 
 __all__ = ["main", "build_parser"]
 
@@ -69,16 +91,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--backend",
         default="ensemble-auto",
-        choices=[
-            "auto", "agent", "counts",
-            "ensemble-auto", "ensemble-agent", "ensemble-counts",
-            "sharded-auto", "sharded-agent", "sharded-counts",
-        ],
+        choices=list(backend_choices()),
         help=(
-            "execution strategy: ensemble-* runs all repetitions lock-step "
-            "in one array (default: ensemble-auto); sharded-* additionally "
-            "splits them over a multiprocessing pool (see --workers); "
-            "auto/agent/counts is the sequential reference path"
+            "execution strategy, resolved through the runtime's backend "
+            "registry (default: ensemble-auto, the lock-step vectorized "
+            "family); the *-auto aliases pick within a family by the "
+            "registry's cost model, sharded-* names run on the persistent "
+            "multiprocessing pool (see --workers), and the sequential "
+            "names are the bit-for-bit reference paths"
         ),
     )
     sweep.add_argument(
@@ -88,6 +108,51 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "worker processes for the sharded-* backends (default: all "
             "cores; 1 = in-process, bit-for-bit the ensemble-* backend)"
+        ),
+    )
+    sweep.add_argument(
+        "--scheduler",
+        default="synchronous",
+        choices=list(SCHEDULERS),
+        help=(
+            "scheduling model: synchronous rounds (the paper's), or the "
+            "asynchronous one-node-per-tick companion model (the sweep "
+            "then measures first-passage ticks; predictions are scaled "
+            "by n to match)"
+        ),
+    )
+    sweep.add_argument(
+        "--colors", "-k",
+        type=int,
+        default=None,
+        help="balanced k-color start (default: n singleton colors)",
+    )
+    sweep.add_argument(
+        "--adversary",
+        default=None,
+        choices=sorted(_ADVERSARIES),
+        help=(
+            "run the §5 robust model: corrupt up to --budget nodes per "
+            "round with this strategy and measure rounds until a stable "
+            "almost-all consensus regime"
+        ),
+    )
+    sweep.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help=(
+            "adversary corruption budget F per round (default: the "
+            "[BCN+16] tolerance scale for each sweep point)"
+        ),
+    )
+    sweep.add_argument(
+        "--rng-mode",
+        default="batched",
+        choices=["batched", "per-replica"],
+        help=(
+            "randomness regime: batched (fastest) or per-replica "
+            "(reproduces the sequential reference streams bit-for-bit)"
         ),
     )
 
@@ -135,23 +200,73 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.min_n < 2 or args.max_n < args.min_n:
         raise SystemExit("need 2 <= min-n <= max-n")
+    if args.colors is not None and args.colors < 2:
+        raise SystemExit("--colors must be at least 2")
+    if args.adversary is not None and args.scheduler != "synchronous":
+        raise SystemExit(
+            "--adversary needs the synchronous scheduler (the §5 fault "
+            "model corrupts after each synchronous round)"
+        )
     n_values = [args.min_n]
     while n_values[-1] * 2 <= args.max_n:
         n_values.append(n_values[-1] * 2)
-    result = sweep_first_passage(
-        name=f"consensus time of {args.process} from n distinct colors",
-        process_factory=lambda n: make_process(args.process),
-        workload=lambda n: Configuration.singletons(n),
-        stop=lambda n: Consensus(),
-        n_values=n_values,
-        repetitions=args.repetitions,
-        seed=args.seed,
-        predicted=three_majority_consensus_upper,
-        max_rounds=lambda n: 10**7,
-        backend=args.backend,
-        workers=args.workers,
+
+    if args.colors is None:
+        workload, start = Configuration.singletons, "n distinct colors"
+    else:
+        workload = lambda n: Configuration.balanced(n, args.colors)
+        start = f"{args.colors} balanced colors"
+
+    adversary = None
+    quantity, predicted_label = "consensus time", "Thm-4 scale"
+    # Ticks perform n adoption draws per synchronous-round equivalent, so
+    # the paper-scale prediction column is multiplied by n under the
+    # asynchronous scheduler.
+    tick_scale = (
+        (lambda n: n) if args.scheduler == "asynchronous" else (lambda n: 1)
     )
-    print(result.to_table(predicted_label="Thm-4 scale").render())
+    if args.scheduler == "asynchronous":
+        quantity, predicted_label = "consensus ticks", "Thm-4 scale × n"
+    if args.adversary is not None:
+        make_adversary = _ADVERSARIES[args.adversary]
+
+        def adversary(n: int):
+            colors = args.colors if args.colors is not None else n
+            budget = (
+                args.budget
+                if args.budget is not None
+                else max(1, recommended_corruption_budget(n, colors))
+            )
+            return make_adversary(budget, colors)
+
+        quantity = f"rounds to a stable valid regime vs {args.adversary}"
+        predicted_label = "Thm-4 scale"
+
+    try:
+        result = sweep_first_passage(
+            name=f"{quantity} of {args.process} from {start}",
+            process_factory=lambda n: make_process(args.process),
+            workload=workload,
+            stop=lambda n: Consensus(),
+            n_values=n_values,
+            repetitions=args.repetitions,
+            seed=args.seed,
+            predicted=lambda n: three_majority_consensus_upper(n) * tick_scale(n),
+            # Adversarial runs can stall (that is the phenomenon under
+            # study); keep their horizon at the §5 runner's default instead
+            # of the sweep's generous consensus budget.
+            max_rounds=lambda n: 50_000 if adversary is not None else 10**7,
+            backend=args.backend,
+            rng_mode=args.rng_mode,
+            workers=args.workers,
+            scheduler=args.scheduler,
+            adversary=adversary,
+        )
+    except (TypeError, ValueError) as exc:
+        # Backend/axis mismatches surface as runtime rejections; present
+        # them as usage errors, not tracebacks.
+        raise SystemExit(f"cannot run this sweep: {exc}") from exc
+    print(result.to_table(predicted_label=predicted_label).render())
     if args.output:
         save_sweep(result, args.output)
         print(f"raw sweep saved to {args.output}")

@@ -1,4 +1,4 @@
-"""Round-synchronous simulation engine.
+"""Simulation engine: execution strategies behind one unified runtime.
 
 * :mod:`repro.engine.rng` — deterministic seeding and stream spawning;
 * :mod:`repro.engine.simulator` — agent-level and exact count-level runs,
@@ -10,10 +10,16 @@
 * :mod:`repro.engine.batch` — repetitions, summaries, CDF dominance;
 * :mod:`repro.engine.ensemble` — vectorized lock-step simulation of a
   whole ensemble of replicas (the fast path for repeated measurements);
-* :mod:`repro.engine.sharded` — the same ensembles sharded across a
-  ``multiprocessing`` pool (the multicore fast path);
+* :mod:`repro.engine.sharded` — the persistent multicore worker pool the
+  sharded backends run on;
 * :mod:`repro.engine.asynchronous` — the one-node-per-tick companion
-  scheduler, sequential and lock-step ensemble.
+  scheduler, sequential and lock-step ensemble;
+* :mod:`repro.engine.plan` / :mod:`repro.engine.runtime` — the unified
+  runtime: declarative :class:`SimulationPlan`\\ s executed by the
+  cheapest registered :class:`Backend` whose declared capabilities
+  (scheduler kind, adversary support, counts tractability) cover the
+  plan.  ``execute(plan)`` is the single entry point behind
+  :func:`repeat_first_passage`, the sweep harness, and the CLI.
 """
 
 from .asynchronous import (
@@ -39,6 +45,21 @@ from .batch import (
     summarize,
 )
 from .metrics import METRICS, EnsembleMetricRecorder, MetricRecorder
+from .plan import RNG_MODES, SCHEDULERS, SimulationPlan
+from .runtime import (
+    Backend,
+    BackendSpec,
+    ExecutionResult,
+    backend_choices,
+    backend_names,
+    backend_specs,
+    execute,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    shared_executor,
+    shutdown_pools,
+)
 from .rng import (
     as_generator,
     derive_seed,
@@ -72,20 +93,35 @@ __all__ = [
     "AsyncEnsembleResult",
     "AsyncResult",
     "AnyOf",
+    "Backend",
+    "BackendSpec",
     "BatchSummary",
     "BiasAtLeast",
     "ColorsAtMost",
     "Consensus",
     "EnsembleMetricRecorder",
     "EnsembleResult",
+    "ExecutionResult",
     "METRICS",
     "MaxSupportAbove",
     "MetricRecorder",
+    "RNG_MODES",
     "RoundLimitExceeded",
+    "SCHEDULERS",
     "ShardedEnsembleExecutor",
+    "SimulationPlan",
     "SimulationResult",
     "StoppingCondition",
     "as_generator",
+    "backend_choices",
+    "backend_names",
+    "backend_specs",
+    "execute",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "shared_executor",
+    "shutdown_pools",
     "cdf_dominates",
     "consensus_time",
     "default_round_limit",

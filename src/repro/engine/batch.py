@@ -2,9 +2,10 @@
 
 The paper's statements are about distributions of first-passage times, so
 experiments always repeat runs over independent seeds.  This module
-provides the repetition loop (with :mod:`repro.engine.rng` seed spawning),
-robust summaries, and empirical-CDF utilities used to test stochastic
-dominance claims (Theorem 2).
+provides the repetition entry point (:func:`repeat_first_passage`, a thin
+wrapper over the unified runtime of :mod:`repro.engine.runtime`), robust
+summaries, and empirical-CDF utilities used to test stochastic dominance
+claims (Theorem 2).
 """
 
 from __future__ import annotations
@@ -16,10 +17,10 @@ import numpy as np
 
 from ..core.configuration import Configuration
 from ..processes.base import AgentProcess
-from .ensemble import run_ensemble
-from .rng import RandomSource, spawn_generators
-from .sharded import ShardedEnsembleExecutor
-from .simulator import run
+from .plan import SimulationPlan
+from .rng import RandomSource
+from .runtime import execute
+from .simulator import prefers_counts_backend
 from .stopping import StoppingCondition
 
 __all__ = [
@@ -91,76 +92,72 @@ def repeat_first_passage(
     backend: str = "auto",
     rng_mode: str = "batched",
     workers: "int | None" = None,
+    scheduler: str = "synchronous",
+    adversary=None,
 ) -> np.ndarray:
     """Sample the first-passage time of ``stop`` over independent runs.
 
-    ``backend`` picks the execution strategy:
+    A thin wrapper over the unified runtime: the arguments are packed
+    into a :class:`~repro.engine.plan.SimulationPlan` and executed by
+    whichever registered backend
+    :func:`~repro.engine.runtime.resolve_backend` picks.  ``backend``
+    accepts any registry name or resolution alias
+    (:func:`~repro.engine.runtime.backend_choices`); the family aliases
+    keep their historical meanings:
 
-    * ``"auto"`` / ``"agent"`` / ``"counts"`` — the sequential path: one
-      :func:`repro.engine.simulator.run` per repetition, each with its own
-      spawned child generator.
-    * ``"ensemble-auto"`` / ``"ensemble-agent"`` / ``"ensemble-counts"`` —
-      the vectorized lock-step path (:mod:`repro.engine.ensemble`): all
-      replicas advance in one array, which is ~an-order-of-magnitude
-      faster at production replica counts.  ``rng_mode`` is forwarded to
-      the ensemble engine; ``"per-replica"`` reproduces the sequential
-      samples bit-for-bit on the count-level backend, ``"batched"``
-      (default) is fastest and statistically equivalent.
+    * ``"auto"`` — the sequential reference path (one run per repetition
+      with its own spawned child generator; the streams every other
+      backend's ``rng_mode="per-replica"`` reproduces bit-for-bit).
+      With ``scheduler="asynchronous"`` or an ``adversary``, where no
+      historical stream contract exists, ``"auto"`` is the runtime's
+      full cost-model decision instead.
+    * ``"ensemble-auto"`` / ``"ensemble-agent"`` / ``"ensemble-counts"``
+      — the vectorized lock-step path, ~an order of magnitude faster at
+      production replica counts.
     * ``"sharded-auto"`` / ``"sharded-agent"`` / ``"sharded-counts"`` —
-      the ensemble path split across a ``multiprocessing`` pool of
-      ``workers`` processes (:mod:`repro.engine.sharded`); the multicore
-      fast path for heavy ensembles.  ``workers=None`` uses every core;
-      ``workers=1`` is bit-for-bit the matching ``ensemble-*`` backend,
-      and ``rng_mode="per-replica"`` results are bit-for-bit invariant to
-      the worker count.
+      the ensemble path split over the persistent ``multiprocessing``
+      pool of ``workers`` processes (``None`` = every core; ``workers=1``
+      is bit-for-bit the matching ``ensemble-*`` backend, and
+      ``rng_mode="per-replica"`` results are bit-for-bit invariant to
+      the worker count).
 
-    On the sequential path ``process_factory`` builds a fresh process per
-    run so that processes with mutable internals stay independent across
-    repetitions; the ensemble and sharded paths build one process and
-    require it to be safe to share across lock-step replicas (true for
-    all built-ins, which keep no per-run state).
+    ``scheduler="asynchronous"`` measures first-passage *ticks* of the
+    one-node-per-tick companion model (``max_rounds`` then bounds ticks);
+    passing an ``adversary`` measures rounds-to-stabilisation of the §5
+    robust runs.  Both axes resolve to their own registered backends, so
+    sweeps and the CLI run them through this same entry point.
+
+    On the sequential paths ``process_factory`` builds a fresh process
+    per run so that processes with mutable internals stay independent
+    across repetitions; the ensemble and sharded paths build one process
+    and require it to be safe to share across lock-step replicas (true
+    for all built-ins, which keep no per-run state).
     """
-    if repetitions < 1:
-        raise ValueError("repetitions must be positive")
-    if backend.startswith("sharded-"):
-        executor = ShardedEnsembleExecutor(workers=workers)
-        result = executor.run(
-            process_factory(),
-            initial,
-            repetitions,
-            rng=rng,
-            stop=stop,
-            max_rounds=max_rounds,
-            backend=backend[len("sharded-"):],
-            rng_mode=rng_mode,
+    if backend == "auto" and scheduler == "synchronous" and adversary is None:
+        # Historical contract: plain "auto" is the sequential reference
+        # path with the simulator's own representation rule, keeping
+        # pre-runtime sample streams bit-for-bit intact (the runtime's
+        # "sequential-auto" alias is cost-ranked and may legitimately
+        # disagree on exotic wider-than-n slot spaces).
+        backend = (
+            "counts"
+            if prefers_counts_backend(process_factory(), initial, "auto")
+            else "agent"
         )
-        return result.times
-    if backend.startswith("ensemble-"):
-        result = run_ensemble(
-            process_factory(),
-            initial,
-            repetitions,
-            rng=rng,
-            stop=stop,
-            max_rounds=max_rounds,
-            backend=backend[len("ensemble-"):],
-            rng_mode=rng_mode,
-        )
-        return result.times
-    generators = spawn_generators(rng, repetitions)
-    times = np.empty(repetitions, dtype=np.int64)
-    for i, generator in enumerate(generators):
-        process = process_factory()
-        result = run(
-            process,
-            initial,
-            rng=generator,
-            stop=stop,
-            max_rounds=max_rounds,
-            backend=backend,
-        )
-        times[i] = result.rounds
-    return times
+    plan = SimulationPlan(
+        process=process_factory,
+        initial=initial,
+        stop=stop,
+        repetitions=repetitions,
+        scheduler=scheduler,
+        adversary=adversary,
+        rng=rng,
+        rng_mode=rng_mode,
+        max_rounds=max_rounds,
+        workers=workers,
+        backend=backend,
+    )
+    return execute(plan).times
 
 
 def empirical_cdf(samples: np.ndarray) -> "Callable[[float], float]":

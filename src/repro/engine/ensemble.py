@@ -19,6 +19,11 @@ Per-replica stopping masks (:meth:`StoppingCondition.satisfied_ensemble`)
 record each replica's first-passage round, and finished replicas are
 *compacted out* of the active matrix so they stop paying for rounds.
 
+Both entry points are registered with the unified runtime as the
+``ensemble-agent`` / ``ensemble-counts`` backends (see
+:mod:`repro.engine.runtime`), which is how sweeps, the CLI and the
+sharded pool reach them.
+
 RNG regimes
 -----------
 ``rng_mode="batched"`` (default) draws all replicas' randomness from one

@@ -1,0 +1,995 @@
+"""Unified execution runtime: a backend registry behind every engine.
+
+PR 1–2 grew five execution paths (sequential runs, lock-step ensembles,
+sharded pools, the asynchronous scheduler, the §5 adversary runners)
+selected by string-prefix parsing duplicated across the batch helpers,
+the sweep harness and the CLI — and the async/adversary engines were not
+reachable from sweeps at all.  This module replaces that with one layer:
+
+* a :class:`SimulationPlan` (see :mod:`repro.engine.plan`) declares the
+  measurement and its model axes;
+* every execution strategy is a :class:`Backend` registered with a
+  :class:`BackendSpec` declaring its capabilities (scheduler kind,
+  adversary support, count-chain tractability requirement) and a cost
+  model;
+* :func:`resolve_backend` picks the cheapest registered backend whose
+  capabilities cover the plan — ``"auto"`` is an explicit, testable cost
+  decision instead of a hand-rolled ``startswith`` chain;
+* :func:`execute` runs the plan and returns a uniform
+  :class:`ExecutionResult` (per-replica first-passage times, stop masks,
+  final counts, plus the family's raw result object).
+
+Sharding is generic: a sharded backend splits any plan's replicas into
+per-worker sub-plans, executes each through the matching in-process
+backend on a **persistent** ``multiprocessing`` pool, and merges in
+replica order — so the asynchronous and adversarial ensembles get the
+multicore path for free, with the same seed-derivation guarantee as the
+synchronous one (``rng_mode="per-replica"`` results are bit-for-bit
+invariant to the worker count).
+
+Writing a new backend
+---------------------
+
+A backend is any object with a ``spec``, ``supports``/``eligible``,
+``cost`` and ``execute`` — duck-typed against the :class:`Backend`
+protocol::
+
+    class MyBackend:
+        spec = BackendSpec(
+            name="my-backend",
+            kind="ensemble",
+            scheduler="synchronous",
+            adversary=False,
+            representation="agent",
+            requires_counts_tractable=False,
+            description="my strategy",
+        )
+
+        def supports(self, plan):          # can it run this plan at all?
+            return plan.scheduler == "synchronous" and plan.adversary is None
+
+        def eligible(self, plan, family_forced=False):  # may "auto" pick it?
+            return self.supports(plan)
+
+        def cost(self, plan):              # estimated element-ops, lower wins
+            return plan.repetitions * plan.initial.num_nodes
+
+        def execute(self, plan):
+            ...
+            return ExecutionResult(plan=plan, backend=self.spec.name, ...)
+
+    register_backend(MyBackend())
+
+After registration the backend is resolvable by name everywhere a plan is
+executed (``repeat_first_passage``, ``sweep_first_passage``, the CLI —
+whose ``--backend`` choices are derived from this registry).
+"""
+
+from __future__ import annotations
+
+import atexit
+from dataclasses import dataclass, field, replace
+from typing import Protocol
+
+import numpy as np
+
+from ..processes.base import ACAgentProcess, AgentProcess
+from .asynchronous import (
+    AsyncEnsembleResult,
+    _default_tick_limit,
+    run_asynchronous,
+    run_asynchronous_ensemble,
+)
+from .ensemble import EnsembleResult, run_ensemble
+from .plan import SimulationPlan
+from .rng import per_replica_generators, replica_seed_sequences
+from .sharded import ShardedEnsembleExecutor, resolve_workers, shard_bounds
+from .simulator import (
+    _COUNT_BACKEND_SLOT_LIMIT,
+    RoundLimitExceeded,
+    default_round_limit,
+    run,
+)
+
+__all__ = [
+    "Backend",
+    "BackendSpec",
+    "ExecutionResult",
+    "backend_choices",
+    "backend_names",
+    "backend_specs",
+    "execute",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "shared_executor",
+    "shutdown_pools",
+]
+
+#: Default horizon of the §5 robust runner (kept in sync with
+#: :func:`repro.adversary.robust_runner.run_with_adversary`).
+_ADVERSARY_DEFAULT_HORIZON = 50_000
+
+# ---------------------------------------------------------------------------
+# Cost model.
+#
+# Costs are crude *relative* estimates in "array elements touched over the
+# whole run" — they only need to rank strategies, not predict wall time.
+# The constants encode the measured regimes of BENCH_engine.json: python
+# dispatch overhead per interpreter round (what the lock-step ensembles
+# amortise), the multinomial-vs-gather per-element gap (why the counts
+# chain wins at small k), and the one-off pool-spawn price (why sharding
+# needs heavy ensembles or a warm pool to pay).
+
+#: Interpreter overhead of one per-replica python round, in element units.
+_SEQ_OVERHEAD = 400.0
+#: Interpreter overhead of one vectorized whole-ensemble round.
+_ROUND_OVERHEAD = 400.0
+#: A count-chain element costs ~a quarter of an agent-gather element.
+_COUNTS_FACTOR = 0.25
+#: Mild edge of the ensemble per-replica loop over the sequential loop
+#: (shared stopping masks + retirement compaction).
+_ENSEMBLE_LOOP_FACTOR = 0.9
+#: Spawning a fresh ``spawn``-method pool costs ~1 s ≈ this many elements.
+_POOL_SPAWN_COST = 2.5e8
+
+
+def _sync_horizon(plan: SimulationPlan) -> float:
+    """Expected synchronous rounds actually executed (for amortisation)."""
+    n = plan.initial.num_nodes
+    if plan.adversary is not None:
+        limit = plan.max_rounds or _ADVERSARY_DEFAULT_HORIZON
+    else:
+        limit = plan.max_rounds if plan.max_rounds is not None else default_round_limit(n)
+    return float(min(limit, 6.0 * np.sqrt(n) + 48.0))
+
+
+def _async_horizon(plan: SimulationPlan) -> float:
+    """Expected asynchronous ticks actually executed."""
+    n = plan.initial.num_nodes
+    limit = plan.max_rounds if plan.max_rounds is not None else _default_tick_limit(n)
+    return float(min(limit, n * (6.0 * np.sqrt(n) + 48.0)))
+
+
+# ---------------------------------------------------------------------------
+# Capability predicates shared by the specs.
+
+
+def _counts_capable(plan: SimulationPlan, process: AgentProcess) -> bool:
+    """Can the exact count-level chain represent this plan at all?"""
+    return isinstance(process, ACAgentProcess)
+
+
+def _counts_tractable(plan: SimulationPlan, process: AgentProcess) -> bool:
+    """Should ``auto`` consider the count chain (tractable α, narrow slots)?"""
+    return (
+        isinstance(process, ACAgentProcess)
+        and process.supports_count_backend(plan.initial)
+        and plan.initial.num_slots <= _COUNT_BACKEND_SLOT_LIMIT
+    )
+
+
+def _adversary_counts_capable(plan: SimulationPlan, process: AgentProcess) -> bool:
+    """The count-level robust chain's validity rule (mirrors the runner)."""
+    schedule = plan.schedule()
+    return (
+        isinstance(process, ACAgentProcess)
+        and schedule.adversary.supports_counts
+        and type(process).initial_colors is AgentProcess.initial_colors
+        and process.supports_count_backend(plan.initial)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Spec, protocol, result.
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """Declared capabilities of one registered execution strategy."""
+
+    #: Registry key (also the user-facing ``backend=`` name).
+    name: str
+    #: Execution family: ``"sequential"`` | ``"ensemble"`` | ``"sharded"``.
+    kind: str
+    #: Scheduler this backend implements (one of :data:`~repro.engine.plan.SCHEDULERS`).
+    scheduler: str
+    #: True when the backend runs §5 adversarial plans (and only those).
+    adversary: bool
+    #: State representation: ``"agent"`` or ``"counts"``.
+    representation: str
+    #: True when ``auto`` must additionally verify count-chain tractability.
+    requires_counts_tractable: bool
+    #: One-line summary (surfaced by the CLI and the ROADMAP table).
+    description: str
+
+
+class Backend(Protocol):
+    """The protocol every registered execution strategy implements."""
+
+    spec: BackendSpec
+
+    def supports(self, plan: SimulationPlan) -> bool:
+        """Whether this backend can execute ``plan`` at all."""
+
+    def eligible(self, plan: SimulationPlan, family_forced: bool = False) -> bool:
+        """Whether cost-based resolution may pick this backend for ``plan``."""
+
+    def cost(self, plan: SimulationPlan) -> float:
+        """Relative cost estimate (element-ops); lower wins resolution."""
+
+    def execute(self, plan: SimulationPlan) -> "ExecutionResult":
+        """Run the plan and return its uniform result."""
+
+
+@dataclass
+class ExecutionResult:
+    """Uniform outcome of :func:`execute`, whatever the backend family.
+
+    ``times`` holds the per-replica first-passage measurement in
+    ``unit`` — synchronous rounds, asynchronous ticks, or rounds-to-
+    stabilisation for adversarial plans; ``stopped`` whether the plan's
+    criterion fired (stopping condition, or the §5 stable regime).
+    ``raw`` keeps the family's full result object
+    (:class:`~repro.engine.ensemble.EnsembleResult`,
+    :class:`~repro.engine.asynchronous.AsyncEnsembleResult`, or
+    :class:`~repro.adversary.robust_runner.RobustEnsembleResult`) for
+    consumers that need more than the first-passage view.
+    """
+
+    plan: SimulationPlan
+    backend: str
+    unit: str
+    times: np.ndarray
+    stopped: np.ndarray
+    final_counts: "np.ndarray | None"
+    raw: object = field(repr=False, default=None)
+
+    @property
+    def repetitions(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def all_stopped(self) -> bool:
+        return bool(np.all(self.stopped))
+
+
+# ---------------------------------------------------------------------------
+# Registry.
+
+_REGISTRY: "dict[str, Backend]" = {}
+
+#: Resolution aliases: family-restricted cost-model picks.  ``None``
+#: means "any family" (the fully automatic decision).
+_ALIAS_FAMILIES = {
+    "auto": None,
+    "sequential-auto": "sequential",
+    "ensemble-auto": "ensemble",
+    "sharded-auto": "sharded",
+}
+
+
+def register_backend(backend: Backend, replace_existing: bool = False) -> Backend:
+    """Add a backend to the registry under ``backend.spec.name``."""
+    name = backend.spec.name
+    if name in _ALIAS_FAMILIES:
+        raise ValueError(f"{name!r} is a reserved resolution alias")
+    if name in _REGISTRY and not replace_existing:
+        raise ValueError(f"backend {name!r} is already registered")
+    _REGISTRY[name] = backend
+    return backend
+
+
+def get_backend(name: str) -> Backend:
+    """Look a backend up by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; registered: {', '.join(_REGISTRY)}; "
+            f"aliases: {', '.join(_ALIAS_FAMILIES)}"
+        ) from None
+
+
+def backend_names() -> "tuple[str, ...]":
+    """Registered backend names, in registration (preference) order."""
+    return tuple(_REGISTRY)
+
+
+def backend_specs() -> "tuple[BackendSpec, ...]":
+    """The capability declarations of every registered backend."""
+    return tuple(backend.spec for backend in _REGISTRY.values())
+
+
+def backend_choices() -> "tuple[str, ...]":
+    """Every name a plan's ``backend`` field accepts (registry + aliases)."""
+    return tuple(_ALIAS_FAMILIES) + tuple(_REGISTRY)
+
+
+def resolve_backend(plan: SimulationPlan) -> Backend:
+    """The explicit backend decision: capabilities filter, cost ranks.
+
+    A concrete registry name must support the plan or resolution raises
+    with the mismatch; an alias picks the cheapest eligible backend of
+    its family (``"auto"`` across all families — sharded backends only
+    compete there when the plan requests ``workers > 1``, since a pool
+    is never an implicit default).
+    """
+    name = plan.backend
+    if name not in _ALIAS_FAMILIES:
+        backend = get_backend(name)
+        if not backend.supports(plan):
+            raise backend.rejection(plan)
+        return backend
+    family = _ALIAS_FAMILIES[name]
+    candidates = [
+        backend
+        for backend in _REGISTRY.values()
+        if (family is None or backend.spec.kind == family)
+        and backend.eligible(plan, family_forced=family is not None)
+    ]
+    if not candidates:
+        raise ValueError(
+            f"no registered backend can execute this plan via {name!r} "
+            f"({plan.describe()}); registered: {', '.join(_REGISTRY)}"
+        )
+    costs = [backend.cost(plan) for backend in candidates]
+    return candidates[int(np.argmin(costs))]
+
+
+def execute(plan: SimulationPlan) -> ExecutionResult:
+    """Resolve the plan's backend and run it."""
+    return resolve_backend(plan).execute(plan)
+
+
+# ---------------------------------------------------------------------------
+# Shared persistent pool (the sharded backends' substrate).
+
+_SHARED_EXECUTOR: "ShardedEnsembleExecutor | None" = None
+
+
+def shared_executor(workers: int) -> ShardedEnsembleExecutor:
+    """The runtime's persistent pool, respawned lazily on count changes."""
+    global _SHARED_EXECUTOR
+    if _SHARED_EXECUTOR is None:
+        _SHARED_EXECUTOR = ShardedEnsembleExecutor(workers=workers)
+    else:
+        _SHARED_EXECUTOR.workers = workers
+    return _SHARED_EXECUTOR
+
+
+def pool_is_warm(workers: int) -> bool:
+    """Whether a reusable pool of exactly ``workers`` processes is live."""
+    return (
+        _SHARED_EXECUTOR is not None
+        and _SHARED_EXECUTOR.pool_alive
+        and _SHARED_EXECUTOR.workers == workers
+    )
+
+
+def shutdown_pools() -> None:
+    """Tear the shared pool down (safe to call repeatedly)."""
+    global _SHARED_EXECUTOR
+    if _SHARED_EXECUTOR is not None:
+        _SHARED_EXECUTOR.close()
+        _SHARED_EXECUTOR = None
+
+
+atexit.register(shutdown_pools)
+
+
+# ---------------------------------------------------------------------------
+# Backend implementations.
+
+
+def _stack_counts(finals: "list[np.ndarray]") -> np.ndarray:
+    """Stack per-replica count vectors, zero-padding to the widest.
+
+    Processes with auxiliary states (e.g. Undecided dynamics) can project
+    final configurations wider than the initial slot count.
+    """
+    width = max(f.size for f in finals)
+    stacked = np.zeros((len(finals), width), dtype=np.int64)
+    for row, counts in enumerate(finals):
+        stacked[row, : counts.size] = counts
+    return stacked
+
+
+class _BackendBase:
+    """Shared plumbing: spec storage, default eligibility, rejections."""
+
+    def __init__(self, spec: BackendSpec):
+        self.spec = spec
+
+    def eligible(self, plan: SimulationPlan, family_forced: bool = False) -> bool:
+        if not self.supports(plan):
+            return False
+        if self.spec.requires_counts_tractable:
+            process = plan.spawn_process()
+            if self.spec.adversary:
+                if plan.initial.num_slots > _COUNT_BACKEND_SLOT_LIMIT:
+                    return False
+                ceiling = plan.schedule().adversary.color_ceiling(
+                    plan.initial.num_slots
+                )
+                if ceiling > _COUNT_BACKEND_SLOT_LIMIT:
+                    return False
+            elif not _counts_tractable(plan, process):
+                return False
+        return True
+
+    def rejection(self, plan: SimulationPlan) -> Exception:
+        """The error raised when this backend is named but unsupported."""
+        spec = self.spec
+        if spec.representation == "counts" and not isinstance(
+            plan.spawn_process(), ACAgentProcess
+        ):
+            return TypeError(
+                f"backend {spec.name!r} needs an AC-process; "
+                f"{plan.spawn_process().name} is not one"
+            )
+        wants = "adversarial" if spec.adversary else "non-adversarial"
+        return ValueError(
+            f"backend {spec.name!r} ({spec.scheduler}, {wants}) cannot "
+            f"execute this plan ({plan.describe()}); pick one of "
+            f"{', '.join(backend_choices())}"
+        )
+
+    def __repr__(self) -> str:
+        return f"<backend {self.spec.name!r}: {self.spec.description}>"
+
+
+class SequentialSyncBackend(_BackendBase):
+    """The reference path: one :func:`repro.engine.simulator.run` per replica.
+
+    Inherently per-replica (one spawned child stream per repetition,
+    fresh process instances from factories), so ``rng_mode`` is moot —
+    every other backend's ``"per-replica"`` mode is defined as
+    reproducing *this* backend bit-for-bit.
+    """
+
+    def supports(self, plan: SimulationPlan) -> bool:
+        if plan.scheduler != "synchronous" or plan.adversary is not None:
+            return False
+        if plan.recorder is not None and plan.repetitions > 1:
+            return False
+        if self.spec.representation == "counts":
+            return _counts_capable(plan, plan.spawn_process())
+        return True
+
+    def cost(self, plan: SimulationPlan) -> float:
+        if self.spec.representation == "counts":
+            per = _COUNTS_FACTOR * plan.initial.num_slots
+        else:
+            per = float(plan.initial.num_nodes)
+        return plan.repetitions * (per + _SEQ_OVERHEAD) * _sync_horizon(plan)
+
+    def execute(self, plan: SimulationPlan) -> ExecutionResult:
+        generators = per_replica_generators(plan.rng, plan.repetitions)
+        times = np.empty(plan.repetitions, dtype=np.int64)
+        stopped = np.zeros(plan.repetitions, dtype=bool)
+        finals = []
+        stop_label = "consensus"
+        for index, generator in enumerate(generators):
+            result = run(
+                plan.spawn_process(),
+                plan.initial,
+                rng=generator,
+                stop=plan.stop,
+                max_rounds=plan.max_rounds,
+                recorder=plan.recorder,
+                backend=self.spec.representation,
+                raise_on_limit=plan.raise_on_limit,
+            )
+            times[index] = result.rounds
+            stopped[index] = result.stopped
+            finals.append(result.final.counts_array())
+            stop_label = result.stop_label
+        final_counts = _stack_counts(finals)
+        raw = EnsembleResult(
+            process_name=plan.spawn_process().name,
+            times=times,
+            stopped=stopped,
+            final_counts=final_counts,
+            backend=self.spec.representation,
+            stop_label=stop_label,
+            rng_mode="per-replica",
+        )
+        return ExecutionResult(
+            plan=plan,
+            backend=self.spec.name,
+            unit="rounds",
+            times=times,
+            stopped=stopped,
+            final_counts=final_counts,
+            raw=raw,
+        )
+
+
+class EnsembleSyncBackend(_BackendBase):
+    """Lock-step vectorized replicas (:func:`repro.engine.ensemble.run_ensemble`)."""
+
+    def supports(self, plan: SimulationPlan) -> bool:
+        if plan.scheduler != "synchronous" or plan.adversary is not None:
+            return False
+        if self.spec.representation == "counts":
+            return _counts_capable(plan, plan.spawn_process())
+        return True
+
+    def cost(self, plan: SimulationPlan) -> float:
+        process = plan.spawn_process()
+        if self.spec.representation == "counts":
+            per = _COUNTS_FACTOR * plan.initial.num_slots
+            batched = plan.rng_mode == "batched"
+        else:
+            per = float(plan.initial.num_nodes)
+            batched = plan.rng_mode == "batched" and process.has_vectorized_ensemble
+        if batched:
+            per_round = plan.repetitions * per + _ROUND_OVERHEAD
+        else:
+            per_round = (
+                plan.repetitions * (per + _SEQ_OVERHEAD) * _ENSEMBLE_LOOP_FACTOR
+            )
+        return per_round * _sync_horizon(plan)
+
+    def execute(self, plan: SimulationPlan) -> ExecutionResult:
+        result = run_ensemble(
+            plan.spawn_process(),
+            plan.initial,
+            plan.repetitions,
+            rng=plan.rng,
+            stop=plan.stop,
+            max_rounds=plan.max_rounds,
+            backend=self.spec.representation,
+            rng_mode=plan.rng_mode,
+            raise_on_limit=plan.raise_on_limit,
+            recorder=plan.recorder,
+        )
+        return ExecutionResult(
+            plan=plan,
+            backend=self.spec.name,
+            unit="rounds",
+            times=result.times,
+            stopped=result.stopped,
+            final_counts=result.final_counts,
+            raw=result,
+        )
+
+
+class AsyncSequentialBackend(_BackendBase):
+    """One :func:`run_asynchronous` per replica — the async reference path."""
+
+    def supports(self, plan: SimulationPlan) -> bool:
+        return (
+            plan.scheduler == "asynchronous"
+            and plan.adversary is None
+            and plan.recorder is None
+        )
+
+    def cost(self, plan: SimulationPlan) -> float:
+        process = plan.spawn_process()
+        per = (
+            float(process.samples_per_round)
+            if process.has_sample_update
+            else float(plan.initial.num_nodes)
+        )
+        return plan.repetitions * (per + _SEQ_OVERHEAD) * _async_horizon(plan)
+
+    def execute(self, plan: SimulationPlan) -> ExecutionResult:
+        generators = per_replica_generators(plan.rng, plan.repetitions)
+        ticks = np.empty(plan.repetitions, dtype=np.int64)
+        stopped = np.zeros(plan.repetitions, dtype=bool)
+        finals = []
+        name = plan.spawn_process().name
+        for index, generator in enumerate(generators):
+            result = run_asynchronous(
+                plan.spawn_process(),
+                plan.initial,
+                rng=generator,
+                stop=plan.stop,
+                max_ticks=plan.max_rounds,
+                check_every=plan.check_every,
+            )
+            ticks[index] = result.ticks
+            stopped[index] = result.stopped
+            finals.append(result.final.counts_array())
+        final_counts = _stack_counts(finals)
+        raw = AsyncEnsembleResult(
+            process_name=name,
+            num_nodes=plan.initial.num_nodes,
+            ticks=ticks,
+            stopped=stopped,
+            final_counts=final_counts,
+            stop_label=plan.stop.label if plan.stop is not None else "consensus",
+        )
+        return ExecutionResult(
+            plan=plan,
+            backend=self.spec.name,
+            unit="ticks",
+            times=ticks,
+            stopped=stopped,
+            final_counts=final_counts,
+            raw=raw,
+        )
+
+
+class AsyncEnsembleBackend(_BackendBase):
+    """Lock-step async replicas (:func:`run_asynchronous_ensemble`)."""
+
+    def supports(self, plan: SimulationPlan) -> bool:
+        return (
+            plan.scheduler == "asynchronous"
+            and plan.adversary is None
+            and plan.rng_mode == "batched"
+        )
+
+    def cost(self, plan: SimulationPlan) -> float:
+        process = plan.spawn_process()
+        if process.has_sample_update:
+            per_tick = 4.0 * plan.repetitions + 8.0
+        else:
+            per_tick = plan.repetitions * (
+                plan.initial.num_nodes + _SEQ_OVERHEAD
+            )
+        return per_tick * _async_horizon(plan)
+
+    def execute(self, plan: SimulationPlan) -> ExecutionResult:
+        result = run_asynchronous_ensemble(
+            plan.spawn_process(),
+            plan.initial,
+            plan.repetitions,
+            rng=plan.rng,
+            stop=plan.stop,
+            max_ticks=plan.max_rounds,
+            check_every=plan.check_every,
+            recorder=plan.recorder,
+        )
+        return ExecutionResult(
+            plan=plan,
+            backend=self.spec.name,
+            unit="ticks",
+            times=result.ticks,
+            stopped=result.stopped,
+            final_counts=result.final_counts,
+            raw=result,
+        )
+
+
+class AdversarySequentialBackend(_BackendBase):
+    """One :func:`run_with_adversary` per replica — the §5 reference path."""
+
+    def supports(self, plan: SimulationPlan) -> bool:
+        return (
+            plan.scheduler == "synchronous"
+            and plan.adversary is not None
+            and plan.recorder is None
+        )
+
+    def cost(self, plan: SimulationPlan) -> float:
+        n = plan.initial.num_nodes
+        return plan.repetitions * (n + _SEQ_OVERHEAD) * _sync_horizon(plan)
+
+    def execute(self, plan: SimulationPlan) -> ExecutionResult:
+        from ..adversary.robust_runner import RobustEnsembleResult, run_with_adversary
+
+        schedule = plan.schedule()
+        generators = per_replica_generators(plan.rng, plan.repetitions)
+        results = [
+            run_with_adversary(
+                plan.spawn_process(),
+                plan.initial,
+                schedule,
+                rng=generator,
+                max_rounds=plan.max_rounds or _ADVERSARY_DEFAULT_HORIZON,
+                stable_fraction=plan.stable_fraction,
+                stable_rounds=plan.stable_rounds,
+            )
+            for generator in generators
+        ]
+        raw = RobustEnsembleResult(
+            process_name=results[0].process_name,
+            adversary_repr=results[0].adversary_repr,
+            rounds=np.asarray([r.rounds for r in results], dtype=np.int64),
+            stabilized=np.asarray([r.stabilized for r in results], dtype=bool),
+            winning_color=np.asarray(
+                [r.winning_color for r in results], dtype=np.int64
+            ),
+            winning_fraction=np.asarray(
+                [r.winning_fraction for r in results], dtype=float
+            ),
+            winner_is_valid=np.asarray(
+                [r.winner_is_valid for r in results], dtype=bool
+            ),
+            valid_colors=results[0].valid_colors,
+            backend="agent",
+            rng_mode="per-replica",
+        )
+        return ExecutionResult(
+            plan=plan,
+            backend=self.spec.name,
+            unit="rounds",
+            times=raw.rounds,
+            stopped=raw.stabilized,
+            final_counts=None,
+            raw=raw,
+        )
+
+
+class AdversaryEnsembleBackend(_BackendBase):
+    """Lock-step §5 robust runs (:func:`run_with_adversary_ensemble`)."""
+
+    def supports(self, plan: SimulationPlan) -> bool:
+        if (
+            plan.scheduler != "synchronous"
+            or plan.adversary is None
+            or plan.recorder is not None
+        ):
+            return False
+        if self.spec.representation == "counts":
+            return plan.rng_mode == "batched" and _adversary_counts_capable(
+                plan, plan.spawn_process()
+            )
+        return True
+
+    def cost(self, plan: SimulationPlan) -> float:
+        process = plan.spawn_process()
+        if self.spec.representation == "counts":
+            width = plan.schedule().adversary.color_ceiling(plan.initial.num_slots)
+            per_round = plan.repetitions * _COUNTS_FACTOR * width + _ROUND_OVERHEAD
+        elif plan.rng_mode == "batched" and process.has_vectorized_ensemble:
+            per_round = plan.repetitions * plan.initial.num_nodes + _ROUND_OVERHEAD
+        else:
+            per_round = (
+                plan.repetitions
+                * (plan.initial.num_nodes + _SEQ_OVERHEAD)
+                * _ENSEMBLE_LOOP_FACTOR
+            )
+        return per_round * _sync_horizon(plan)
+
+    def execute(self, plan: SimulationPlan) -> ExecutionResult:
+        from ..adversary.robust_runner import run_with_adversary_ensemble
+
+        result = run_with_adversary_ensemble(
+            plan.spawn_process(),
+            plan.initial,
+            plan.schedule(),
+            plan.repetitions,
+            rng=plan.rng,
+            max_rounds=plan.max_rounds or _ADVERSARY_DEFAULT_HORIZON,
+            stable_fraction=plan.stable_fraction,
+            stable_rounds=plan.stable_rounds,
+            backend=self.spec.representation,
+            rng_mode=plan.rng_mode,
+        )
+        return ExecutionResult(
+            plan=plan,
+            backend=self.spec.name,
+            unit="rounds",
+            times=result.rounds,
+            stopped=result.stabilized,
+            final_counts=None,
+            raw=result,
+        )
+
+
+def _execute_shard(payload: "tuple[str, SimulationPlan]"):
+    """Pool worker: run one sub-plan through its in-process backend."""
+    inner_name, subplan = payload
+    return get_backend(inner_name).execute(subplan)
+
+
+def _merge_raw(raws: list):
+    """Merge per-shard raw results back into one family result object."""
+    first = raws[0]
+    if isinstance(first, EnsembleResult):
+        return EnsembleResult(
+            process_name=first.process_name,
+            times=np.concatenate([r.times for r in raws]),
+            stopped=np.concatenate([r.stopped for r in raws]),
+            final_counts=np.vstack([r.final_counts for r in raws]),
+            backend=first.backend,
+            stop_label=first.stop_label,
+            rng_mode=first.rng_mode,
+        )
+    if isinstance(first, AsyncEnsembleResult):
+        return AsyncEnsembleResult(
+            process_name=first.process_name,
+            num_nodes=first.num_nodes,
+            ticks=np.concatenate([r.ticks for r in raws]),
+            stopped=np.concatenate([r.stopped for r in raws]),
+            final_counts=np.vstack([r.final_counts for r in raws]),
+            stop_label=first.stop_label,
+        )
+    from ..adversary.robust_runner import RobustEnsembleResult
+
+    if isinstance(first, RobustEnsembleResult):
+        return RobustEnsembleResult(
+            process_name=first.process_name,
+            adversary_repr=first.adversary_repr,
+            rounds=np.concatenate([r.rounds for r in raws]),
+            stabilized=np.concatenate([r.stabilized for r in raws]),
+            winning_color=np.concatenate([r.winning_color for r in raws]),
+            winning_fraction=np.concatenate([r.winning_fraction for r in raws]),
+            winner_is_valid=np.concatenate([r.winner_is_valid for r in raws]),
+            valid_colors=first.valid_colors,
+            backend=first.backend,
+            rng_mode=first.rng_mode,
+        )
+    return list(raws)
+
+
+class ShardedBackend(_BackendBase):
+    """Generic replica sharding of any in-process ensemble backend.
+
+    Splits the plan's replicas into per-worker sub-plans (seed sequences
+    derived once, up front, so ``rng_mode="per-replica"`` results are
+    bit-for-bit invariant to the worker count), executes each through the
+    wrapped backend on the shared persistent pool, and merges in replica
+    order.  This is how the asynchronous and adversarial ensembles get
+    the multicore path without bespoke ``sharded-*`` engines.
+    """
+
+    def __init__(self, spec: BackendSpec, inner_name: str):
+        super().__init__(spec)
+        self.inner_name = inner_name
+
+    def _inner(self) -> Backend:
+        return get_backend(self.inner_name)
+
+    def supports(self, plan: SimulationPlan) -> bool:
+        if not self._inner().supports(plan):
+            return False
+        shards = min(resolve_workers(plan.workers), plan.repetitions)
+        return plan.recorder is None or shards == 1
+
+    def eligible(self, plan: SimulationPlan, family_forced: bool = False) -> bool:
+        if not self._inner().eligible(plan, family_forced=family_forced):
+            return False
+        if not self.supports(plan):
+            return False
+        # A multiprocessing pool is never an implicit default: the fully
+        # automatic decision considers sharding only when the plan asks
+        # for workers; "sharded-auto" (family_forced) keeps the legacy
+        # workers=None → all-cores meaning.
+        return family_forced or (plan.workers is not None and plan.workers > 1)
+
+    def cost(self, plan: SimulationPlan) -> float:
+        workers = resolve_workers(plan.workers)
+        shards = min(workers, plan.repetitions)
+        spawn = 0.0 if (shards == 1 or pool_is_warm(workers)) else _POOL_SPAWN_COST
+        return self._inner().cost(plan) / shards + spawn
+
+    def execute(self, plan: SimulationPlan) -> ExecutionResult:
+        workers = resolve_workers(plan.workers)
+        shards = min(workers, plan.repetitions)
+        if shards == 1:
+            inner_result = self._inner().execute(plan)
+            return replace(inner_result, backend=self.spec.name)
+        if plan.recorder is not None:
+            raise ValueError(
+                "metric recording requires a single shard (recorders cannot "
+                "be merged across pool workers)"
+            )
+        process = plan.spawn_process()
+        sequences = replica_seed_sequences(plan.rng, plan.repetitions)
+        payloads = []
+        for lo, hi in shard_bounds(plan.repetitions, shards):
+            shard_rng = (
+                sequences[lo:hi] if plan.rng_mode == "per-replica" else sequences[lo]
+            )
+            payloads.append(
+                (
+                    self.inner_name,
+                    replace(
+                        plan,
+                        process=process,
+                        repetitions=hi - lo,
+                        rng=shard_rng,
+                        workers=1,
+                        backend=self.inner_name,
+                        raise_on_limit=False,
+                    ),
+                )
+            )
+        shard_results = shared_executor(workers).map(_execute_shard, payloads)
+        times = np.concatenate([r.times for r in shard_results])
+        stopped = np.concatenate([r.stopped for r in shard_results])
+        if shard_results[0].final_counts is None:
+            final_counts = None
+        else:
+            final_counts = np.vstack([r.final_counts for r in shard_results])
+        raw = _merge_raw([r.raw for r in shard_results])
+        if (
+            plan.raise_on_limit
+            and self.spec.scheduler == "synchronous"
+            and not self.spec.adversary
+            and not np.all(stopped)
+        ):
+            limit = (
+                plan.max_rounds
+                if plan.max_rounds is not None
+                else default_round_limit(plan.initial.num_nodes)
+            )
+            raise RoundLimitExceeded(process.name, limit, raw.stop_label)
+        return ExecutionResult(
+            plan=plan,
+            backend=self.spec.name,
+            unit=shard_results[0].unit,
+            times=times,
+            stopped=stopped,
+            final_counts=final_counts,
+            raw=raw,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Default registry.  Registration order is the resolution tie-break:
+# sequential reference paths first, then the in-process ensembles, then
+# the sharded wrappers.
+
+
+def _spec(name, kind, scheduler, adversary, representation, tractable, description):
+    return BackendSpec(
+        name=name,
+        kind=kind,
+        scheduler=scheduler,
+        adversary=adversary,
+        representation=representation,
+        requires_counts_tractable=tractable,
+        description=description,
+    )
+
+
+def _register_default_backends() -> None:
+    register_backend(SequentialSyncBackend(_spec(
+        "agent", "sequential", "synchronous", False, "agent", False,
+        "one agent-level run per replica (reference path, every process)",
+    )))
+    register_backend(SequentialSyncBackend(_spec(
+        "counts", "sequential", "synchronous", False, "counts", True,
+        "one exact count-level run per replica (AC-processes)",
+    )))
+    register_backend(AsyncSequentialBackend(_spec(
+        "async", "sequential", "asynchronous", False, "agent", False,
+        "one one-node-per-tick run per replica (async reference path)",
+    )))
+    register_backend(AdversarySequentialBackend(_spec(
+        "adversary", "sequential", "synchronous", True, "agent", False,
+        "one §5 robust run per replica (adversary reference path)",
+    )))
+    register_backend(EnsembleSyncBackend(_spec(
+        "ensemble-agent", "ensemble", "synchronous", False, "agent", False,
+        "(R, n) color matrix, lock-step replicas",
+    )))
+    register_backend(EnsembleSyncBackend(_spec(
+        "ensemble-counts", "ensemble", "synchronous", False, "counts", True,
+        "(R, k) counts matrix, one broadcast multinomial per round",
+    )))
+    register_backend(AsyncEnsembleBackend(_spec(
+        "ensemble-async", "ensemble", "asynchronous", False, "agent", False,
+        "(R, n) matrix, batch-drawn one-node-per-tick scheduler",
+    )))
+    register_backend(AdversaryEnsembleBackend(_spec(
+        "ensemble-adversary-agent", "ensemble", "synchronous", True, "agent", False,
+        "(R, n) robust runs, vectorized corruption masks",
+    )))
+    register_backend(AdversaryEnsembleBackend(_spec(
+        "ensemble-adversary-counts", "ensemble", "synchronous", True, "counts", True,
+        "(R, k) robust runs, exact count-level corruption laws",
+    )))
+    for inner, name in [
+        ("ensemble-agent", "sharded-agent"),
+        ("ensemble-counts", "sharded-counts"),
+        ("ensemble-async", "sharded-async"),
+        ("ensemble-adversary-agent", "sharded-adversary-agent"),
+        ("ensemble-adversary-counts", "sharded-adversary-counts"),
+    ]:
+        inner_spec = _REGISTRY[inner].spec
+        register_backend(ShardedBackend(_spec(
+            name, "sharded", inner_spec.scheduler, inner_spec.adversary,
+            inner_spec.representation, inner_spec.requires_counts_tractable,
+            f"{inner} sharded over the persistent worker pool",
+        ), inner))
+
+
+_register_default_backends()

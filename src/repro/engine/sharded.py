@@ -26,12 +26,21 @@ Reproducibility is seed-derived, not scheduler-derived:
 Workers are started with the ``spawn`` method (fork-safety: no inherited
 locks or rng state; the payloads — process object, configuration,
 stopping condition, seed sequences — are all plain picklable values).
+
+The pool is **persistent**: first use spawns it, subsequent ``.run()`` /
+``.map()`` calls reuse it, so the ~1 s spawn cost is paid once per
+executor instead of once per call — this is what makes sharding pay for
+mid-size ensembles.  Reassigning :attr:`ShardedEnsembleExecutor.workers`
+retires the old pool and lazily respawns at the next use; the executor is
+a context manager (``with ShardedEnsembleExecutor(4) as ex: ...``) and
+also tears its pool down on garbage collection.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
@@ -109,8 +118,14 @@ def _run_shard(payload: _ShardPayload) -> EnsembleResult:
     )
 
 
+def _terminate_pool(pool) -> None:
+    """Finalizer: tear a worker pool down (no reference back to the owner)."""
+    pool.terminate()
+    pool.join()
+
+
 class ShardedEnsembleExecutor:
-    """Run ensembles sharded across a pool of worker processes.
+    """Run ensembles sharded across a persistent pool of worker processes.
 
     Parameters
     ----------
@@ -118,7 +133,9 @@ class ShardedEnsembleExecutor:
         Worker-process count; ``None`` means one per available core.
         ``workers=1`` executes in-process (no pool, no pickling) and is
         bit-for-bit identical to calling
-        :func:`~repro.engine.ensemble.run_ensemble` directly.
+        :func:`~repro.engine.ensemble.run_ensemble` directly.  The
+        attribute is writable: assigning a new count retires the current
+        pool and lazily respawns one at the next use.
     mp_context:
         ``multiprocessing`` start method; ``"spawn"`` (default) is safe
         everywhere.  Workers inherit the parent environment, so
@@ -126,13 +143,67 @@ class ShardedEnsembleExecutor:
     """
 
     def __init__(self, workers: "int | None" = None, mp_context: str = "spawn"):
-        self.workers = resolve_workers(workers)
+        self._workers = resolve_workers(workers)
         self.mp_context = mp_context
+        self._pool = None
+        self._finalizer = None
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @workers.setter
+    def workers(self, value: "int | None") -> None:
+        value = resolve_workers(value)
+        if value != self._workers:
+            self._workers = value
+            self.close()  # lazy respawn at the next map()/run()
+
+    @property
+    def pool_alive(self) -> bool:
+        """Whether a worker pool is currently warm (spawned and reusable)."""
+        return self._pool is not None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            context = multiprocessing.get_context(self.mp_context)
+            self._pool = context.Pool(processes=self._workers)
+            self._finalizer = weakref.finalize(
+                self, _terminate_pool, self._pool
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Tear the worker pool down (a later call respawns it lazily)."""
+        if self._pool is not None:
+            self._finalizer.detach()
+            _terminate_pool(self._pool)
+            self._pool = None
+            self._finalizer = None
+
+    def __enter__(self) -> "ShardedEnsembleExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def map(self, fn, payloads: list) -> list:
+        """Run ``fn`` over picklable payloads on the (persistent) pool.
+
+        With one worker or one payload the map happens in-process — no
+        pool, no pickling.  This is the primitive the runtime's generic
+        sharded backends use to spread *any* plan family (synchronous,
+        asynchronous, adversarial) over the same pool.
+        """
+        if self._workers == 1 or len(payloads) <= 1:
+            return [fn(payload) for payload in payloads]
+        return self._ensure_pool().map(fn, payloads)
 
     def __repr__(self) -> str:
         return (
             f"{type(self).__name__}(workers={self.workers}, "
-            f"mp_context={self.mp_context!r})"
+            f"mp_context={self.mp_context!r}, "
+            f"pool={'warm' if self.pool_alive else 'cold'})"
         )
 
     def run(
@@ -193,9 +264,7 @@ class ShardedEnsembleExecutor:
                     rng_mode=rng_mode,
                 )
             )
-        context = multiprocessing.get_context(self.mp_context)
-        with context.Pool(processes=len(payloads)) as pool:
-            shard_results = pool.map(_run_shard, payloads)
+        shard_results = self.map(_run_shard, payloads)
         return self._merge(
             process, stop, initial, max_rounds, shard_results, raise_on_limit
         )

@@ -26,10 +26,14 @@ Backend dispatch across the engine:
 * ensemble variants (:mod:`repro.engine.ensemble`) — the same two
   semantics but advancing *all repetitions lock-step in one array*; wins
   whenever a measurement repeats runs (benchmarks, sweeps, CDFs), which
-  is nearly always.  :func:`repro.engine.batch.repeat_first_passage`
-  exposes them as ``backend="ensemble-auto"`` / ``"ensemble-agent"`` /
-  ``"ensemble-counts"``; the sequential path remains the reference for
-  exactness cross-checks.
+  is nearly always.
+
+Repeated-measurement dispatch lives in the unified runtime
+(:mod:`repro.engine.runtime`): these two functions are registered as the
+``agent`` / ``counts`` sequential backends, and
+:func:`prefers_counts_backend` remains the representation rule the
+registry's cost model mirrors for the ``*-auto`` aliases.  The
+sequential path is the reference for exactness cross-checks.
 """
 
 from __future__ import annotations

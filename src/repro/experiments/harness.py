@@ -41,7 +41,7 @@ class SweepResult:
 
     name: str
     param_name: str
-    points: list
+    points: "list[SweepPoint]"
 
     def params(self) -> np.ndarray:
         return np.asarray([p.param for p in self.points], dtype=float)
@@ -100,8 +100,11 @@ def sweep_first_passage(
     predicted: "Callable[[int], float]",
     max_rounds: "Callable[[int], int] | None" = None,
     backend: str = "auto",
+    rng_mode: str = "batched",
     param_name: str = "n",
     workers: "int | None" = None,
+    scheduler: str = "synchronous",
+    adversary=None,
 ) -> SweepResult:
     """Run a first-passage scaling sweep.
 
@@ -111,12 +114,18 @@ def sweep_first_passage(
     ``stop(n)`` the stopping condition, ``predicted(n)`` the paper's
     scale.  Seeds derive deterministically from ``seed`` per sweep point.
 
-    ``backend`` is forwarded to :func:`repeat_first_passage`; pass
-    ``"ensemble-auto"`` to run each sweep point's repetitions lock-step in
-    the vectorized ensemble engine (the fast path for production-scale
-    sweeps), ``"sharded-auto"`` to additionally spread them over
-    ``workers`` processes, or keep the sequential
-    ``"auto"``/``"agent"``/``"counts"`` for exactness cross-checks.
+    Every execution knob of :func:`repeat_first_passage` threads through:
+    ``backend`` is any runtime registry name or alias (``"ensemble-auto"``
+    runs each sweep point's repetitions lock-step, ``"sharded-auto"``
+    spreads them over ``workers`` pool processes, the sequential names
+    remain the exactness reference), ``rng_mode="per-replica"``
+    reproduces sequential sample streams bit-for-bit on every backend
+    that supports it, and the model axes make scenario sweeps
+    first-class: ``scheduler="asynchronous"`` measures first-passage
+    *ticks* of the one-node-per-tick model, and ``adversary`` (an
+    :class:`~repro.adversary.adversary.Adversary` instance or a callable
+    of ``n`` building one per sweep point) measures §5
+    rounds-to-stabilisation.
     """
     points = []
     for index, n in enumerate(n_values):
@@ -130,7 +139,10 @@ def sweep_first_passage(
             rng=point_seed,
             max_rounds=max_rounds(n) if max_rounds is not None else None,
             backend=backend,
+            rng_mode=rng_mode,
             workers=workers,
+            scheduler=scheduler,
+            adversary=adversary(n) if callable(adversary) else adversary,
         )
         points.append(
             SweepPoint(

@@ -51,4 +51,9 @@ def test_engine_throughput_smoke(tmp_path):
     assert report["async"]["speedup"] > 1.0, report["async"]
     assert report["adversary"]["speedup"] > 1.0, report["adversary"]
     assert report["adversary"]["counts_all_valid"] is True
+    # Every section records the runtime cost model's backend decision.
+    assert headline["resolved_backend"] == "ensemble-counts"
+    assert report["sharded"]["resolved_backend"].startswith(("ensemble-", "sharded-"))
+    assert report["async"]["resolved_backend"] == "ensemble-async"
+    assert report["adversary"]["resolved_backend"] == "ensemble-adversary-counts"
     assert (tmp_path / "BENCH_engine.json").exists()

@@ -122,6 +122,66 @@ class TestCli:
     def test_sweep_validates_range(self):
         with pytest.raises(SystemExit):
             main(["sweep", "voter", "--min-n", "128", "--max-n", "64"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "voter", "--colors", "1"])
+
+    def test_sweep_backend_choices_derive_from_registry(self):
+        from repro.engine import backend_choices
+
+        parser = build_parser()
+        for name in backend_choices():
+            args = parser.parse_args(["sweep", "voter", "--backend", name])
+            assert args.backend == name
+        with pytest.raises(SystemExit):
+            parser.parse_args(["sweep", "voter", "--backend", "warp-drive"])
+
+    def test_sweep_asynchronous_scheduler(self, capsys):
+        code = main(
+            [
+                "sweep", "3-majority",
+                "--min-n", "32", "--max-n", "64",
+                "-r", "2", "--scheduler", "asynchronous",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "consensus ticks" in out
+
+    def test_sweep_adversary_plan(self, capsys):
+        code = main(
+            [
+                "sweep", "3-majority",
+                "--min-n", "64", "--max-n", "128",
+                "-r", "2", "--colors", "3",
+                "--adversary", "plant-invalid", "--budget", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stable valid regime" in out
+        assert "plant-invalid" in out
+
+    def test_sweep_per_replica_rng_matches_sequential_backend(self, tmp_path):
+        args = [
+            "sweep", "voter",
+            "--min-n", "16", "--max-n", "32",
+            "-r", "3", "--seed", "5",
+        ]
+        ref_file = tmp_path / "seq.json"
+        ens_file = tmp_path / "ens.json"
+        assert main(args + ["--backend", "counts", "-o", str(ref_file)]) == 0
+        assert main(
+            args
+            + [
+                "--backend", "ensemble-counts",
+                "--rng-mode", "per-replica",
+                "-o", str(ens_file),
+            ]
+        ) == 0
+        reference = load_sweep(str(ref_file))
+        ensemble = load_sweep(str(ens_file))
+        for a, b in zip(reference.points, ensemble.points):
+            assert np.array_equal(a.samples, b.samples)
 
     def test_counterexample_command(self, capsys):
         code = main(["counterexample"])

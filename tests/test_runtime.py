@@ -1,0 +1,256 @@
+"""Unit tests for the unified runtime (repro.engine.plan / runtime).
+
+Covers plan validation, registry mechanics (registration, lookup,
+aliases), the cost model's resolution decisions, rejection errors for
+capability mismatches, the recorder threading rules, and the
+``rng_mode`` plumbing through :func:`sweep_first_passage`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adversary import PlantInvalid
+from repro.core import Configuration
+from repro.engine import (
+    BackendSpec,
+    Consensus,
+    MetricRecorder,
+    SimulationPlan,
+    backend_choices,
+    backend_names,
+    backend_specs,
+    execute,
+    get_backend,
+    register_backend,
+    repeat_first_passage,
+    resolve_backend,
+)
+from repro.engine.runtime import _REGISTRY
+from repro.experiments import sweep_first_passage
+from repro.processes import ThreeMajority, TwoChoices, Voter
+
+
+def _plan(**overrides):
+    kwargs = dict(
+        process=ThreeMajority,
+        initial=Configuration.balanced(120, 3),
+        stop=Consensus(),
+        repetitions=4,
+        rng=7,
+    )
+    kwargs.update(overrides)
+    return SimulationPlan(**kwargs)
+
+
+class TestPlanValidation:
+    def test_rejects_bad_axes(self):
+        with pytest.raises(ValueError):
+            _plan(repetitions=0)
+        with pytest.raises(ValueError):
+            _plan(scheduler="sometimes")
+        with pytest.raises(ValueError):
+            _plan(rng_mode="psychic")
+        with pytest.raises(ValueError):
+            _plan(stable_fraction=0.4, adversary=PlantInvalid(1, invalid_color=9))
+        with pytest.raises(ValueError):
+            _plan(workers=0)
+        with pytest.raises(ValueError):
+            _plan(max_rounds=0)
+
+    def test_adversary_requires_synchronous_scheduler(self):
+        with pytest.raises(ValueError):
+            _plan(
+                scheduler="asynchronous",
+                adversary=PlantInvalid(1, invalid_color=9),
+            )
+
+    def test_spawn_process_accepts_instances_and_factories(self):
+        process = ThreeMajority()
+        assert _plan(process=process).spawn_process() is process
+        built = _plan(process=ThreeMajority).spawn_process()
+        assert built.name == process.name
+
+    def test_schedule_wraps_bare_adversaries(self):
+        plan = _plan(adversary=PlantInvalid(1, invalid_color=9))
+        assert plan.schedule().adversary.budget == 1
+        with pytest.raises(ValueError):
+            _plan().schedule()
+
+
+class TestRegistry:
+    def test_choices_cover_names_and_aliases(self):
+        names = backend_names()
+        choices = backend_choices()
+        assert set(names) <= set(choices)
+        for alias in ("auto", "sequential-auto", "ensemble-auto", "sharded-auto"):
+            assert alias in choices
+        assert len(backend_specs()) == len(names)
+
+    def test_unknown_backend_lists_vocabulary(self):
+        with pytest.raises(ValueError, match="ensemble-counts"):
+            get_backend("warp-drive")
+        with pytest.raises(ValueError):
+            execute(_plan(backend="warp-drive"))
+
+    def test_duplicate_and_reserved_registration_rejected(self):
+        existing = get_backend("agent")
+        with pytest.raises(ValueError):
+            register_backend(existing)
+        class Fake:
+            spec = BackendSpec(
+                name="auto", kind="ensemble", scheduler="synchronous",
+                adversary=False, representation="agent",
+                requires_counts_tractable=False, description="reserved clash",
+            )
+        with pytest.raises(ValueError):
+            register_backend(Fake())
+
+    def test_custom_backend_registers_and_resolves(self):
+        inner = get_backend("ensemble-agent")
+        class Custom:
+            spec = BackendSpec(
+                name="custom-test", kind="ensemble", scheduler="synchronous",
+                adversary=False, representation="agent",
+                requires_counts_tractable=False, description="test double",
+            )
+            def supports(self, plan):
+                return inner.supports(plan)
+            def eligible(self, plan, family_forced=False):
+                return False  # never auto-picked
+            def cost(self, plan):
+                return inner.cost(plan)
+            def execute(self, plan):
+                return inner.execute(plan)
+        try:
+            register_backend(Custom())
+            result = execute(_plan(backend="custom-test"))
+            assert result.all_stopped
+        finally:
+            _REGISTRY.pop("custom-test", None)
+
+
+class TestResolution:
+    def test_auto_prefers_counts_chain_for_repeated_ac_runs(self):
+        assert resolve_backend(_plan()).spec.name == "ensemble-counts"
+
+    def test_auto_prefers_sequential_for_single_runs(self):
+        assert resolve_backend(_plan(repetitions=1)).spec.kind == "sequential"
+
+    def test_auto_falls_back_to_agent_beyond_slot_limit(self):
+        plan = _plan(initial=Configuration.singletons(8192))
+        assert resolve_backend(plan).spec.name == "ensemble-agent"
+
+    def test_auto_ignores_sharding_without_explicit_workers(self):
+        assert resolve_backend(_plan(repetitions=64)).spec.kind != "sharded"
+        forced = _plan(repetitions=64, backend="sharded-auto")
+        assert resolve_backend(forced).spec.kind == "sharded"
+
+    def test_non_ac_process_resolves_to_agent_family(self):
+        plan = _plan(process=TwoChoices)
+        assert resolve_backend(plan).spec.name == "ensemble-agent"
+
+    def test_counts_backend_rejects_non_ac_process(self):
+        for name in ("counts", "ensemble-counts"):
+            with pytest.raises(TypeError):
+                resolve_backend(_plan(process=TwoChoices, backend=name))
+
+    def test_axis_mismatch_rejected_with_guidance(self):
+        plan = _plan(
+            adversary=PlantInvalid(1, invalid_color=9), backend="ensemble-agent"
+        )
+        with pytest.raises(ValueError, match="ensemble-adversary"):
+            resolve_backend(plan)
+
+    def test_adversary_alias_resolution_adapts_to_the_axis(self):
+        plan = _plan(
+            adversary=PlantInvalid(1, invalid_color=9), backend="ensemble-auto"
+        )
+        assert resolve_backend(plan).spec.name == "ensemble-adversary-counts"
+        per_replica = _plan(
+            adversary=PlantInvalid(1, invalid_color=9),
+            backend="ensemble-auto",
+            rng_mode="per-replica",
+        )
+        # The count-level robust chain is batched-only.
+        assert resolve_backend(per_replica).spec.name == "ensemble-adversary-agent"
+
+
+class TestExecutionSurface:
+    def test_sequential_recorder_single_run(self):
+        recorder = MetricRecorder(names=("num_colors",))
+        result = execute(_plan(repetitions=1, backend="counts", recorder=recorder))
+        assert result.all_stopped
+        assert len(recorder) >= 1
+
+    def test_sequential_recorder_rejected_for_batches(self):
+        recorder = MetricRecorder(names=("num_colors",))
+        with pytest.raises(ValueError):
+            resolve_backend(_plan(recorder=recorder, backend="agent"))
+
+    def test_legacy_auto_is_the_sequential_reference(self):
+        initial = Configuration.balanced(120, 3)
+        legacy = repeat_first_passage(
+            ThreeMajority, initial, Consensus(), 5, rng=13, backend="auto"
+        )
+        counts = repeat_first_passage(
+            ThreeMajority, initial, Consensus(), 5, rng=13, backend="counts"
+        )
+        assert np.array_equal(legacy, counts)
+
+    def test_execution_result_metadata(self):
+        result = execute(_plan(backend="ensemble-counts"))
+        assert result.backend == "ensemble-counts"
+        assert result.unit == "rounds"
+        assert result.repetitions == 4
+        assert result.raw.backend == "counts"
+
+
+class TestSweepThreading:
+    def test_rng_mode_threads_through_sweeps(self):
+        kwargs = dict(
+            name="x",
+            process_factory=lambda n: Voter(),
+            workload=lambda n: Configuration.balanced(n, 4),
+            stop=lambda n: Consensus(),
+            n_values=[16, 32],
+            repetitions=4,
+            seed=7,
+            predicted=lambda n: float(n),
+        )
+        reference = sweep_first_passage(backend="counts", **kwargs)
+        per_replica = sweep_first_passage(
+            backend="ensemble-counts", rng_mode="per-replica", **kwargs
+        )
+        for a, b in zip(reference.points, per_replica.points):
+            assert np.array_equal(a.samples, b.samples)
+
+    def test_adversary_sweep_accepts_per_n_factories(self):
+        result = sweep_first_passage(
+            name="robust",
+            process_factory=lambda n: ThreeMajority(),
+            workload=lambda n: Configuration.balanced(n, 3),
+            stop=lambda n: Consensus(),
+            n_values=[64, 128],
+            repetitions=3,
+            seed=3,
+            predicted=lambda n: float(n),
+            max_rounds=lambda n: 3000,
+            adversary=lambda n: PlantInvalid(2, invalid_color=9),
+        )
+        assert len(result.points) == 2
+        assert all(p.summary.count == 3 for p in result.points)
+
+    def test_async_sweep_measures_ticks(self):
+        result = sweep_first_passage(
+            name="async",
+            process_factory=lambda n: ThreeMajority(),
+            workload=lambda n: Configuration.balanced(n, 2),
+            stop=lambda n: Consensus(),
+            n_values=[32, 64],
+            repetitions=3,
+            seed=5,
+            predicted=lambda n: float(n) * n,
+            scheduler="asynchronous",
+        )
+        # Ticks run ~n per synchronous-round equivalent.
+        assert result.points[0].summary.mean > 32

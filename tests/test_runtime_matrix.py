@@ -1,0 +1,200 @@
+"""Cross-backend equivalence matrix through the unified runtime.
+
+The load-bearing reproducibility contract of the runtime layer: with
+``rng_mode="per-replica"`` every execution strategy consumes the same
+spawned child stream per replica, so the sequential reference path, the
+lock-step ensemble, the sharded pool (at *any* worker count) and the
+plan-resolved ``"auto"`` decision produce **bit-for-bit identical**
+first-passage samples — on 3-Majority and Voter (count-level chain) and
+2-Choices (agent-level matrix) alike.  The asynchronous and adversarial
+plan axes are pinned against their sequential reference runners the same
+way.
+
+Marked ``bench_smoke`` so ``scripts/check.sh``'s dedicated ``plan-matrix``
+step can select exactly this matrix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adversary import PlantInvalid, run_with_adversary
+from repro.core import Configuration
+from repro.engine import (
+    Consensus,
+    SimulationPlan,
+    execute,
+    resolve_backend,
+    run_asynchronous,
+    run_asynchronous_ensemble,
+    shared_executor,
+    spawn_generators,
+)
+from repro.processes import ThreeMajority, TwoChoices, Voter
+
+pytestmark = pytest.mark.bench_smoke
+
+SEED = 20170729
+
+CASES = [
+    pytest.param(
+        ThreeMajority, Configuration.balanced(240, 3), "counts", id="3-majority"
+    ),
+    pytest.param(
+        TwoChoices, Configuration.biased(120, 4, 24), "agent", id="2-choices"
+    ),
+    pytest.param(Voter, Configuration.balanced(160, 4), "counts", id="voter"),
+]
+
+
+def _plan(factory, initial, backend, workers=None, **overrides):
+    kwargs = dict(
+        process=factory,
+        initial=initial,
+        stop=Consensus(),
+        repetitions=5,
+        rng=SEED,
+        rng_mode="per-replica",
+        max_rounds=20_000,
+        backend=backend,
+        workers=workers,
+    )
+    kwargs.update(overrides)
+    return SimulationPlan(**kwargs)
+
+
+@pytest.mark.parametrize("factory, initial, representation", CASES)
+def test_per_replica_cross_backend_equivalence(factory, initial, representation):
+    """sequential == ensemble == sharded(1) == sharded(2) == auto, bitwise."""
+    reference = execute(_plan(factory, initial, "sequential-auto"))
+    assert reference.backend == representation
+    assert reference.unit == "rounds"
+    for backend, workers in [
+        ("ensemble-auto", None),
+        ("sharded-auto", 1),
+        ("sharded-auto", 2),
+        ("auto", None),
+    ]:
+        result = execute(_plan(factory, initial, backend, workers=workers))
+        label = f"{backend} (workers={workers})"
+        assert np.array_equal(result.times, reference.times), label
+        assert np.array_equal(result.stopped, reference.stopped), label
+        assert np.array_equal(result.final_counts, reference.final_counts), label
+        # Every backend agrees with the reference's representation choice.
+        assert resolve_backend(
+            _plan(factory, initial, backend, workers=workers)
+        ).spec.representation == representation, label
+
+
+def test_auto_resolution_is_cost_model_not_string_parsing():
+    """The plan-resolved names behind the matrix, made explicit."""
+    initial = Configuration.balanced(240, 3)
+    assert resolve_backend(_plan(ThreeMajority, initial, "auto")).spec.name == (
+        "ensemble-counts"
+    )
+    assert resolve_backend(
+        _plan(ThreeMajority, initial, "sequential-auto")
+    ).spec.name == "counts"
+    assert resolve_backend(
+        _plan(ThreeMajority, initial, "sharded-auto", workers=2)
+    ).spec.name == "sharded-counts"
+    wide = Configuration.singletons(8192)  # beyond the count-chain slot limit
+    assert resolve_backend(_plan(ThreeMajority, wide, "auto")).spec.name == (
+        "ensemble-agent"
+    )
+
+
+def test_async_plan_matches_sequential_runner():
+    initial = Configuration.balanced(128, 2)
+    budget = 4000
+    plan = _plan(
+        ThreeMajority,
+        initial,
+        "async",
+        repetitions=4,
+        scheduler="asynchronous",
+        max_rounds=budget,
+        rng_mode="batched",
+    )
+    result = execute(plan)
+    assert result.unit == "ticks"
+    reference = [
+        run_asynchronous(ThreeMajority(), initial, rng=g, max_ticks=budget)
+        for g in spawn_generators(SEED, 4)
+    ]
+    assert np.array_equal(result.times, [r.ticks for r in reference])
+    assert np.array_equal(result.stopped, [r.stopped for r in reference])
+
+    ensemble_plan = _plan(
+        ThreeMajority,
+        initial,
+        "ensemble-async",
+        repetitions=4,
+        scheduler="asynchronous",
+        max_rounds=budget,
+        rng_mode="batched",
+    )
+    ensemble = execute(ensemble_plan)
+    direct = run_asynchronous_ensemble(
+        ThreeMajority(), initial, 4, rng=SEED, max_ticks=budget
+    )
+    assert np.array_equal(ensemble.times, direct.ticks)
+    # The cost model sends repeated async measurements to the ensemble.
+    auto = _plan(
+        ThreeMajority, initial, "auto", repetitions=4,
+        scheduler="asynchronous", max_rounds=budget, rng_mode="batched",
+    )
+    assert resolve_backend(auto).spec.name == "ensemble-async"
+
+
+def test_adversary_plan_matches_sequential_runner():
+    initial = Configuration.balanced(200, 3)
+    adversary = PlantInvalid(2, invalid_color=8)
+    base = dict(
+        repetitions=5,
+        adversary=adversary,
+        max_rounds=3000,
+        stable_fraction=0.9,
+        stop=None,
+    )
+    reference = [
+        run_with_adversary(
+            ThreeMajority(), initial, adversary, rng=g,
+            max_rounds=3000, stable_fraction=0.9,
+        )
+        for g in spawn_generators(SEED, 5)
+    ]
+    rounds = [r.rounds for r in reference]
+    sequential = execute(_plan(ThreeMajority, initial, "adversary", **base))
+    assert sequential.unit == "rounds"
+    assert np.array_equal(sequential.times, rounds)
+    assert np.array_equal(
+        sequential.raw.winning_color, [r.winning_color for r in reference]
+    )
+    for backend, workers in [
+        ("ensemble-adversary-agent", None),
+        ("sharded-adversary-agent", 2),
+    ]:
+        result = execute(
+            _plan(ThreeMajority, initial, backend, workers=workers, **base)
+        )
+        assert np.array_equal(result.times, rounds), backend
+        assert np.array_equal(
+            result.raw.winner_is_valid, [r.winner_is_valid for r in reference]
+        ), backend
+    # Batched auto resolution lands on the §5 count-level fast path.
+    auto = _plan(
+        ThreeMajority, initial, "auto", rng_mode="batched", **base
+    )
+    assert resolve_backend(auto).spec.name == "ensemble-adversary-counts"
+    assert execute(auto).all_stopped
+
+
+def test_shared_pool_persists_across_plans():
+    """The sharded backends reuse one warm pool instead of respawning."""
+    initial = Configuration.balanced(240, 3)
+    execute(_plan(ThreeMajority, initial, "sharded-counts", workers=2))
+    executor = shared_executor(2)
+    assert executor.pool_alive
+    pool_before = executor._pool
+    execute(_plan(Voter, Configuration.balanced(160, 4), "sharded-counts", workers=2))
+    assert shared_executor(2)._pool is pool_before

@@ -10,26 +10,21 @@ such guarantees through the AC-framework as open.
 Regenerated table: 3-Majority from a balanced k-color start against three
 adversaries (plant-invalid, boost-runner-up, random noise) at multiples
 of the [BCN+16] budget scale: stabilisation rate, rounds, and validity of
-the winner.  Each scenario is one adversarial :class:`SimulationPlan`
-executed through the unified runtime, whose cost model resolves the
-count-level lock-step fast path (``ensemble-adversary-counts``:
-3-Majority is an AC-process and all three adversaries have count-level
-corruption laws) — which is what lets this bench afford more replicas
-per scenario than the old sequential loop.
+the winner.  Since PR 5 the whole grid is one declarative
+:class:`repro.StudySpec` — a single ``adversary`` axis of six strategies
+— executed by :func:`repro.run_study`; each cell's
+:class:`~repro.study.RunRecord` carries the §5 validity masks in
+``extras`` and the backend the runtime's cost model resolved, which this
+bench asserts is the count-level lock-step fast path
+(``ensemble-adversary-counts``: 3-Majority is an AC-process and all three
+adversaries have count-level corruption laws).
 """
 
 import numpy as np
 
-from repro.adversary import (
-    BoostRunnerUp,
-    PlantInvalid,
-    RandomNoise,
-    recommended_corruption_budget,
-)
-from repro.core import Configuration
-from repro.engine import SimulationPlan, execute, resolve_backend
+from repro import StudySpec, run_study
+from repro.adversary import recommended_corruption_budget
 from repro.experiments import Table
-from repro.processes import ThreeMajority
 
 from conftest import emit
 
@@ -38,53 +33,61 @@ K = 3
 REPLICAS = 10
 SEED = 20170725
 
+BASE_BUDGET = max(1, recommended_corruption_budget(N, K))
+
+#: The §5 scenario grid as one declarative axis: every strategy at 1× and
+#: 4× the [BCN+16] budget scale (explicit budgets, so the spec is
+#: self-describing provenance rather than depending on the resolver).
+_ADVERSARIES = [
+    {"name": name, "budget": BASE_BUDGET * multiplier}
+    for multiplier in (1, 4)
+    for name in ("plant-invalid", "boost-runner-up", "random-noise")
+]
+
+SPEC = StudySpec(
+    name="E11  3-Majority vs dynamic adversaries (§5, [BCN+16] tolerance)",
+    seed=SEED,
+    repetitions=REPLICAS,
+    stable_fraction=0.9,
+    axes={
+        "process": ["3-majority"],
+        "workload": [{"name": "balanced", "kwargs": {"k": K}}],
+        "n": [N],
+        "adversary": _ADVERSARIES,
+        "max_rounds": [8000],
+        "rng_mode": ["batched"],
+    },
+)
+
 
 def _measure():
-    base_budget = max(1, recommended_corruption_budget(N, K))
-    scenarios = []
-    for multiplier in (1, 4):
-        budget = base_budget * multiplier
-        scenarios.extend(
-            [
-                (f"plant-invalid F={budget}", PlantInvalid(budget, invalid_color=K + 5)),
-                (f"boost-runner-up F={budget}", BoostRunnerUp(budget)),
-                (f"random-noise F={budget}", RandomNoise(budget, K)),
-            ]
-        )
+    store = run_study(SPEC)
     rows = []
-    for label, adversary in scenarios:
-        plan = SimulationPlan(
-            process=ThreeMajority,
-            initial=Configuration.balanced(N, K),
-            repetitions=REPLICAS,
-            adversary=adversary,
-            rng=SEED,
-            max_rounds=8000,
-            stable_fraction=0.9,
-        )
+    for record in store.records():
         # The registry's cost model must pick the §5 count-level fast path.
-        resolved = resolve_backend(plan).spec.name
-        assert resolved == "ensemble-adversary-counts", resolved
-        result = execute(plan).raw
-        stabilized = int(result.stabilized.sum())
-        valid = int(result.valid_almost_all_consensus.sum())
+        assert record.resolved_backend == "ensemble-adversary-counts", (
+            record.resolved_backend
+        )
+        adversary = record.params["adversary"]
+        stabilized = int(np.asarray(record.stopped).sum())
+        valid = int(sum(record.extras["valid_almost_all_consensus"]))
         rows.append(
             (
-                label,
-                f"{stabilized}/{result.repetitions}",
-                f"{valid}/{result.repetitions}",
-                float(result.rounds.mean()),
+                f"{adversary['name']} F={adversary['budget']}",
+                f"{stabilized}/{REPLICAS}",
+                f"{valid}/{REPLICAS}",
+                float(np.asarray(record.times).mean()),
             )
         )
-    return rows, base_budget
+    return rows
 
 
 def bench_e11_adversary(benchmark):
-    rows, base_budget = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
     table = Table(
         title=(
             f"E11  3-Majority vs dynamic adversaries (n={N}, k={K}, "
-            f"[BCN+16] budget scale ≈ {base_budget})"
+            f"[BCN+16] budget scale ≈ {BASE_BUDGET})"
         ),
         columns=["adversary", "stabilized", "valid winner", "mean rounds"],
     )

@@ -8,17 +8,21 @@ Regenerated series: mean consensus time vs ``n`` over a geometric sweep,
 the ratio against the paper's scale, and the fitted growth exponent.
 Expected shape: exponent clearly below 1 (ours lands well below 3/4 —
 the paper's bound is an upper bound, not a tight estimate).
+
+Since PR 5 the measurement is a declarative :class:`repro.StudySpec`
+(one ``n`` axis, everything else scalar) executed by
+:func:`repro.run_study`; the per-cell seed derivation matches the old
+harness exactly, so the committed assertions see the same samples the
+imperative sweep produced.
 """
 
 import os
 
 import numpy as np
 
+from repro import StudySpec, run_study
 from repro.analysis import three_majority_consensus_upper
-from repro.core import Configuration
-from repro.engine import Consensus
-from repro.experiments import sweep_first_passage
-from repro.processes import ThreeMajority
+from repro.experiments import sweep_result_from_records
 
 from conftest import emit, env_backend, env_workers
 
@@ -36,24 +40,33 @@ SCHEDULER = os.environ.get("REPRO_SCHEDULER", "synchronous")
 WORKERS = env_workers(None)
 _ASYNC = SCHEDULER == "asynchronous"
 
+SPEC = StudySpec(
+    name="E1  3-Majority consensus time from n distinct colors (Theorem 4)",
+    seed=SEED,
+    repetitions=REPETITIONS,
+    workers=WORKERS,
+    axes={
+        "process": ["3-majority"],
+        "workload": ["singletons"],
+        "n": N_VALUES,
+        "scheduler": [SCHEDULER],
+        "backend": [BACKEND],
+        "rng_mode": ["batched"],
+    },
+)
+
 
 def _run_sweep():
-    return sweep_first_passage(
-        name="E1  3-Majority consensus time from n distinct colors (Theorem 4)",
-        process_factory=lambda n: ThreeMajority(),
-        workload=lambda n: Configuration.singletons(n),
-        stop=lambda n: Consensus(),
-        n_values=N_VALUES,
-        repetitions=REPETITIONS,
-        seed=SEED,
+    store = run_study(SPEC)
+    return sweep_result_from_records(
+        SPEC.name,
+        "n",
+        store.records(),
         predicted=(
             (lambda n: three_majority_consensus_upper(n) * n)
             if _ASYNC
             else three_majority_consensus_upper
         ),
-        backend=BACKEND,
-        workers=WORKERS,
-        scheduler=SCHEDULER,
     )
 
 

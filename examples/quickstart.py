@@ -1,58 +1,82 @@
-"""Quickstart: simulate the paper's three processes on the complete graph.
+"""Quickstart: the public ``repro.api`` facade in one screen of output.
 
 Run with::
 
     python examples/quickstart.py [n]
 
-Builds the n-color leader-election configuration, runs Voter, 2-Choices
-and 3-Majority to consensus, and prints the round counts next to the
-paper's headline bounds — the Theorem-1 separation in one screen of
-output.
+Three verbs cover the library:
+
+* ``repro.simulate`` — one measurement (any process, workload, scheduler,
+  adversary, backend);
+* ``repro.sweep`` — a scaling sweep over ``n`` with a power-law fit;
+* ``repro.study`` — a whole declarative experiment suite from a
+  :class:`repro.StudySpec` (or a TOML file like
+  ``studies/consensus_scaling.toml``), with a provenance-carrying result
+  store you can save, resume bit-for-bit and re-report.
+
+Here we race the paper's three processes from the n-color
+leader-election start (the Theorem-1 separation), then run the same
+comparison as a tiny in-memory study.
 """
 
 import sys
 
-from repro import (
-    Configuration,
-    ThreeMajority,
-    TwoChoices,
-    Voter,
-    consensus_time,
-)
+import repro
 from repro.analysis import three_majority_consensus_upper, two_choices_symmetry_breaking_lower
 from repro.experiments import Table
+from repro.study import study_report
 
 
 def main() -> None:
     n = int(sys.argv[1]) if len(sys.argv) > 1 else 2048
-    start = Configuration.singletons(n)
     print(f"leader election on the complete graph: n = {n}, every node its own color\n")
 
+    # -- repro.simulate: one seeded measurement per process ---------------
     table = Table(
         title="consensus time (rounds), single seeded run per process",
         columns=["process", "rounds", "paper says"],
     )
     table.add_row(
         "voter",
-        consensus_time(Voter(), start, rng=1),
+        int(repro.simulate("voter", n=n, seed=1).times[0]),
         "Θ(n)",
     )
     table.add_row(
         "2-choices ('ignore')",
-        consensus_time(TwoChoices(), start, rng=1, max_rounds=10**7),
+        int(repro.simulate("2-choices", n=n, seed=1, max_rounds=10**7).times[0]),
         f"Ω(n/log n) ≈ {two_choices_symmetry_breaking_lower(n, 1):.0f}·γ²-ish",
     )
     table.add_row(
         "3-majority ('comply')",
-        consensus_time(ThreeMajority(), start, rng=1, backend="agent"),
+        int(repro.simulate("3-majority", n=n, seed=1, backend="agent").times[0]),
         f"O(n^0.75 log^0.875 n) ≈ {three_majority_consensus_upper(n):.0f}",
     )
     print(table.render())
     print(
         "\nBoth 2-Choices and 3-Majority have the SAME expected one-round\n"
         "behaviour (footnote 2) — the polynomial gap above is the paper's\n"
-        "Theorem 1.  See examples/leader_election_race.py for the scaling\n"
-        "picture and benchmarks/ for the full reproduction."
+        "Theorem 1.\n"
+    )
+
+    # -- repro.study: the same race as a declarative 2×3-cell suite -------
+    spec = repro.StudySpec(
+        name="quickstart-race",
+        seed=1,
+        repetitions=3,
+        axes={
+            "process": ["3-majority", "voter"],
+            "n": [max(64, n // 8), max(128, n // 4), max(256, n // 2)],
+            "backend": ["ensemble-auto"],
+        },
+    )
+    store = repro.study(spec)  # store_path="race.json" would checkpoint
+    print(study_report(store).render())
+    print(
+        "\nThe same spec as TOML lives in studies/consensus_scaling.toml —\n"
+        "run `python -m repro study run studies/consensus_scaling.toml`,\n"
+        "kill it, and `python -m repro study resume` finishes the missing\n"
+        "cells bit-for-bit.  See examples/leader_election_race.py for the\n"
+        "scaling picture and benchmarks/ for the full reproduction."
     )
 
 

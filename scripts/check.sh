@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# One-command verification: tier-1 test-suite + plan-matrix + throughput smoke.
+# One-command verification: tier-1 + plan-matrix + study-smoke + throughput.
 #
 # Steps:
 #   1. tier-1    — the full test suite.
@@ -8,7 +8,12 @@
 #      ensemble vs sharded(workers=1,2) vs plan-resolved "auto" on
 #      3-Majority / 2-Choices / Voter, plus the async and adversary plan
 #      axes against their sequential runners.
-#   3. smoke     — the engine-throughput benchmark in ≤30 s mode
+#   3. study-smoke — the declarative-study resume contract end-to-end
+#      through the CLI: a 2-cell StudySpec run to completion, the same
+#      spec killed after one cell and resumed, both stores reported, and
+#      the resumed store asserted bit-for-bit equal to the uninterrupted
+#      one (per-replica rng_mode).
+#   4. smoke     — the engine-throughput benchmark in ≤30 s mode
 #      (sequential vs ensemble headline, the persistent sharded pool at
 #      R=4 / workers=2, async / adversary engines, and the runtime's
 #      resolved-backend record per section).
@@ -22,4 +27,33 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 python -m pytest -x -q "$@"
 echo "== plan-matrix: cross-backend equivalence =="
 python -m pytest -x -q -m bench_smoke tests/test_runtime_matrix.py
+echo "== study-smoke: save -> resume -> report, bit-for-bit =="
+STUDY_TMP="$(mktemp -d)"
+trap 'rm -rf "$STUDY_TMP"' EXIT
+cat > "$STUDY_TMP/smoke.toml" <<'EOF'
+name = "check.sh study smoke"
+seed = 7
+repetitions = 3
+
+[axes]
+process = "3-majority"
+n = [64, 96]
+rng_mode = "per-replica"
+EOF
+python -m repro study run "$STUDY_TMP/smoke.toml" --store "$STUDY_TMP/full.json" --quiet
+python -m repro study run "$STUDY_TMP/smoke.toml" --store "$STUDY_TMP/part.json" --max-cells 1 --quiet
+python -m repro study resume "$STUDY_TMP/smoke.toml" --store "$STUDY_TMP/part.json" --quiet
+python -m repro study report "$STUDY_TMP/part.json"
+python - "$STUDY_TMP" <<'EOF'
+import sys
+from repro.study import load_study_store
+tmp = sys.argv[1]
+full = load_study_store(f"{tmp}/full.json")
+resumed = load_study_store(f"{tmp}/part.json")
+assert full.is_complete() and resumed.is_complete(), "smoke study left cells unrun"
+assert resumed.results_equal(full), (
+    "resumed store diverged from the uninterrupted run"
+)
+print("study-smoke OK: resumed store is bit-for-bit the uninterrupted one")
+EOF
 python benchmarks/bench_engine_throughput.py --smoke

@@ -13,10 +13,19 @@ paper-vs-measured results.
 
 Quickstart
 ----------
->>> from repro import Configuration, ThreeMajority, consensus_time
->>> start = Configuration.singletons(256)          # leader election
->>> consensus_time(ThreeMajority(), start, rng=7)  # doctest: +SKIP
-211
+The public facade is :mod:`repro.api` — three declarative verbs behind
+which every execution strategy (vectorized ensembles, sharded pools,
+async scheduler, §5 adversaries) is an axis, not an import:
+
+>>> import repro
+>>> repro.simulate("3-majority", n=256, seed=7).times      # doctest: +SKIP
+array([24])
+>>> repro.sweep("voter", [64, 128, 256], repetitions=5, seed=1)  # doctest: +SKIP
+>>> repro.study("studies/consensus_scaling.toml")          # doctest: +SKIP
+
+Whole experiment suites are :class:`~repro.study.StudySpec` files —
+declarative TOML artifacts you can save, diff, hash, resume and share
+(see ``studies/`` and ``python -m repro study --help``).
 """
 
 from .core import (
@@ -54,9 +63,36 @@ from .processes import (
     make_process,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from . import api
+from .api import simulate, study, sweep
+from .study import (
+    RunRecord,
+    StudySpec,
+    StudyStore,
+    compile_study,
+    load_spec,
+    load_study_store,
+    run_study,
+    save_spec,
+    study_report,
+)
 
 __all__ = [
+    "RunRecord",
+    "StudySpec",
+    "StudyStore",
+    "api",
+    "compile_study",
+    "load_spec",
+    "load_study_store",
+    "run_study",
+    "save_spec",
+    "simulate",
+    "study",
+    "study_report",
+    "sweep",
     "ACProcessFunction",
     "ColorsAtMost",
     "Configuration",

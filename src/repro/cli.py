@@ -1,6 +1,8 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the common interactive uses of the library:
+Four subcommands, all thin shells over the public :mod:`repro.api`
+facade (everything they do is a few lines of library calls, shown in
+``examples/``):
 
 ``simulate``
     Run one process from a chosen workload and print the outcome (and,
@@ -8,53 +10,43 @@ Three subcommands cover the common interactive uses of the library:
 
 ``sweep``
     A consensus-time scaling sweep over ``n`` for one process, with a
-    power-law fit — the quick-look version of benchmark E1/E3.  With
-    ``--output`` the raw sweep is saved as JSON (see
-    :mod:`repro.experiments.persistence`).  The execution strategy is any
-    runtime registry backend (``--backend``, choices derived from
-    :func:`repro.engine.runtime.backend_choices`), and the model axes are
-    plan fields: ``--scheduler asynchronous`` sweeps the one-node-per-
-    tick model (tick counts), ``--adversary plant-invalid --budget 4``
-    sweeps §5 rounds-to-stabilisation under a dynamic adversary.
+    power-law fit — the quick-look version of benchmark E1/E3, via
+    :func:`repro.api.sweep`.  With ``--output`` the raw sweep is saved
+    as schema-versioned JSON (see :mod:`repro.experiments.persistence`).
+    The execution strategy is any runtime registry backend
+    (``--backend``), and the model axes are plan fields:
+    ``--scheduler asynchronous`` sweeps the one-node-per-tick model,
+    ``--adversary plant-invalid --budget 4`` sweeps §5
+    rounds-to-stabilisation under a dynamic adversary.
+
+``study``
+    The declarative suite runner: ``study run spec.toml`` executes a
+    :class:`~repro.study.StudySpec` and checkpoints a provenance-carrying
+    result store after every cell; ``study resume`` completes an
+    interrupted store bit-for-bit; ``study report`` renders a saved
+    store without re-simulating.
 
 ``counterexample``
     Print the Appendix-B report (the exact ``7/12`` computation).
-
-The CLI is a thin shell over the public API; everything it does is a
-few lines of library calls (shown in ``examples/``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
-from .adversary import (
-    BoostRunnerUp,
-    PlantInvalid,
-    RandomNoise,
-    recommended_corruption_budget,
-)
-from .analysis import fit_power_law, three_majority_consensus_upper
-from .core import Configuration
+from . import api
+from .analysis import three_majority_consensus_upper
 from .core.hierarchy import appendix_b_counterexample, equation_24_terms
-from .engine import Consensus, MetricRecorder, repeat_first_passage, run
-from .engine.plan import SCHEDULERS
+from .engine import MetricRecorder
+from .engine.plan import RNG_MODES, SCHEDULERS
 from .engine.runtime import backend_choices
 from .experiments import Table
 from .experiments.persistence import save_sweep
-from .experiments.harness import sweep_first_passage
-from .processes import available_processes, make_process
-
-#: §5 adversary strategies the sweep subcommand can instantiate per n.
-_ADVERSARIES = {
-    "plant-invalid": lambda budget, colors: PlantInvalid(
-        budget, invalid_color=colors + 5
-    ),
-    "boost-runner-up": lambda budget, colors: BoostRunnerUp(budget),
-    "random-noise": lambda budget, colors: RandomNoise(budget, colors),
-}
+from .processes import available_processes
+from .study import ADVERSARY_NAMES, load_spec, load_study_store, study_report
 
 __all__ = ["main", "build_parser"]
 
@@ -130,7 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--adversary",
         default=None,
-        choices=sorted(_ADVERSARIES),
+        choices=list(ADVERSARY_NAMES),
         help=(
             "run the §5 robust model: corrupt up to --budget nodes per "
             "round with this strategy and measure rounds until a stable "
@@ -149,41 +141,84 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--rng-mode",
         default="batched",
-        choices=["batched", "per-replica"],
+        choices=list(RNG_MODES),
         help=(
             "randomness regime: batched (fastest) or per-replica "
             "(reproduces the sequential reference streams bit-for-bit)"
         ),
     )
 
+    study = sub.add_parser(
+        "study", help="run / resume / report declarative study specs"
+    )
+    study_sub = study.add_subparsers(dest="study_command", required=True)
+
+    run = study_sub.add_parser(
+        "run", help="execute a StudySpec TOML and checkpoint its result store"
+    )
+    run.add_argument("spec", help="path to a StudySpec TOML file")
+    run.add_argument(
+        "--store", "-o", default=None,
+        help="result store path (default: <spec>.store.json next to the spec)",
+    )
+    run.add_argument(
+        "--resume", action="store_true",
+        help="continue into an existing store instead of refusing to clobber it",
+    )
+    run.add_argument(
+        "--max-cells", type=int, default=None,
+        help="run at most this many new cells, then checkpoint and exit",
+    )
+    run.add_argument(
+        "--quiet", action="store_true", help="suppress the final report table"
+    )
+
+    resume = study_sub.add_parser(
+        "resume", help="complete an interrupted study store bit-for-bit"
+    )
+    resume.add_argument("spec", help="path to the StudySpec TOML file")
+    resume.add_argument(
+        "--store", "-o", default=None,
+        help="store to complete (default: <spec>.store.json next to the spec)",
+    )
+    resume.add_argument("--max-cells", type=int, default=None)
+    resume.add_argument("--quiet", action="store_true")
+
+    report = study_sub.add_parser(
+        "report", help="render a saved study store (no simulation)"
+    )
+    report.add_argument("store", help="path to a study store JSON file")
+
     sub.add_parser("counterexample", help="print the Appendix-B 7/12 report")
     return parser
 
 
-def _initial_configuration(args: argparse.Namespace) -> Configuration:
+def _workload_value(args: argparse.Namespace) -> dict:
+    """The CLI's -n/-k/--bias flags as a declarative workload value."""
+    bias = getattr(args, "bias", 0)
     if args.colors is None:
-        if args.bias:
+        if bias:
             raise SystemExit("--bias requires --colors")
-        return Configuration.singletons(args.nodes)
-    if args.bias:
-        return Configuration.biased(args.nodes, args.colors, args.bias)
-    return Configuration.balanced(args.nodes, args.colors)
+        return {"name": "singletons", "kwargs": {}}
+    if bias:
+        return {"name": "biased", "kwargs": {"k": args.colors, "bias": bias}}
+    return {"name": "balanced", "kwargs": {"k": args.colors}}
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    process = make_process(args.process)
-    initial = _initial_configuration(args)
     recorder = MetricRecorder(names=("num_colors", "max_support")) if args.trace else None
-    result = run(
-        process,
-        initial,
-        rng=args.seed,
-        stop=Consensus(),
+    result = api.simulate(
+        args.process,
+        n=args.nodes,
+        workload=_workload_value(args),
+        seed=args.seed,
         max_rounds=args.max_rounds,
         recorder=recorder,
     )
+    initial = result.plan.initial
     print(
-        f"{process.name}: consensus after {result.rounds} rounds "
+        f"{result.plan.spawn_process().name}: consensus after "
+        f"{int(result.times[0])} {result.unit} "
         f"(n={initial.num_nodes}, start colors={initial.num_colors}, "
         f"backend={result.backend})"
     )
@@ -211,13 +246,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     while n_values[-1] * 2 <= args.max_n:
         n_values.append(n_values[-1] * 2)
 
-    if args.colors is None:
-        workload, start = Configuration.singletons, "n distinct colors"
-    else:
-        workload = lambda n: Configuration.balanced(n, args.colors)
-        start = f"{args.colors} balanced colors"
+    workload = _workload_value(args)
+    start = (
+        "n distinct colors"
+        if workload["name"] == "singletons"
+        else f"{args.colors} balanced colors"
+    )
 
-    adversary = None
     quantity, predicted_label = "consensus time", "Thm-4 scale"
     # Ticks perform n adoption draws per synchronous-round equivalent, so
     # the paper-scale prediction column is multiplied by n under the
@@ -227,49 +262,93 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     if args.scheduler == "asynchronous":
         quantity, predicted_label = "consensus ticks", "Thm-4 scale × n"
+    adversary = None
     if args.adversary is not None:
-        make_adversary = _ADVERSARIES[args.adversary]
-
-        def adversary(n: int):
-            colors = args.colors if args.colors is not None else n
-            budget = (
-                args.budget
-                if args.budget is not None
-                else max(1, recommended_corruption_budget(n, colors))
-            )
-            return make_adversary(budget, colors)
-
+        # Declarative §5 scenario; a missing budget resolves to the
+        # [BCN+16] tolerance scale per sweep point at compile time.
+        adversary = {"name": args.adversary, "budget": args.budget}
         quantity = f"rounds to a stable valid regime vs {args.adversary}"
         predicted_label = "Thm-4 scale"
 
     try:
-        result = sweep_first_passage(
-            name=f"{quantity} of {args.process} from {start}",
-            process_factory=lambda n: make_process(args.process),
-            workload=workload,
-            stop=lambda n: Consensus(),
-            n_values=n_values,
+        result = api.sweep(
+            args.process,
+            n_values,
             repetitions=args.repetitions,
             seed=args.seed,
-            predicted=lambda n: three_majority_consensus_upper(n) * tick_scale(n),
-            # Adversarial runs can stall (that is the phenomenon under
-            # study); keep their horizon at the §5 runner's default instead
-            # of the sweep's generous consensus budget.
-            max_rounds=lambda n: 50_000 if adversary is not None else 10**7,
+            workload=workload,
+            scheduler=args.scheduler,
+            adversary=adversary,
             backend=args.backend,
             rng_mode=args.rng_mode,
             workers=args.workers,
-            scheduler=args.scheduler,
-            adversary=adversary,
+            predicted=lambda n: three_majority_consensus_upper(n) * tick_scale(n),
+            name=f"{quantity} of {args.process} from {start}",
+            # Adversarial runs can stall (that is the phenomenon under
+            # study); keep their horizon at the §5 runner's default instead
+            # of the sweep's generous consensus budget.
+            max_rounds=50_000 if adversary is not None else 10**7,
         )
-    except (TypeError, ValueError) as exc:
-        # Backend/axis mismatches surface as runtime rejections; present
-        # them as usage errors, not tracebacks.
+    except (KeyError, TypeError, ValueError) as exc:
+        # Backend/axis mismatches surface as compile-time or runtime
+        # rejections; present them as usage errors, not tracebacks.
         raise SystemExit(f"cannot run this sweep: {exc}") from exc
     print(result.to_table(predicted_label=predicted_label).render())
     if args.output:
         save_sweep(result, args.output)
         print(f"raw sweep saved to {args.output}")
+    return 0
+
+
+def _default_store_path(spec_path: str) -> str:
+    stem, _ = os.path.splitext(spec_path)
+    return f"{stem}.store.json"
+
+
+def _progress_printer(total: int):
+    def progress(cell, record) -> None:
+        print(
+            f"[{cell.index + 1}/{total}] {cell.label()}: "
+            f"mean {float(record.times.mean()):.1f} {record.unit} "
+            f"({record.resolved_backend}, {record.wall_time_s:.2f}s)"
+        )
+
+    return progress
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    if args.study_command == "report":
+        try:
+            store = load_study_store(args.store)
+        except (OSError, KeyError, ValueError) as exc:
+            raise SystemExit(f"cannot load store: {exc}") from exc
+        print(study_report(store).render())
+        return 0
+    try:
+        spec = load_spec(args.spec)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load spec: {exc}") from exc
+    store_path = args.store or _default_store_path(args.spec)
+    resume = args.study_command == "resume" or args.resume
+    if args.study_command == "resume" and not os.path.exists(store_path):
+        raise SystemExit(
+            f"no store to resume at {store_path} (run `repro study run` first)"
+        )
+    try:
+        store = api.study(
+            spec,
+            store_path=store_path,
+            resume=resume,
+            max_cells=args.max_cells,
+            progress=_progress_printer(spec.num_cells()),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(f"cannot run this study: {exc}") from exc
+    done, total = len(store), spec.num_cells()
+    state = "complete" if done == total else f"{done}/{total} cells (resumable)"
+    print(f"store saved to {store_path} — {state}")
+    if not args.quiet:
+        print(study_report(store).render())
     return 0
 
 
@@ -291,6 +370,8 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         return _cmd_simulate(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "study":
+        return _cmd_study(args)
     if args.command == "counterexample":
         return _cmd_counterexample()
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover

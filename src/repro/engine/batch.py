@@ -26,6 +26,7 @@ from .stopping import StoppingCondition
 __all__ = [
     "BatchSummary",
     "summarize",
+    "first_passage_plan",
     "repeat_first_passage",
     "empirical_cdf",
     "cdf_dominates",
@@ -133,6 +134,47 @@ def repeat_first_passage(
     and require it to be safe to share across lock-step replicas (true
     for all built-ins, which keep no per-run state).
     """
+    plan = first_passage_plan(
+        process_factory=process_factory,
+        initial=initial,
+        stop=stop,
+        repetitions=repetitions,
+        rng=rng,
+        max_rounds=max_rounds,
+        backend=backend,
+        rng_mode=rng_mode,
+        workers=workers,
+        scheduler=scheduler,
+        adversary=adversary,
+    )
+    return execute(plan).times
+
+
+def first_passage_plan(
+    process_factory: "Callable[[], AgentProcess]",
+    initial: Configuration,
+    stop: "StoppingCondition | None",
+    repetitions: int,
+    rng: RandomSource,
+    max_rounds: "int | None" = None,
+    backend: str = "auto",
+    rng_mode: str = "batched",
+    workers: "int | None" = None,
+    scheduler: str = "synchronous",
+    adversary=None,
+    recorder=None,
+    check_every: "int | None" = None,
+    stable_fraction: float = 0.95,
+    stable_rounds: int = 3,
+    raise_on_limit: bool = True,
+) -> SimulationPlan:
+    """Pack first-passage measurement arguments into a plan.
+
+    The shared plan builder behind :func:`repeat_first_passage` and the
+    declarative study compiler (:func:`repro.study.compile.compile_study`)
+    — one place for the historical ``"auto"`` contract, so imperative and
+    spec-driven entry points produce byte-identical plans.
+    """
     if backend == "auto" and scheduler == "synchronous" and adversary is None:
         # Historical contract: plain "auto" is the sequential reference
         # path with the simulator's own representation rule, keeping
@@ -144,7 +186,7 @@ def repeat_first_passage(
             if prefers_counts_backend(process_factory(), initial, "auto")
             else "agent"
         )
-    plan = SimulationPlan(
+    return SimulationPlan(
         process=process_factory,
         initial=initial,
         stop=stop,
@@ -153,11 +195,15 @@ def repeat_first_passage(
         adversary=adversary,
         rng=rng,
         rng_mode=rng_mode,
+        recorder=recorder,
         max_rounds=max_rounds,
+        check_every=check_every,
         workers=workers,
         backend=backend,
+        stable_fraction=stable_fraction,
+        stable_rounds=stable_rounds,
+        raise_on_limit=raise_on_limit,
     )
-    return execute(plan).times
 
 
 def empirical_cdf(samples: np.ndarray) -> "Callable[[float], float]":

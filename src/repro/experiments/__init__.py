@@ -1,7 +1,18 @@
 """Experiment harness: workloads, sweeps, reporting."""
 
-from .harness import SweepPoint, SweepResult, sweep_first_passage
-from .persistence import load_sweep, save_sweep, sweep_from_dict, sweep_to_dict
+from .harness import (
+    SweepPoint,
+    SweepResult,
+    sweep_first_passage,
+    sweep_result_from_records,
+)
+from .persistence import (
+    FORMAT_VERSION,
+    load_sweep,
+    save_sweep,
+    sweep_from_dict,
+    sweep_to_dict,
+)
 from .plotting import line_chart, log_log_chart, spark_line
 from .reporting import Table, format_table
 from .workloads import (
@@ -11,10 +22,12 @@ from .workloads import (
     bounded_support,
     power_law,
     random_composition,
+    resolve_workload,
     singletons,
 )
 
 __all__ = [
+    "FORMAT_VERSION",
     "SweepPoint",
     "SweepResult",
     "Table",
@@ -28,10 +41,12 @@ __all__ = [
     "log_log_chart",
     "power_law",
     "random_composition",
+    "resolve_workload",
     "save_sweep",
     "spark_line",
     "singletons",
     "sweep_first_passage",
     "sweep_from_dict",
+    "sweep_result_from_records",
     "sweep_to_dict",
 ]

@@ -3,8 +3,19 @@
 Every scaling experiment in EXPERIMENTS.md has the same shape: for each
 ``n`` in a geometric sweep, repeat a first-passage measurement over
 independent seeds, summarise, fit a growth exponent, and compare with the
-paper's predicted scale.  :func:`sweep_first_passage` implements the
-shape once; the per-experiment benchmark modules configure it.
+paper's predicted scale.
+
+Since the declarative study layer (:mod:`repro.study`) became the public
+API, this module is a *consumer* of it: :func:`sweep_first_passage`
+compiles its per-``n`` callables into study cells and executes them
+through the same :func:`~repro.study.runner.execute_cells` loop that
+:func:`~repro.study.runner.run_study` uses, so sweeps inherit the
+runtime's provenance (resolved backend per point) for free.  New code
+should prefer the declarative front doors — :func:`repro.api.sweep` for
+the common named-process/named-workload case, or a full
+:class:`~repro.study.StudySpec` when the grid has more axes — and treat
+this callable-parameterised entry point as the legacy escape hatch for
+experiments whose thresholds are arbitrary functions of ``n``.
 """
 
 from __future__ import annotations
@@ -15,14 +26,19 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..core.configuration import Configuration
-from ..engine.batch import BatchSummary, repeat_first_passage, summarize
+from ..engine.batch import BatchSummary, first_passage_plan, summarize
 from ..engine.rng import RandomSource, derive_seed
 from ..engine.stopping import StoppingCondition
 from ..processes.base import AgentProcess
 from ..analysis.statistics import PowerLawFit, fit_power_law
 from .reporting import Table
 
-__all__ = ["SweepPoint", "SweepResult", "sweep_first_passage"]
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "sweep_first_passage",
+    "sweep_result_from_records",
+]
 
 
 @dataclass
@@ -33,6 +49,9 @@ class SweepPoint:
     samples: np.ndarray
     summary: BatchSummary
     predicted: float
+    #: Which backend the runtime's cost model actually executed (PR 4
+    #: provenance; ``None`` on points loaded from version-1 files).
+    resolved_backend: "str | None" = None
 
 
 @dataclass
@@ -42,6 +61,8 @@ class SweepResult:
     name: str
     param_name: str
     points: "list[SweepPoint]"
+    #: Randomness regime the sweep ran under (``"batched"`` on legacy files).
+    rng_mode: str = "batched"
 
     def params(self) -> np.ndarray:
         return np.asarray([p.param for p in self.points], dtype=float)
@@ -89,6 +110,36 @@ class SweepResult:
         return table
 
 
+def sweep_result_from_records(
+    name: str,
+    param_name: str,
+    records,
+    predicted: "Callable[[int], float]",
+    rng_mode: str = "batched",
+) -> SweepResult:
+    """Study :class:`~repro.study.store.RunRecord`\\ s → a :class:`SweepResult`.
+
+    The bridge the spec-driven front doors use to keep the sweep-report
+    machinery (tables, power-law fits, persistence): each record becomes
+    one sweep point at its ``params["n"]``, and the paper-scale
+    prediction — a presentation concern, not provenance — is evaluated
+    at conversion time.
+    """
+    points = [
+        SweepPoint(
+            param=int(record.params["n"]),
+            samples=record.times,
+            summary=summarize(record.times),
+            predicted=float(predicted(int(record.params["n"]))),
+            resolved_backend=record.resolved_backend,
+        )
+        for record in records
+    ]
+    return SweepResult(
+        name=name, param_name=param_name, points=points, rng_mode=rng_mode
+    )
+
+
 def sweep_first_passage(
     name: str,
     process_factory: "Callable[[int], AgentProcess]",
@@ -106,7 +157,7 @@ def sweep_first_passage(
     scheduler: str = "synchronous",
     adversary=None,
 ) -> SweepResult:
-    """Run a first-passage scaling sweep.
+    """Run a first-passage scaling sweep (legacy callable-parameterised API).
 
     Parameters are callables of ``n`` so a single harness covers all the
     experiments: ``process_factory(n)`` builds the protocol (some need
@@ -114,24 +165,27 @@ def sweep_first_passage(
     ``stop(n)`` the stopping condition, ``predicted(n)`` the paper's
     scale.  Seeds derive deterministically from ``seed`` per sweep point.
 
-    Every execution knob of :func:`repeat_first_passage` threads through:
-    ``backend`` is any runtime registry name or alias (``"ensemble-auto"``
-    runs each sweep point's repetitions lock-step, ``"sharded-auto"``
-    spreads them over ``workers`` pool processes, the sequential names
-    remain the exactness reference), ``rng_mode="per-replica"``
-    reproduces sequential sample streams bit-for-bit on every backend
-    that supports it, and the model axes make scenario sweeps
-    first-class: ``scheduler="asynchronous"`` measures first-passage
-    *ticks* of the one-node-per-tick model, and ``adversary`` (an
-    :class:`~repro.adversary.adversary.Adversary` instance or a callable
-    of ``n`` building one per sweep point) measures §5
-    rounds-to-stabilisation.
+    Every execution knob of the unified runtime threads through
+    (``backend``, ``rng_mode``, ``workers``, ``scheduler``,
+    ``adversary`` — an instance or a callable of ``n``); see
+    :func:`repro.engine.batch.repeat_first_passage` for their meanings.
+
+    .. deprecated:: 1.1
+        This is now a shim over the study layer: each sweep point is
+        compiled to a study cell and executed by
+        :func:`repro.study.runner.execute_cells`.  Prefer
+        :func:`repro.api.sweep` (declarative arguments, same result
+        type) or a :class:`repro.study.StudySpec` with a ``zip``
+        expansion when thresholds vary per ``n``.
     """
-    points = []
+    from ..study.compile import StudyCell, cell_hash
+    from ..study.runner import execute_cells
+
+    cells = []
     for index, n in enumerate(n_values):
         n = int(n)
         point_seed = derive_seed(seed, index)
-        samples = repeat_first_passage(
+        plan = first_passage_plan(
             process_factory=lambda n=n: process_factory(n),
             initial=workload(n),
             stop=stop(n),
@@ -144,12 +198,22 @@ def sweep_first_passage(
             scheduler=scheduler,
             adversary=adversary(n) if callable(adversary) else adversary,
         )
-        points.append(
-            SweepPoint(
-                param=n,
-                samples=samples,
-                summary=summarize(samples),
-                predicted=float(predicted(n)),
+        params = {
+            "sweep": name,
+            "param_name": param_name,
+            "n": n,
+            "seed": point_seed,
+            "repetitions": repetitions,
+            "backend": backend,
+            "rng_mode": rng_mode,
+            "scheduler": scheduler,
+        }
+        cells.append(
+            StudyCell(
+                index=index, cell_id=cell_hash(params), params=params, plan=plan
             )
         )
-    return SweepResult(name=name, param_name=param_name, points=points)
+    records = execute_cells(cells)
+    return sweep_result_from_records(
+        name, param_name, records, predicted, rng_mode=rng_mode
+    )

@@ -5,35 +5,66 @@ tables be regenerated, diffed and post-processed without re-simulating.
 The format is deliberately plain JSON — one object per sweep with raw
 per-point samples — so downstream tooling needs nothing but the standard
 library to consume it.
+
+Schema versions
+---------------
+
+* **1** — the original layout: ``name``, ``param_name``, ``points`` of
+  ``{param, samples, predicted}``.  Still readable; the PR-4 provenance
+  fields default (``rng_mode="batched"``, ``resolved_backend=None``).
+* **2** (current) — adds the execution provenance version 1 dropped:
+  ``rng_mode`` at the sweep level and ``resolved_backend`` per point,
+  both round-tripped losslessly.  A point with no paper-scale prediction
+  (NaN in memory, e.g. a default :func:`repro.api.sweep` call) is
+  written as ``null`` so the file stays strict JSON.
+
+Versions newer than :data:`FORMAT_VERSION` are rejected with a clear
+error — a file a future repro wrote may carry semantics this build
+cannot honour, and silently dropping fields is how provenance rots.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
-from typing import Any
 
 import numpy as np
 
 from ..engine.batch import summarize
 from .harness import SweepPoint, SweepResult
 
-__all__ = ["sweep_to_dict", "sweep_from_dict", "save_sweep", "load_sweep"]
+__all__ = [
+    "FORMAT_VERSION",
+    "sweep_to_dict",
+    "sweep_from_dict",
+    "save_sweep",
+    "load_sweep",
+]
 
-_FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions this build can read (older layouts upgrade on load).
+_READABLE_VERSIONS = (1, 2)
 
 
 def sweep_to_dict(result: SweepResult) -> dict:
     """Serialise a :class:`SweepResult` (raw samples included)."""
     return {
-        "format_version": _FORMAT_VERSION,
+        "format_version": FORMAT_VERSION,
         "name": result.name,
         "param_name": result.param_name,
+        "rng_mode": result.rng_mode,
         "points": [
             {
                 "param": int(point.param),
                 "samples": [int(v) for v in point.samples],
-                "predicted": float(point.predicted),
+                "predicted": (
+                    float(point.predicted)
+                    if math.isfinite(point.predicted)
+                    else None
+                ),
+                "resolved_backend": point.resolved_backend,
             }
             for point in result.points
         ],
@@ -47,8 +78,12 @@ def sweep_from_dict(payload: dict) -> SweepResult:
     hand stay internally consistent (or fail loudly on bad samples).
     """
     version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
-        raise ValueError(f"unsupported sweep format version: {version!r}")
+    if version not in _READABLE_VERSIONS:
+        raise ValueError(
+            f"unsupported sweep format version {version!r}; this build reads "
+            f"versions {list(_READABLE_VERSIONS)} (a newer repro probably "
+            "wrote the file — upgrade to read it)"
+        )
     points = []
     for entry in payload["points"]:
         samples = np.asarray(entry["samples"], dtype=np.int64)
@@ -57,13 +92,19 @@ def sweep_from_dict(payload: dict) -> SweepResult:
                 param=int(entry["param"]),
                 samples=samples,
                 summary=summarize(samples),
-                predicted=float(entry["predicted"]),
+                predicted=(
+                    float(entry["predicted"])
+                    if entry["predicted"] is not None
+                    else float("nan")
+                ),
+                resolved_backend=entry.get("resolved_backend"),
             )
         )
     return SweepResult(
         name=str(payload["name"]),
         param_name=str(payload["param_name"]),
         points=points,
+        rng_mode=str(payload.get("rng_mode", "batched")),
     )
 
 

@@ -27,6 +27,7 @@ __all__ = [
     "bounded_support",
     "power_law",
     "random_composition",
+    "resolve_workload",
     "WORKLOADS",
 ]
 
@@ -116,3 +117,28 @@ WORKLOADS = {
     "power_law": power_law,
     "random_composition": random_composition,
 }
+
+
+def resolve_workload(value, n: int) -> Configuration:
+    """A declarative workload value → a start configuration for ``n`` nodes.
+
+    ``value`` is a registry name, or the study layer's canonical
+    ``{"name": ..., "kwargs": {...}}`` form where the kwargs are the
+    generator's arguments beyond ``n`` (e.g. ``{"name": "balanced",
+    "kwargs": {"k": 2}}``).  This is how :class:`~repro.study.StudySpec`
+    axes, the CLI's flags and the examples all name their start
+    configurations through one vocabulary.
+    """
+    if isinstance(value, str):
+        value = {"name": value, "kwargs": {}}
+    name = value["name"]
+    try:
+        generator = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; available: {', '.join(sorted(WORKLOADS))}"
+        ) from None
+    try:
+        return generator(n, **value.get("kwargs", {}))
+    except TypeError as exc:
+        raise ValueError(f"workload {name!r}: {exc}") from exc

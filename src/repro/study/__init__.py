@@ -1,0 +1,61 @@
+"""Declarative studies: spec-driven experiment suites with provenance.
+
+The paper's experiment grid — consensus-time scaling of 3-Majority /
+2-Choices / Voter, the asynchronous scheduler, the §5 adversaries — is a
+*set of cells*, each one :class:`~repro.engine.plan.SimulationPlan`.
+This package makes the set itself a first-class artifact:
+
+* :class:`StudySpec` (``spec.py``) — a plain dataclass declaring named
+  axes (process, workload, ``n``, scheduler, adversary, stopping rule,
+  horizon, backend, rng regime) plus a ``grid``/``zip`` expansion rule;
+  round-trippable to/from TOML and JSON, content-addressed by
+  :func:`spec_hash`.
+* :func:`compile_study` (``compile.py``) — expands a spec into
+  :class:`StudyCell`\\ s, each carrying its derived seed and compiled
+  :class:`~repro.engine.plan.SimulationPlan`.
+* :class:`StudyStore` / :class:`RunRecord` (``store.py``) — the columnar
+  result store with full provenance (spec hash, per-cell seed entropy,
+  resolved backend, wall time, package version).
+* :func:`run_study` (``runner.py``) — executes the cells through the
+  unified runtime (:func:`repro.engine.runtime.execute`, shared pool and
+  all) and supports bit-for-bit ``resume=`` of interrupted runs.
+* :func:`study_report` (``report.py``) — renders a store as tables.
+
+The user-facing entry points are re-exported by :mod:`repro.api`
+(``simulate`` / ``sweep`` / ``study``).
+"""
+
+from .compile import (
+    ADVERSARY_NAMES,
+    StudyCell,
+    build_adversary,
+    compile_study,
+    parse_stop,
+)
+from .report import study_report
+from .runner import execute_cells, run_study
+from .spec import AXIS_NAMES, StudySpec, spec_hash
+from .store import STORE_FORMAT_VERSION, RunRecord, StudyStore, load_study_store
+from .toml_io import load_spec, loads_spec, dumps_spec, save_spec
+
+__all__ = [
+    "ADVERSARY_NAMES",
+    "AXIS_NAMES",
+    "RunRecord",
+    "STORE_FORMAT_VERSION",
+    "StudyCell",
+    "StudySpec",
+    "StudyStore",
+    "build_adversary",
+    "compile_study",
+    "dumps_spec",
+    "execute_cells",
+    "load_spec",
+    "load_study_store",
+    "loads_spec",
+    "parse_stop",
+    "run_study",
+    "save_spec",
+    "spec_hash",
+    "study_report",
+]

@@ -1,0 +1,99 @@
+"""Render a :class:`~repro.study.store.StudyStore` as report tables.
+
+One summary table over all cells (axes, replica counts, first-passage
+statistics, resolved backend), plus a power-law fit footnote for every
+group of cells that differs only in ``n`` and covers at least three
+sizes — the study-level generalisation of the sweep harness's fit row.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from ..analysis.statistics import fit_power_law
+from ..experiments.reporting import Table
+from .compile import describe_axes
+from .store import RunRecord, StudyStore
+
+__all__ = ["study_report"]
+
+
+def _group_key(record: RunRecord, expansion: str) -> str:
+    """Cells that differ only in ``n`` (and seed) share a fit group.
+
+    Under ``zip`` expansion the stopping rule and horizon co-vary with
+    ``n`` (per-``n`` thresholds are what zip is for), so they are not
+    grouping axes; under ``grid`` they are independent axes and distinct
+    values measure distinct quantities — pooling them into one fit would
+    average incompatible observables.
+    """
+    dropped = ("n", "seed") + (("stop", "max_rounds") if expansion == "zip" else ())
+    params = {k: v for k, v in record.params.items() if k not in dropped}
+    return json.dumps(params, sort_keys=True)
+
+
+def _group_label(record: RunRecord) -> str:
+    parts = [record.params["process"]["name"]]
+    workload = record.params["workload"]
+    if workload["name"] != "singletons":
+        parts.append(workload["name"])
+    if record.params["scheduler"] != "synchronous":
+        parts.append(record.params["scheduler"])
+    if record.params["adversary"] is not None:
+        parts.append(record.params["adversary"]["name"])
+    return " ".join(parts)
+
+
+def study_report(store: StudyStore) -> Table:
+    """The store's cells as one table (stats per cell, fits as footnotes)."""
+    spec = store.spec
+    total = spec.num_cells()
+    title = f"study {spec.name!r} — {len(store)}/{total} cells"
+    if len(store) < total:
+        title += " (incomplete)"
+    table = Table(
+        title=title,
+        columns=[
+            "cell", "process", "n", "axes", "unit", "runs", "stopped",
+            "mean", "sem", "median", "max", "backend",
+        ],
+    )
+    groups: "dict[str, list[RunRecord]]" = {}
+    for record in store.records():
+        summary = record.summary()
+        params = record.params
+        table.add_row(
+            record.index,
+            params["process"]["name"],
+            params["n"],
+            describe_axes(params) or "-",
+            record.unit,
+            int(record.times.size),
+            int(record.stopped.sum()),
+            summary.mean,
+            summary.sem,
+            summary.median,
+            summary.maximum,
+            record.resolved_backend,
+        )
+        groups.setdefault(_group_key(record, spec.expansion), []).append(record)
+    for records in groups.values():
+        by_n: "dict[int, list[float]]" = {}
+        for record in records:
+            by_n.setdefault(int(record.params["n"]), []).append(
+                float(record.times.mean())
+            )
+        if len(by_n) < 3:
+            continue
+        ns = np.asarray(sorted(by_n), dtype=float)
+        means = np.asarray([np.mean(by_n[int(n)]) for n in ns])
+        fit = fit_power_law(ns, means)
+        table.add_footnote(f"fit [{_group_label(records[0])}]: {fit.summary()}")
+    table.add_footnote(
+        f"spec {store.spec_hash} · seed {spec.seed} · R={spec.repetitions} "
+        f"per cell · repro {store.package_version} · "
+        f"wall {sum(store.column('wall_time_s')):.2f}s"
+    )
+    return table

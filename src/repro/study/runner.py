@@ -1,0 +1,162 @@
+"""Execute compiled study cells through the unified runtime.
+
+``run_study`` is the one loop every experiment suite now goes through:
+compile the spec, skip cells an existing store already covers, execute
+the rest via :func:`repro.engine.runtime.execute` (which shares the
+persistent sharded pool across cells), and checkpoint the store after
+every cell so an interrupted run loses at most the cell in flight.
+
+Resume is bit-for-bit by construction: each cell's seed derives from the
+spec seed and the cell *index* (never from execution order), so the
+records a resumed run adds are exactly the records the uninterrupted run
+would have produced — enforced by ``tests/test_study.py`` and the
+``study-smoke`` step of ``scripts/check.sh``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..engine.runtime import execute
+from .compile import StudyCell, compile_study
+from .spec import StudySpec, spec_hash
+from .store import RunRecord, StudyStore, load_study_store
+
+__all__ = ["execute_cells", "run_study"]
+
+
+def _record_cell(cell: StudyCell) -> RunRecord:
+    """Run one cell and capture its outcome plus provenance."""
+    start = time.perf_counter()
+    result = execute(cell.plan)
+    wall_time = time.perf_counter() - start
+    trajectory = None
+    if cell.plan.recorder is not None:
+        trajectory = {
+            key: [float(v) for v in series]
+            for key, series in cell.plan.recorder.as_dict().items()
+        }
+    extras = None
+    raw = result.raw
+    if cell.plan.adversary is not None and hasattr(raw, "winner_is_valid"):
+        extras = {
+            "winning_color": [int(v) for v in raw.winning_color],
+            "winning_fraction": [float(v) for v in raw.winning_fraction],
+            "winner_is_valid": [bool(v) for v in raw.winner_is_valid],
+            "valid_almost_all_consensus": [
+                bool(v) for v in raw.valid_almost_all_consensus
+            ],
+        }
+    return RunRecord(
+        cell_id=cell.cell_id,
+        index=cell.index,
+        seed=int(cell.params["seed"]),
+        params=cell.params,
+        resolved_backend=result.backend,
+        unit=result.unit,
+        times=np.asarray(result.times, dtype=np.int64),
+        stopped=np.asarray(result.stopped, dtype=bool),
+        wall_time_s=wall_time,
+        trajectory=trajectory,
+        extras=extras,
+    )
+
+
+def execute_cells(
+    cells: Iterable[StudyCell],
+    progress: "Callable[[StudyCell, RunRecord], None] | None" = None,
+) -> "list[RunRecord]":
+    """Execute cells in order and return their records.
+
+    The imperative core shared by :func:`run_study` and the legacy sweep
+    harness (:func:`repro.experiments.harness.sweep_first_passage`), so
+    both produce identical records for identical plans.
+    """
+    records = []
+    for cell in cells:
+        record = _record_cell(cell)
+        records.append(record)
+        if progress is not None:
+            progress(cell, record)
+    return records
+
+
+def run_study(
+    spec: StudySpec,
+    *,
+    store_path: "str | None" = None,
+    resume: "bool | str" = False,
+    max_cells: "int | None" = None,
+    progress: "Callable[[StudyCell, RunRecord], None] | None" = None,
+) -> StudyStore:
+    """Execute a study spec; optionally checkpoint and resume.
+
+    Parameters
+    ----------
+    spec:
+        The declarative study to run.
+    store_path:
+        Where to checkpoint the store (JSON).  Written after *every*
+        completed cell, atomically, so a killed run loses at most the
+        cell in flight.  ``None`` keeps the store in memory only.
+    resume:
+        ``False`` starts fresh (and refuses to clobber an existing store
+        at ``store_path``); ``True`` loads ``store_path`` if present and
+        completes only the missing cells;
+        a string is a path to resume from (checkpoints still go to
+        ``store_path``).  A store whose ``spec_hash`` differs from
+        ``spec``'s is rejected — resuming a *different* study is always
+        an error, never silent data mixing.
+    max_cells:
+        Execute at most this many *new* cells, then return (the
+        programmatic interruption used by the resume tests and the
+        ``--max-cells`` CLI knob for budgeted sessions).
+    progress:
+        Optional callback invoked after each executed cell.
+    """
+    if max_cells is not None and max_cells < 1:
+        raise ValueError("max_cells must be positive")
+    resume_path = resume if isinstance(resume, str) else store_path
+    store = None
+    if resume:
+        if resume_path is None:
+            raise ValueError("resume=True needs a store_path to resume from")
+        try:
+            store = load_study_store(resume_path)
+        except FileNotFoundError:
+            store = None
+        if store is not None and store.spec_hash != spec_hash(spec):
+            raise ValueError(
+                f"store at {resume_path} records spec_hash "
+                f"{store.spec_hash!r} but this spec hashes to "
+                f"{spec_hash(spec)!r}; refusing to resume a different study"
+            )
+    elif store_path is not None and os.path.exists(store_path):
+        raise ValueError(
+            f"store {store_path} already exists; pass resume=True to "
+            "complete it, or remove the file to start over"
+        )
+    if store is None:
+        store = StudyStore(spec)
+    executed = 0
+    for cell in compile_study(spec):
+        if store.get(cell.cell_id) is not None:
+            continue
+        if max_cells is not None and executed >= max_cells:
+            break
+        record = _record_cell(cell)
+        store.add(record)
+        executed += 1
+        if store_path is not None:
+            store.save(store_path)
+        if progress is not None:
+            progress(cell, record)
+    if store_path is not None and executed == 0:
+        # Nothing ran (fully resumed store): still persist, so `run` on a
+        # complete store is idempotent and leaves a fresh checkpoint.
+        store.save(store_path)
+    return store

@@ -1,0 +1,385 @@
+"""The :class:`StudySpec` dataclass — the declarative experiment artifact.
+
+A spec declares *what to measure* over *which axes* without any
+imperative plumbing: every field is a plain value (string, int, float,
+bool, list, dict), so a spec round-trips losslessly through TOML or JSON
+and can be saved, diffed, hashed and shared.  Construction normalises
+every axis value to one canonical form (shorthands like a bare process
+name expand to ``{"name": ..., "kwargs": {}}``), which is what makes the
+round-trip contract an equality: ``StudySpec.from_dict(spec.to_dict())
+== spec`` for every valid spec.
+
+Axes and expansion
+------------------
+
+``axes`` maps axis names (:data:`AXIS_NAMES`) to lists of values; a
+scalar is shorthand for a one-element list.  ``expansion`` chooses how
+the lists combine into cells:
+
+* ``"grid"`` — the cartesian product, iterated in :data:`AXIS_NAMES`
+  order with the later axes varying fastest;
+* ``"zip"`` — parallel iteration: every multi-valued axis must have the
+  same length and one-element axes broadcast (the way to express
+  per-``n`` stopping thresholds or horizons).
+
+Canonical axis value forms (what the shorthands normalise to):
+
+===========  ==============================================================
+axis         canonical value
+===========  ==============================================================
+process      ``{"name": <registry key>, "kwargs": {...}}``
+workload     ``{"name": <WORKLOADS key>, "kwargs": {...}}``
+n            ``int``
+scheduler    ``"synchronous"`` | ``"asynchronous"``
+adversary    ``None`` | ``{"name": ..., "budget": int | None, "kwargs": {}}``
+             (``budget None`` = the [BCN+16] recommended scale per cell)
+stop         ``"consensus"`` | ``"colors<=K"`` | ``"max-support>K"`` |
+             ``"bias>=K"``
+max_rounds   ``None`` | ``int`` (scheduler units: rounds or ticks)
+backend      a runtime registry name or resolution alias
+rng_mode     ``"batched"`` | ``"per-replica"``
+===========  ==============================================================
+
+``None`` appears in TOML/JSON as the string ``"none"`` (TOML has no
+null); the canonical in-memory form is the Python ``None``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..engine.plan import RNG_MODES, SCHEDULERS
+
+__all__ = ["AXIS_NAMES", "REQUIRED_AXES", "StudySpec", "spec_hash"]
+
+#: Every axis a spec may sweep, in grid-expansion (and cell-id) order.
+AXIS_NAMES = (
+    "process",
+    "workload",
+    "n",
+    "scheduler",
+    "adversary",
+    "stop",
+    "max_rounds",
+    "backend",
+    "rng_mode",
+)
+
+#: Axes a spec must declare; the rest default to one-element lists.
+REQUIRED_AXES = ("process", "n")
+
+_AXIS_DEFAULTS = {
+    "workload": [{"name": "singletons", "kwargs": {}}],
+    "scheduler": ["synchronous"],
+    "adversary": [None],
+    "stop": ["consensus"],
+    "max_rounds": [None],
+    "backend": ["auto"],
+    "rng_mode": ["per-replica"],
+}
+
+_EXPANSIONS = ("grid", "zip")
+
+_RECORD_AGGREGATES = (None, "mean")
+
+
+def _check_kwargs(kwargs: Any, context: str) -> dict:
+    if not isinstance(kwargs, Mapping):
+        raise ValueError(f"{context}: kwargs must be a table, got {kwargs!r}")
+    for key in kwargs:
+        if not isinstance(key, str):
+            raise ValueError(f"{context}: kwargs keys must be strings")
+    return dict(kwargs)
+
+
+def _normalize_named(value: Any, axis: str) -> dict:
+    """``"name"`` or ``{"name": ..., "kwargs": {...}}`` → canonical dict."""
+    if isinstance(value, str):
+        return {"name": value, "kwargs": {}}
+    if isinstance(value, Mapping):
+        extra = set(value) - {"name", "kwargs"}
+        if extra or "name" not in value:
+            raise ValueError(
+                f"axis {axis!r}: expected {{name, kwargs?}}, got {dict(value)!r}"
+            )
+        return {
+            "name": str(value["name"]),
+            "kwargs": _check_kwargs(value.get("kwargs", {}), f"axis {axis!r}"),
+        }
+    raise ValueError(f"axis {axis!r}: expected a name or table, got {value!r}")
+
+
+def _normalize_adversary(value: Any) -> "dict | None":
+    if value is None or value == "none":
+        return None
+    if isinstance(value, str):
+        return {"name": value, "budget": None, "kwargs": {}}
+    if isinstance(value, Mapping):
+        extra = set(value) - {"name", "budget", "kwargs"}
+        if extra or "name" not in value:
+            raise ValueError(
+                f"axis 'adversary': expected {{name, budget?, kwargs?}}, "
+                f"got {dict(value)!r}"
+            )
+        budget = value.get("budget")
+        if budget is not None:
+            budget = int(budget)
+            if budget < 1:
+                raise ValueError("axis 'adversary': budget must be positive")
+        return {
+            "name": str(value["name"]),
+            "budget": budget,
+            "kwargs": _check_kwargs(value.get("kwargs", {}), "axis 'adversary'"),
+        }
+    raise ValueError(f"axis 'adversary': cannot normalise {value!r}")
+
+
+def _normalize_optional_int(value: Any, axis: str) -> "int | None":
+    if value is None or value == "none":
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"axis {axis!r}: expected an int or 'none', got {value!r}")
+    if value < 1:
+        raise ValueError(f"axis {axis!r}: must be positive, got {value}")
+    return int(value)
+
+
+def _normalize_axis_value(axis: str, value: Any) -> Any:
+    if axis in ("process", "workload"):
+        return _normalize_named(value, axis)
+    if axis == "n":
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(f"axis 'n': expected an int, got {value!r}")
+        if value < 2:
+            raise ValueError(f"axis 'n': need n >= 2, got {value}")
+        return int(value)
+    if axis == "scheduler":
+        if value not in SCHEDULERS:
+            raise ValueError(
+                f"axis 'scheduler': {value!r} not in {SCHEDULERS}"
+            )
+        return str(value)
+    if axis == "adversary":
+        return _normalize_adversary(value)
+    if axis == "stop":
+        if not isinstance(value, str) or not value:
+            raise ValueError(f"axis 'stop': expected a rule string, got {value!r}")
+        return value
+    if axis == "max_rounds":
+        return _normalize_optional_int(value, axis)
+    if axis == "backend":
+        if not isinstance(value, str) or not value:
+            raise ValueError(f"axis 'backend': expected a name, got {value!r}")
+        return value
+    if axis == "rng_mode":
+        if value not in RNG_MODES:
+            raise ValueError(f"axis 'rng_mode': {value!r} not in {RNG_MODES}")
+        return str(value)
+    raise ValueError(f"unknown axis {axis!r}; valid axes: {AXIS_NAMES}")
+
+
+def _normalize_axes(axes: Mapping) -> dict:
+    unknown = set(axes) - set(AXIS_NAMES)
+    if unknown:
+        raise ValueError(
+            f"unknown axes {sorted(unknown)}; valid axes: {list(AXIS_NAMES)}"
+        )
+    missing = [name for name in REQUIRED_AXES if name not in axes]
+    if missing:
+        raise ValueError(f"spec must declare the {missing} axes")
+    normalized = {}
+    for axis in AXIS_NAMES:
+        if axis in axes:
+            raw = axes[axis]
+            values = list(raw) if isinstance(raw, (list, tuple)) else [raw]
+        else:
+            values = list(_AXIS_DEFAULTS[axis])
+        if not values:
+            raise ValueError(f"axis {axis!r} has no values")
+        normalized[axis] = [_normalize_axis_value(axis, v) for v in values]
+    return normalized
+
+
+def _normalize_record(value: Any) -> "dict | None":
+    """Canonical recorder request: which per-round metrics to keep."""
+    if value is None or value == "none":
+        return None
+    from ..engine.metrics import METRICS
+
+    if isinstance(value, (list, tuple)):
+        value = {"metrics": list(value)}
+    if not isinstance(value, Mapping):
+        raise ValueError(f"record: expected a table or metric list, got {value!r}")
+    extra = set(value) - {"metrics", "stride", "aggregate", "replica"}
+    if extra:
+        raise ValueError(f"record: unknown keys {sorted(extra)}")
+    metrics = [str(m) for m in value.get("metrics", ())]
+    if not metrics:
+        raise ValueError("record: needs at least one metric name")
+    unknown = [m for m in metrics if m not in METRICS]
+    if unknown:
+        raise ValueError(f"record: unknown metrics {unknown}; have {sorted(METRICS)}")
+    aggregate = value.get("aggregate")
+    if aggregate == "none":
+        aggregate = None
+    if aggregate not in _RECORD_AGGREGATES:
+        raise ValueError(
+            f"record: aggregate must be one of {_RECORD_AGGREGATES}, got {aggregate!r}"
+        )
+    return {
+        "metrics": metrics,
+        "stride": int(value.get("stride", 1)),
+        "aggregate": aggregate,
+        "replica": int(value.get("replica", 0)),
+    }
+
+
+@dataclass
+class StudySpec:
+    """One declarative experiment suite (see the module docstring).
+
+    Scalar fields apply to every cell; ``axes`` holds the swept values.
+    Instances normalise on construction, so two specs describing the
+    same study compare equal whatever shorthands built them.
+    """
+
+    name: str
+    axes: dict
+    seed: int = 0
+    repetitions: int = 5
+    expansion: str = "grid"
+    workers: "int | None" = None
+    check_every: "int | None" = None
+    stable_fraction: float = 0.95
+    stable_rounds: int = 3
+    raise_on_limit: bool = True
+    record: "dict | None" = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("spec needs a non-empty name")
+        if self.expansion not in _EXPANSIONS:
+            raise ValueError(
+                f"unknown expansion {self.expansion!r}; pick one of {_EXPANSIONS}"
+            )
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be positive")
+        if self.workers is not None and int(self.workers) < 1:
+            raise ValueError("workers must be positive")
+        if not 0.5 < self.stable_fraction <= 1.0:
+            raise ValueError("stable_fraction must lie in (0.5, 1]")
+        if self.stable_rounds < 1:
+            raise ValueError("stable_rounds must be positive")
+        self.axes = _normalize_axes(self.axes)
+        self.record = _normalize_record(self.record)
+        if self.expansion == "zip":
+            lengths = {len(v) for v in self.axes.values() if len(v) > 1}
+            if len(lengths) > 1:
+                raise ValueError(
+                    "zip expansion needs every multi-valued axis to have the "
+                    f"same length; got lengths {sorted(lengths)}"
+                )
+
+    # -- cell counting -----------------------------------------------------
+
+    def num_cells(self) -> int:
+        """How many cells the expansion rule produces."""
+        if self.expansion == "zip":
+            return max(len(v) for v in self.axes.values())
+        product = 1
+        for values in self.axes.values():
+            product *= len(values)
+        return product
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON/TOML-ready plain dict (``None`` encoded as ``"none"``)."""
+        out: dict = {
+            "name": self.name,
+            "seed": int(self.seed),
+            "repetitions": int(self.repetitions),
+            "expansion": self.expansion,
+            "stable_fraction": float(self.stable_fraction),
+            "stable_rounds": int(self.stable_rounds),
+            "raise_on_limit": bool(self.raise_on_limit),
+        }
+        if self.description:
+            out["description"] = self.description
+        if self.workers is not None:
+            out["workers"] = int(self.workers)
+        if self.check_every is not None:
+            out["check_every"] = int(self.check_every)
+        if self.record is not None:
+            record = {"metrics": list(self.record["metrics"])}
+            if self.record["stride"] != 1:
+                record["stride"] = self.record["stride"]
+            if self.record["aggregate"] is not None:
+                record["aggregate"] = self.record["aggregate"]
+            if self.record["replica"] != 0:
+                record["replica"] = self.record["replica"]
+            out["record"] = record
+        axes: dict = {}
+        for axis, values in self.axes.items():
+            axes[axis] = [_encode_axis_value(axis, v) for v in values]
+        out["axes"] = axes
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "StudySpec":
+        """Rebuild a spec from :meth:`to_dict` output (or hand-written data)."""
+        if not isinstance(payload, Mapping):
+            raise ValueError(f"spec payload must be a table, got {payload!r}")
+        data = dict(payload)
+        axes = data.pop("axes", None)
+        if axes is None:
+            raise ValueError("spec payload has no [axes] table")
+        known = {
+            "name", "seed", "repetitions", "expansion", "workers",
+            "check_every", "stable_fraction", "stable_rounds",
+            "raise_on_limit", "record", "description",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown spec fields {sorted(unknown)}; valid: {sorted(known)}"
+            )
+        if "name" not in data:
+            raise ValueError("spec payload has no name")
+        return cls(axes=axes, **data)
+
+    def cells_params(self) -> "list[dict]":
+        """Resolved axis assignments per cell, in execution order."""
+        from .compile import expand_axes  # local import: avoid a cycle
+
+        return expand_axes(self)
+
+
+def _encode_axis_value(axis: str, value: Any) -> Any:
+    """Canonical in-memory value → its serialised (TOML-safe) form."""
+    if value is None:
+        return "none"
+    if axis in ("process", "workload"):
+        if value["kwargs"]:
+            return {"name": value["name"], "kwargs": dict(value["kwargs"])}
+        return value["name"]
+    if axis == "adversary":
+        out = {"name": value["name"]}
+        if value["budget"] is not None:
+            out["budget"] = value["budget"]
+        if value["kwargs"]:
+            out["kwargs"] = dict(value["kwargs"])
+        return out
+    return value
+
+
+def spec_hash(spec: StudySpec) -> str:
+    """A short content hash of the spec (the store's provenance anchor)."""
+    canonical = json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]

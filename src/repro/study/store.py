@@ -1,0 +1,234 @@
+"""The columnar RunRecord store: study results with full provenance.
+
+Every executed cell lands here as one :class:`RunRecord`; the store
+serialises to plain JSON in *columnar* layout (one parallel array per
+field) so downstream tooling can slice columns without reassembling
+objects.  Provenance travels with the data: the spec itself and its
+content hash, the per-cell seed entropy, the backend the runtime's cost
+model actually resolved, wall time, and the package version — which is
+what makes ``run_study(spec, resume=...)`` able to *prove* a resumed
+store completes the same study rather than guessing from file names.
+
+The format is schema-versioned like the sweep JSON
+(:mod:`repro.experiments.persistence`): readers accept the current
+version only and reject unknown future versions with a clear error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..engine.batch import BatchSummary, summarize
+from .spec import StudySpec, spec_hash
+
+__all__ = ["STORE_FORMAT_VERSION", "RunRecord", "StudyStore", "load_study_store"]
+
+STORE_FORMAT_VERSION = 1
+
+#: Columnar layout: field name → JSON encoder over the in-memory value.
+_COLUMNS = (
+    "cell_id",
+    "index",
+    "seed",
+    "params",
+    "resolved_backend",
+    "unit",
+    "times",
+    "stopped",
+    "wall_time_s",
+    "trajectory",
+    "extras",
+)
+
+
+@dataclass
+class RunRecord:
+    """Outcome and provenance of one executed study cell."""
+
+    cell_id: str
+    index: int
+    seed: int
+    params: dict = field(repr=False)
+    #: The backend :func:`repro.engine.runtime.resolve_backend` chose.
+    resolved_backend: str
+    #: Measurement unit: synchronous ``rounds`` or asynchronous ``ticks``.
+    unit: str
+    #: ``(R,)`` per-replica first-passage times.
+    times: np.ndarray = field(repr=False)
+    #: ``(R,)`` whether the cell's criterion fired per replica.
+    stopped: np.ndarray = field(repr=False)
+    wall_time_s: float = 0.0
+    #: Recorded per-round metric series (``spec.record``), or ``None``.
+    trajectory: "dict | None" = field(default=None, repr=False)
+    #: Family-specific extra columns (e.g. §5 winner validity masks).
+    extras: "dict | None" = field(default=None, repr=False)
+
+    def summary(self) -> BatchSummary:
+        return summarize(self.times)
+
+    def same_results(self, other: "RunRecord") -> bool:
+        """Bit-for-bit result equality, ignoring wall time."""
+        return (
+            self.cell_id == other.cell_id
+            and self.index == other.index
+            and self.seed == other.seed
+            and self.resolved_backend == other.resolved_backend
+            and self.unit == other.unit
+            and np.array_equal(self.times, other.times)
+            and np.array_equal(self.stopped, other.stopped)
+            and _jsonish_equal(self.trajectory, other.trajectory)
+            and _jsonish_equal(self.extras, other.extras)
+        )
+
+
+def _jsonish_equal(a, b) -> bool:
+    return json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+class StudyStore:
+    """An append-only collection of :class:`RunRecord`\\ s for one spec."""
+
+    def __init__(self, spec: StudySpec, package_version: "str | None" = None):
+        from .. import __version__
+
+        self.spec = spec
+        self.spec_hash = spec_hash(spec)
+        self.package_version = package_version or __version__
+        self._records: "list[RunRecord]" = []
+        self._by_id: "dict[str, RunRecord]" = {}
+
+    # -- collection behaviour ---------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self.records())
+
+    def records(self) -> "list[RunRecord]":
+        """Records sorted by cell index (whatever order they completed in)."""
+        return sorted(self._records, key=lambda r: r.index)
+
+    def completed_ids(self) -> "frozenset[str]":
+        return frozenset(self._by_id)
+
+    def get(self, cell_id: str) -> "RunRecord | None":
+        return self._by_id.get(cell_id)
+
+    def add(self, record: RunRecord) -> None:
+        if record.cell_id in self._by_id:
+            raise ValueError(f"cell {record.cell_id} is already recorded")
+        self._records.append(record)
+        self._by_id[record.cell_id] = record
+
+    def is_complete(self) -> bool:
+        """Does the store cover every cell the spec expands to?"""
+        from .compile import compile_study
+
+        return all(
+            cell.cell_id in self._by_id for cell in compile_study(self.spec)
+        )
+
+    def column(self, name: str) -> list:
+        """One column across all records, in cell-index order."""
+        if name not in _COLUMNS:
+            raise KeyError(f"unknown column {name!r}; have {_COLUMNS}")
+        return [getattr(record, name) for record in self.records()]
+
+    def results_equal(self, other: "StudyStore") -> bool:
+        """Bit-for-bit equality of specs and results (wall times ignored).
+
+        This is the resume contract: an interrupted-then-resumed run must
+        satisfy ``resumed.results_equal(uninterrupted)`` exactly.
+        """
+        if self.spec_hash != other.spec_hash or len(self) != len(other):
+            return False
+        return all(
+            a.same_results(b) for a, b in zip(self.records(), other.records())
+        )
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        records = self.records()
+        return {
+            "format_version": STORE_FORMAT_VERSION,
+            "kind": "repro-study-store",
+            "spec_hash": self.spec_hash,
+            "package_version": self.package_version,
+            "spec": self.spec.to_dict(),
+            "num_records": len(records),
+            "columns": {
+                "cell_id": [r.cell_id for r in records],
+                "index": [int(r.index) for r in records],
+                "seed": [int(r.seed) for r in records],
+                "params": [r.params for r in records],
+                "resolved_backend": [r.resolved_backend for r in records],
+                "unit": [r.unit for r in records],
+                "times": [[int(v) for v in r.times] for r in records],
+                "stopped": [[bool(v) for v in r.stopped] for r in records],
+                "wall_time_s": [float(r.wall_time_s) for r in records],
+                "trajectory": [r.trajectory for r in records],
+                "extras": [r.extras for r in records],
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "StudyStore":
+        version = payload.get("format_version")
+        if version != STORE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported study-store format version {version!r}; this "
+                f"build reads version {STORE_FORMAT_VERSION} (a newer repro "
+                "probably wrote the file — upgrade to read it)"
+            )
+        if payload.get("kind") != "repro-study-store":
+            raise ValueError(
+                f"not a study store payload (kind={payload.get('kind')!r})"
+            )
+        spec = StudySpec.from_dict(payload["spec"])
+        store = cls(spec, package_version=payload.get("package_version"))
+        recorded_hash = payload.get("spec_hash")
+        if recorded_hash != store.spec_hash:
+            raise ValueError(
+                f"store spec_hash {recorded_hash!r} does not match its own "
+                f"spec ({store.spec_hash!r}); the file was edited inconsistently"
+            )
+        columns = payload["columns"]
+        for i in range(len(columns["cell_id"])):
+            store.add(
+                RunRecord(
+                    cell_id=columns["cell_id"][i],
+                    index=int(columns["index"][i]),
+                    seed=int(columns["seed"][i]),
+                    params=columns["params"][i],
+                    resolved_backend=columns["resolved_backend"][i],
+                    unit=columns["unit"][i],
+                    times=np.asarray(columns["times"][i], dtype=np.int64),
+                    stopped=np.asarray(columns["stopped"][i], dtype=bool),
+                    wall_time_s=float(columns["wall_time_s"][i]),
+                    trajectory=columns["trajectory"][i],
+                    extras=columns["extras"][i],
+                )
+            )
+        return store
+
+    def save(self, path: str) -> None:
+        """Write the store to ``path`` as JSON (atomically)."""
+        tmp_path = f"{path}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+
+
+def load_study_store(path: str) -> StudyStore:
+    """Read a store previously written by :meth:`StudyStore.save`."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return StudyStore.from_dict(payload)

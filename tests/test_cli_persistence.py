@@ -16,6 +16,11 @@ from repro.experiments import (
     sweep_to_dict,
 )
 from repro.processes import Voter
+from repro.study import load_study_store
+
+
+def _reject_constant(value):
+    raise AssertionError(f"non-strict JSON constant in file: {value}")
 
 
 def _small_sweep():
@@ -54,12 +59,50 @@ class TestPersistence:
         path = tmp_path / "sweep.json"
         save_sweep(_small_sweep(), str(path))
         payload = json.loads(path.read_text())
-        assert payload["format_version"] == 1
+        assert payload["format_version"] == 2
         assert len(payload["points"]) == 3
 
-    def test_version_check(self):
-        with pytest.raises(ValueError):
+    def test_round_trips_provenance_fields(self):
+        original = _small_sweep()
+        payload = sweep_to_dict(original)
+        assert payload["rng_mode"] == original.rng_mode
+        assert all(p["resolved_backend"] for p in payload["points"])
+        rebuilt = sweep_from_dict(payload)
+        assert rebuilt.rng_mode == original.rng_mode
+        for a, b in zip(original.points, rebuilt.points):
+            assert a.resolved_backend == b.resolved_backend
+
+    def test_reads_legacy_version1_files(self):
+        payload = sweep_to_dict(_small_sweep())
+        legacy = {
+            "format_version": 1,
+            "name": payload["name"],
+            "param_name": payload["param_name"],
+            "points": [
+                {k: p[k] for k in ("param", "samples", "predicted")}
+                for p in payload["points"]
+            ],
+        }
+        rebuilt = sweep_from_dict(legacy)
+        assert rebuilt.rng_mode == "batched"
+        assert all(p.resolved_backend is None for p in rebuilt.points)
+
+    def test_rejects_unknown_future_versions(self):
+        with pytest.raises(ValueError, match="unsupported sweep format version"):
             sweep_from_dict({"format_version": 99, "points": []})
+
+    def test_missing_prediction_stays_strict_json(self, tmp_path):
+        # api.sweep without predicted= leaves NaN predictions; the file
+        # must still be strict JSON (null), round-tripping back to NaN.
+        from repro import api
+
+        result = api.sweep("voter", [16, 32], repetitions=2, seed=3)
+        path = tmp_path / "sweep.json"
+        save_sweep(result, str(path))
+        payload = json.loads(path.read_text(), parse_constant=_reject_constant)
+        assert all(p["predicted"] is None for p in payload["points"])
+        rebuilt = load_sweep(str(path))
+        assert all(np.isnan(p.predicted) for p in rebuilt.points)
 
     def test_summaries_recomputed_from_samples(self):
         payload = sweep_to_dict(_small_sweep())
@@ -192,3 +235,97 @@ class TestCli:
     def test_unknown_process_errors(self):
         with pytest.raises(KeyError):
             main(["simulate", "no-such-process"])
+
+    def test_simulate_smoke_over_every_registered_process(self, capsys):
+        """`repro simulate` runs end-to-end for every registry name."""
+        from repro.processes import available_processes
+
+        for name in available_processes():
+            if name == "h-majority:<h>":
+                name = "h-majority:3"  # the parameterised scheme's exemplar
+            code = main(
+                ["simulate", name, "-n", "32", "-k", "2", "--seed", "1",
+                 "--max-rounds", "5000"]
+            )
+            out = capsys.readouterr().out
+            assert code == 0, name
+            assert "consensus after" in out, name
+
+
+class TestCliStudy:
+    """End-to-end coverage of the `repro study` subcommands."""
+
+    SPEC_TOML = """\
+name = "cli-study"
+seed = 11
+repetitions = 2
+
+[axes]
+process = ["3-majority", "voter"]
+n = [32]
+rng_mode = ["per-replica"]
+"""
+
+    def _write_spec(self, tmp_path):
+        path = tmp_path / "cli-study.toml"
+        path.write_text(self.SPEC_TOML)
+        return str(path)
+
+    def test_run_reports_and_checkpoints(self, tmp_path, capsys):
+        spec_path = self._write_spec(tmp_path)
+        code = main(["study", "run", spec_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "complete" in out
+        assert "cli-study" in out
+        store = load_study_store(str(tmp_path / "cli-study.store.json"))
+        assert len(store) == 2
+
+    def test_run_refuses_to_clobber_without_resume(self, tmp_path, capsys):
+        spec_path = self._write_spec(tmp_path)
+        assert main(["study", "run", spec_path]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="already exists"):
+            main(["study", "run", spec_path])
+
+    def test_kill_and_resume_completes_only_missing_cells(self, tmp_path, capsys):
+        spec_path = self._write_spec(tmp_path)
+        store_path = str(tmp_path / "partial.json")
+        full_path = str(tmp_path / "full.json")
+        # The uninterrupted reference run.
+        assert main(["study", "run", spec_path, "-o", full_path, "--quiet"]) == 0
+        # An "interrupted" run: one cell, then the process dies.
+        assert main(
+            ["study", "run", spec_path, "-o", store_path, "--max-cells", "1",
+             "--quiet"]
+        ) == 0
+        assert len(load_study_store(store_path)) == 1
+        capsys.readouterr()
+        assert main(["study", "resume", spec_path, "-o", store_path]) == 0
+        out = capsys.readouterr().out
+        # Only the second cell ran on resume.
+        assert "[2/2]" in out and "[1/2]" not in out
+        resumed = load_study_store(store_path)
+        full = load_study_store(full_path)
+        assert resumed.results_equal(full)
+
+    def test_resume_without_store_errors(self, tmp_path):
+        spec_path = self._write_spec(tmp_path)
+        with pytest.raises(SystemExit, match="no store to resume"):
+            main(["study", "resume", spec_path])
+
+    def test_report_renders_saved_store(self, tmp_path, capsys):
+        spec_path = self._write_spec(tmp_path)
+        store_path = str(tmp_path / "s.json")
+        assert main(["study", "run", spec_path, "-o", store_path, "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["study", "report", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "cli-study" in out
+        assert "3-majority" in out and "voter" in out
+
+    def test_bad_spec_is_a_usage_error(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text('name = "x"\n[axes]\nprocess = ["warp-dynamics"]\n')
+        with pytest.raises(SystemExit, match="cannot"):
+            main(["study", "run", str(path)])

@@ -1,0 +1,402 @@
+"""Tests for the declarative study layer (repro.study + repro.api).
+
+The two contracts the ISSUE acceptance criteria name are enforced here:
+
+* a ``StudySpec`` round-trips spec → TOML → spec losslessly, and
+* ``run_study(spec, resume=...)`` after an interrupted run produces a
+  RunRecord store bit-for-bit identical (``rng_mode="per-replica"``) to
+  the uninterrupted run.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import StudySpec, api
+from repro.engine import Consensus
+from repro.core import Configuration
+from repro.experiments import sweep_first_passage
+from repro.study import (
+    StudyStore,
+    compile_study,
+    dumps_spec,
+    load_study_store,
+    loads_spec,
+    parse_stop,
+    run_study,
+    spec_hash,
+    study_report,
+)
+from repro.study.compile import build_adversary, expand_axes
+from repro.engine.stopping import BiasAtLeast, ColorsAtMost, MaxSupportAbove
+
+
+def tiny_spec(**overrides):
+    defaults = dict(
+        name="tiny",
+        seed=7,
+        repetitions=3,
+        axes={"process": ["3-majority", "voter"], "n": [24, 48]},
+    )
+    defaults.update(overrides)
+    return StudySpec(**defaults)
+
+
+def rich_spec():
+    """A spec exercising every axis shape the serialiser must carry."""
+    return StudySpec(
+        name="rich",
+        description="every axis form at once",
+        seed=3,
+        repetitions=2,
+        expansion="zip",
+        workers=1,
+        stable_fraction=0.9,
+        stable_rounds=2,
+        raise_on_limit=False,
+        record={"metrics": ["num_colors", "bias"], "stride": 2, "aggregate": "mean"},
+        axes={
+            "process": [{"name": "3-majority", "kwargs": {}}],
+            "workload": [
+                {"name": "balanced", "kwargs": {"k": 3}},
+                {"name": "biased", "kwargs": {"k": 3, "bias": 4}},
+            ],
+            "n": [30, 60],
+            "adversary": [
+                "none",
+                {"name": "plant-invalid", "budget": 2},
+            ],
+            "stop": ["consensus"],
+            "max_rounds": [500, "none"],
+            "backend": ["auto"],
+            "rng_mode": ["batched"],
+        },
+    )
+
+
+class TestSpec:
+    def test_shorthands_normalise(self):
+        spec = tiny_spec()
+        assert spec.axes["process"][0] == {"name": "3-majority", "kwargs": {}}
+        assert spec.axes["workload"] == [{"name": "singletons", "kwargs": {}}]
+        assert spec.axes["adversary"] == [None]
+        assert spec.axes["max_rounds"] == [None]
+
+    def test_scalar_axis_is_singleton_list(self):
+        spec = tiny_spec(axes={"process": "voter", "n": 16})
+        assert spec.axes["process"] == [{"name": "voter", "kwargs": {}}]
+        assert spec.axes["n"] == [16]
+
+    def test_equality_is_canonical(self):
+        a = tiny_spec(axes={"process": ["voter"], "n": [16]})
+        b = tiny_spec(axes={"process": [{"name": "voter", "kwargs": {}}], "n": 16})
+        assert a == b
+        assert spec_hash(a) == spec_hash(b)
+
+    @pytest.mark.parametrize(
+        "axes",
+        [
+            {"n": [16]},  # missing process
+            {"process": ["voter"]},  # missing n
+            {"process": ["voter"], "n": [16], "warp": [1]},  # unknown axis
+            {"process": ["voter"], "n": [1]},  # n too small
+            {"process": ["voter"], "n": [16], "scheduler": ["sometimes"]},
+            {"process": ["voter"], "n": [16], "rng_mode": ["psychic"]},
+            {"process": ["voter"], "n": [16], "max_rounds": [0]},
+            {"process": [{"nom": "voter"}], "n": [16]},
+        ],
+    )
+    def test_invalid_axes_rejected(self, axes):
+        with pytest.raises(ValueError):
+            StudySpec(name="bad", axes=axes)
+
+    def test_invalid_scalars_rejected(self):
+        with pytest.raises(ValueError):
+            tiny_spec(repetitions=0)
+        with pytest.raises(ValueError):
+            tiny_spec(expansion="diagonal")
+        with pytest.raises(ValueError):
+            tiny_spec(stable_fraction=0.2)
+        with pytest.raises(ValueError):
+            tiny_spec(record={"metrics": ["not-a-metric"]})
+
+    def test_zip_requires_aligned_lengths(self):
+        with pytest.raises(ValueError, match="zip expansion"):
+            StudySpec(
+                name="bad",
+                expansion="zip",
+                axes={"process": ["voter"], "n": [16, 32], "max_rounds": [1, 2, 3]},
+            )
+
+    def test_num_cells(self):
+        assert tiny_spec().num_cells() == 4
+        assert rich_spec().num_cells() == 2
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("make", [tiny_spec, rich_spec])
+    def test_toml_round_trip_is_lossless(self, make):
+        spec = make()
+        rebuilt = loads_spec(dumps_spec(spec))
+        assert rebuilt == spec
+        assert spec_hash(rebuilt) == spec_hash(spec)
+        # A second hop is byte-stable, not merely equal.
+        assert dumps_spec(rebuilt) == dumps_spec(spec)
+
+    @pytest.mark.parametrize("make", [tiny_spec, rich_spec])
+    def test_dict_round_trip_is_lossless(self, make):
+        spec = make()
+        assert StudySpec.from_dict(spec.to_dict()) == spec
+
+    def test_toml_file_round_trip(self, tmp_path):
+        from repro.study import load_spec, save_spec
+
+        path = str(tmp_path / "spec.toml")
+        save_spec(rich_spec(), path)
+        assert load_spec(path) == rich_spec()
+
+    def test_unknown_fields_rejected(self):
+        payload = tiny_spec().to_dict()
+        payload["turbo"] = True
+        with pytest.raises(ValueError, match="unknown spec fields"):
+            StudySpec.from_dict(payload)
+
+    def test_invalid_toml_is_a_value_error(self):
+        with pytest.raises(ValueError, match="invalid study TOML"):
+            loads_spec("name = [unclosed")
+
+    def test_shipped_example_spec_parses(self):
+        from repro.study import load_spec
+
+        spec = load_spec("studies/consensus_scaling.toml")
+        assert spec.name == "consensus-scaling"
+        assert spec.num_cells() == 9
+        assert loads_spec(dumps_spec(spec)) == spec
+
+
+class TestCompile:
+    def test_grid_expansion_order_and_seeds(self):
+        spec = tiny_spec()
+        cells = compile_study(spec)
+        assert [c.index for c in cells] == [0, 1, 2, 3]
+        assert [c.params["n"] for c in cells] == [24, 48, 24, 48]
+        assert [c.params["process"]["name"] for c in cells] == [
+            "3-majority", "3-majority", "voter", "voter",
+        ]
+        # Seeds derive from (spec.seed, index) — stable and all distinct.
+        assert len({c.params["seed"] for c in cells}) == 4
+        again = compile_study(spec)
+        assert [c.params["seed"] for c in again] == [c.params["seed"] for c in cells]
+        assert [c.cell_id for c in again] == [c.cell_id for c in cells]
+
+    def test_zip_expansion_broadcasts_singletons(self):
+        cells = compile_study(rich_spec())
+        assert len(cells) == 2
+        first, second = (c.params for c in cells)
+        assert first["workload"]["name"] == "balanced"
+        assert second["workload"]["name"] == "biased"
+        assert first["max_rounds"] == 500 and second["max_rounds"] is None
+        assert first["adversary"] is None
+        assert second["adversary"]["name"] == "plant-invalid"
+
+    def test_adversary_budget_resolves_at_compile_time(self):
+        spec = tiny_spec(
+            axes={
+                "process": ["3-majority"],
+                "n": [64],
+                "workload": [{"name": "balanced", "kwargs": {"k": 2}}],
+                "adversary": ["random-noise"],
+            },
+        )
+        (cell,) = compile_study(spec)
+        assert cell.params["adversary"]["budget"] >= 1
+        assert cell.plan.adversary is not None
+
+    def test_unknown_backend_rejected_before_running(self):
+        spec = tiny_spec(axes={"process": ["voter"], "n": [16], "backend": ["warp"]})
+        with pytest.raises(ValueError, match="unknown backend"):
+            compile_study(spec)
+
+    def test_parse_stop_rules(self):
+        assert isinstance(parse_stop("consensus"), Consensus)
+        assert isinstance(parse_stop("colors<=4"), ColorsAtMost)
+        assert isinstance(parse_stop("max-support>9"), MaxSupportAbove)
+        assert isinstance(parse_stop("bias>=3"), BiasAtLeast)
+        with pytest.raises(ValueError, match="unknown stop rule"):
+            parse_stop("vibes")
+
+    def test_build_adversary_forms(self):
+        assert build_adversary(None, 64, 4) is None
+        assert build_adversary("none", 64, 4) is None
+        adversary = build_adversary({"name": "plant-invalid", "budget": 3}, 64, 4)
+        assert adversary.budget == 3
+        with pytest.raises(ValueError, match="unknown adversary"):
+            build_adversary({"name": "chaos"}, 64, 4)
+
+
+class TestRunAndResume:
+    def test_resume_is_bit_for_bit(self, tmp_path):
+        spec = tiny_spec()  # rng_mode defaults to per-replica
+        assert spec.axes["rng_mode"] == ["per-replica"]
+        full_path = str(tmp_path / "full.json")
+        part_path = str(tmp_path / "part.json")
+        full = run_study(spec, store_path=full_path)
+        # Interrupt after 1 of 4 cells, then resume twice (idempotent).
+        run_study(spec, store_path=part_path, max_cells=1)
+        assert len(load_study_store(part_path)) == 1
+        run_study(spec, store_path=part_path, resume=True, max_cells=2)
+        resumed = run_study(spec, store_path=part_path, resume=True)
+        assert len(resumed) == len(full) == 4
+        assert resumed.results_equal(full)
+        # ... and the on-disk stores agree record for record too.
+        assert load_study_store(part_path).results_equal(load_study_store(full_path))
+
+    def test_resume_out_of_order_execution_matches(self, tmp_path):
+        """Seeds bind to cell indices, not execution order."""
+        spec = tiny_spec()
+        full = run_study(spec)
+        # Build a store that already "has" the *last* cell only.
+        cells = compile_study(spec)
+        partial = StudyStore(spec)
+        partial.add(full.get(cells[-1].cell_id))
+        path = str(tmp_path / "weird.json")
+        partial.save(path)
+        resumed = run_study(spec, store_path=path, resume=True)
+        assert resumed.results_equal(full)
+
+    def test_resume_rejects_different_spec(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        run_study(tiny_spec(), store_path=path)
+        other = tiny_spec(seed=99)
+        with pytest.raises(ValueError, match="refusing to resume"):
+            run_study(other, store_path=path, resume=True)
+
+    def test_fresh_run_refuses_existing_store(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        run_study(tiny_spec(), store_path=path)
+        with pytest.raises(ValueError, match="already exists"):
+            run_study(tiny_spec(), store_path=path)
+
+    def test_store_records_provenance(self):
+        store = run_study(tiny_spec(repetitions=2))
+        for record in store:
+            assert record.resolved_backend in ("agent", "counts")
+            assert record.unit == "rounds"
+            assert record.times.shape == (2,)
+            assert record.stopped.all()
+            assert record.wall_time_s >= 0
+        assert store.spec_hash == spec_hash(tiny_spec(repetitions=2))
+
+    def test_store_round_trip_and_future_version_rejected(self, tmp_path):
+        store = run_study(tiny_spec(repetitions=2))
+        path = str(tmp_path / "s.json")
+        store.save(path)
+        rebuilt = load_study_store(path)
+        assert rebuilt.results_equal(store)
+        payload = rebuilt.to_dict()
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="unsupported study-store"):
+            StudyStore.from_dict(payload)
+
+    def test_adversarial_cells_record_validity_extras(self):
+        spec = StudySpec(
+            name="adv",
+            seed=5,
+            repetitions=2,
+            axes={
+                "process": ["3-majority"],
+                "n": [48],
+                "workload": [{"name": "balanced", "kwargs": {"k": 3}}],
+                "adversary": [{"name": "plant-invalid", "budget": 1}],
+                "max_rounds": [4000],
+            },
+            stable_fraction=0.9,
+        )
+        (record,) = run_study(spec).records()
+        assert record.extras is not None
+        assert len(record.extras["winner_is_valid"]) == 2
+        assert len(record.extras["valid_almost_all_consensus"]) == 2
+
+    def test_recorded_trajectories_round_trip(self, tmp_path):
+        spec = StudySpec(
+            name="traj",
+            seed=2,
+            repetitions=1,
+            record=["num_colors", "max_support"],
+            axes={"process": ["voter"], "n": [24], "backend": ["ensemble-agent"]},
+        )
+        path = str(tmp_path / "t.json")
+        (record,) = run_study(spec, store_path=path).records()
+        assert record.trajectory is not None
+        assert len(record.trajectory["num_colors"]) == len(record.trajectory["rounds"])
+        rebuilt = load_study_store(path)
+        assert rebuilt.records()[0].trajectory == record.trajectory
+
+    def test_report_renders(self):
+        spec = tiny_spec(axes={"process": ["voter"], "n": [16, 32, 64]})
+        text = study_report(run_study(spec)).render()
+        assert "study 'tiny'" in text
+        assert "fit [voter]" in text
+
+
+class TestApiFacade:
+    def test_facade_is_reexported(self):
+        assert repro.simulate is api.simulate
+        assert repro.sweep is api.sweep
+        assert repro.study is api.study
+
+    def test_simulate_names_and_instances_agree(self):
+        from repro.processes import ThreeMajority
+
+        by_name = api.simulate("3-majority", n=64, seed=9)
+        by_instance = api.simulate(ThreeMajority(), n=64, seed=9)
+        assert np.array_equal(by_name.times, by_instance.times)
+
+    def test_simulate_axes(self):
+        result = api.simulate(
+            "voter", n=32, workload={"name": "balanced", "kwargs": {"k": 2}},
+            seed=4, repetitions=3, backend="ensemble-counts",
+        )
+        assert result.times.shape == (3,)
+        assert result.backend == "ensemble-counts"
+        asynchronous = api.simulate("voter", n=32, seed=4, scheduler="asynchronous")
+        assert asynchronous.unit == "ticks"
+
+    def test_sweep_matches_legacy_harness_bit_for_bit(self):
+        legacy = sweep_first_passage(
+            name="legacy",
+            process_factory=lambda n: repro.make_process("3-majority"),
+            workload=lambda n: Configuration.singletons(n),
+            stop=lambda n: Consensus(),
+            n_values=[16, 32],
+            repetitions=3,
+            seed=13,
+            predicted=lambda n: float(n),
+            backend="ensemble-counts",
+            rng_mode="per-replica",
+        )
+        declarative = api.sweep(
+            "3-majority",
+            [16, 32],
+            repetitions=3,
+            seed=13,
+            backend="ensemble-counts",
+            rng_mode="per-replica",
+            predicted=lambda n: float(n),
+        )
+        for a, b in zip(legacy.points, declarative.points):
+            assert a.param == b.param
+            assert np.array_equal(a.samples, b.samples)
+            assert a.resolved_backend == b.resolved_backend
+
+    def test_study_accepts_path_and_dict(self, tmp_path):
+        from repro.study import save_spec
+
+        spec = tiny_spec(axes={"process": ["voter"], "n": [16]}, repetitions=2)
+        path = str(tmp_path / "spec.toml")
+        save_spec(spec, path)
+        from_path = api.study(path)
+        from_dict = api.study(spec.to_dict())
+        assert from_path.results_equal(from_dict)
+        with pytest.raises(TypeError):
+            api.study(42)

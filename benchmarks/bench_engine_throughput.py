@@ -18,6 +18,11 @@ The reproducible speedup report behind the engine layer, in four sections:
 * ``adversary`` — §5 robust runs: looping :func:`run_with_adversary` vs
   :func:`run_with_adversary_ensemble` (count-level fast path for the
   AC-process; agent-level timing reported alongside).
+* ``faults`` — the fault-injection overhead: the same batched
+  ensemble-counts workload over a fixed round budget with and without an
+  active crash/recovery/loss schedule, reporting the wall-time ratio
+  (fault-free plans skip the fault path entirely, so the interesting
+  number is the cost of a *live* schedule per round).
 
 Each section also records which backend the unified runtime's
 ``resolve_backend`` cost model picks for its representative plan
@@ -47,6 +52,7 @@ from repro.adversary import PlantInvalid, run_with_adversary, run_with_adversary
 from repro.core import Configuration
 from repro.engine import (
     Consensus,
+    MaxSupportAbove,
     ShardedEnsembleExecutor,
     SimulationPlan,
     repeat_first_passage,
@@ -56,6 +62,7 @@ from repro.engine import (
     run_counts_ensemble,
     spawn_generators,
 )
+from repro.faults import build_fault_schedule
 from repro.processes import ThreeMajority, TwoChoices
 
 
@@ -146,6 +153,24 @@ SMOKE_ADVERSARY = {
     "adversary": lambda: PlantInvalid(2, invalid_color=8),
     "repetitions": 20,
     "max_rounds": 3000,
+}
+
+FULL_FAULTS = {
+    "label": "3-majority ensemble-counts fault overhead n=10^4 k=2 R=100 T=200",
+    "factory": ThreeMajority,
+    "initial": lambda: Configuration.balanced(10_000, 2),
+    "repetitions": 100,
+    "max_rounds": 200,
+    "faults": {"crash": 0.001, "recover": 0.05, "loss": 0.01},
+}
+
+SMOKE_FAULTS = {
+    "label": "3-majority ensemble-counts fault overhead n=2000 k=2 R=20 T=100 (smoke)",
+    "factory": ThreeMajority,
+    "initial": lambda: Configuration.balanced(2000, 2),
+    "repetitions": 20,
+    "max_rounds": 100,
+    "faults": {"crash": 0.001, "recover": 0.05, "loss": 0.01},
 }
 
 SEED = 20170725  # PODC'17 presentation date
@@ -378,6 +403,59 @@ def _measure_adversary(scenario) -> dict:
     return entry
 
 
+def _measure_faults(scenario) -> dict:
+    """Fault-path overhead on a fixed round budget (never-firing stop).
+
+    Both runs advance exactly ``max_rounds`` rounds — the stopping
+    condition cannot fire below ``n+1`` support — so the ratio isolates
+    the per-round fault-mask cost from any change in trajectory length.
+    """
+    factory = scenario["factory"]
+    initial = scenario["initial"]()
+    repetitions = scenario["repetitions"]
+    max_rounds = scenario["max_rounds"]
+    stop = MaxSupportAbove(initial.num_nodes)
+    schedule = build_fault_schedule(scenario["faults"])
+    kwargs = dict(rng=SEED, stop=stop, raise_on_limit=False)
+    # Warm-up both paths.
+    run_counts_ensemble(factory(), initial, 2, max_rounds=8, **kwargs)
+    run_counts_ensemble(factory(), initial, 2, max_rounds=8, faults=schedule, **kwargs)
+    start = time.perf_counter()
+    run_counts_ensemble(factory(), initial, repetitions, max_rounds=max_rounds, **kwargs)
+    base_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    run_counts_ensemble(
+        factory(), initial, repetitions, max_rounds=max_rounds,
+        faults=schedule, **kwargs,
+    )
+    fault_seconds = time.perf_counter() - start
+    entry = {
+        "label": scenario["label"],
+        "repetitions": repetitions,
+        "max_rounds": max_rounds,
+        "faults": dict(scenario["faults"]),
+        "resolved_backend": _resolved(
+            process=factory,
+            initial=initial,
+            stop=stop,
+            repetitions=repetitions,
+            rng=SEED,
+            max_rounds=max_rounds,
+            faults=schedule,
+            raise_on_limit=False,
+        ),
+        "fault_free_seconds": round(base_seconds, 4),
+        "faulted_seconds": round(fault_seconds, 4),
+        "overhead_ratio": round(fault_seconds / base_seconds, 2),
+    }
+    print(
+        f"{entry['label']}: fault-free {entry['fault_free_seconds']}s, "
+        f"faulted {entry['faulted_seconds']}s -> "
+        f"{entry['overhead_ratio']}x overhead"
+    )
+    return entry
+
+
 def run_benchmark(smoke: bool = False, output: "pathlib.Path | None" = None) -> dict:
     """Measure every section and (optionally) write the JSON report."""
     report = {
@@ -390,6 +468,7 @@ def run_benchmark(smoke: bool = False, output: "pathlib.Path | None" = None) -> 
         "adversary": _measure_adversary(
             SMOKE_ADVERSARY if smoke else FULL_ADVERSARY
         ),
+        "faults": _measure_faults(SMOKE_FAULTS if smoke else FULL_FAULTS),
     }
     if output is not None:
         output = pathlib.Path(output)

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# One-command verification: tier-1 + plan-matrix + study-smoke + throughput.
+# One-command verification: tier-1 + plan-matrix + study-smoke +
+# faults-smoke + throughput.
 #
 # Steps:
 #   1. tier-1    — the full test suite.
@@ -13,10 +14,16 @@
 #      spec killed after one cell and resumed, both stores reported, and
 #      the resumed store asserted bit-for-bit equal to the uninterrupted
 #      one (per-replica rng_mode).
-#   4. smoke     — the engine-throughput benchmark in ≤30 s mode
+#   4. faults-smoke — the failure-isolation contract: a 2-cell spec with
+#      a faults axis whose crash=1.0 cell deterministically exceeds its
+#      round budget.  The run still exits 0, records the failure with a
+#      traceback, the report surfaces it, and resuming a store that only
+#      has the healthy cell retries just the broken one — leaving the
+#      healthy cell's samples bit-for-bit what the uninterrupted run got.
+#   5. smoke     — the engine-throughput benchmark in ≤30 s mode
 #      (sequential vs ensemble headline, the persistent sharded pool at
-#      R=4 / workers=2, async / adversary engines, and the runtime's
-#      resolved-backend record per section).
+#      R=4 / workers=2, async / adversary engines, fault-path overhead,
+#      and the runtime's resolved-backend record per section).
 #
 #   scripts/check.sh            # everything
 #   scripts/check.sh -k engine  # extra args forwarded to the tier-1 run
@@ -55,5 +62,47 @@ assert resumed.results_equal(full), (
     "resumed store diverged from the uninterrupted run"
 )
 print("study-smoke OK: resumed store is bit-for-bit the uninterrupted one")
+EOF
+echo "== faults-smoke: record failure -> resume -> report =="
+cat > "$STUDY_TMP/faults.toml" <<'EOF'
+name = "check.sh faults smoke"
+seed = 9
+repetitions = 3
+
+[axes]
+process = "3-majority"
+workload = { name = "balanced", kwargs = { k = 3 } }
+n = 48
+max_rounds = 400
+rng_mode = "per-replica"
+faults = ["none", { crash = 1.0 }]
+EOF
+# crash = 1.0 freezes every node from round 0, so that cell can never
+# reach consensus and deterministically blows its 400-round budget; the
+# run must still exit 0 with the failure recorded, not raise.
+python -m repro study run "$STUDY_TMP/faults.toml" --store "$STUDY_TMP/ffull.json" --quiet
+python -m repro study run "$STUDY_TMP/faults.toml" --store "$STUDY_TMP/fpart.json" --max-cells 1 --quiet
+python -m repro study resume "$STUDY_TMP/faults.toml" --store "$STUDY_TMP/fpart.json" --quiet
+python -m repro study report "$STUDY_TMP/fpart.json"
+python - "$STUDY_TMP" <<'EOF'
+import sys
+from repro.study import load_study_store
+tmp = sys.argv[1]
+full = load_study_store(f"{tmp}/ffull.json")
+resumed = load_study_store(f"{tmp}/fpart.json")
+for store in (full, resumed):
+    by_status = {record.status: record for record in store.records()}
+    assert set(by_status) == {"ok", "failed"}, sorted(by_status)
+    failed = by_status["failed"]
+    assert failed.error["type"] == "RoundLimitExceeded", failed.error
+    assert failed.error["attempts"] == 2, "failed cell was not retried"
+    assert "Traceback" in failed.error["traceback"], "no traceback recorded"
+ok_full = [record for record in full.records() if record.ok]
+ok_resumed = [record for record in resumed.records() if record.ok]
+assert len(ok_full) == len(ok_resumed) == 1
+assert ok_resumed[0].same_results(ok_full[0]), (
+    "resume disturbed the healthy cell's samples"
+)
+print("faults-smoke OK: failure recorded with traceback; healthy cell untouched")
 EOF
 python benchmarks/bench_engine_throughput.py --smoke

@@ -6,9 +6,9 @@ The library implements the paper's consensus dynamics (Voter, 2-Choices,
 3-Majority, general h-Majority, plus the related 2-Median and
 Undecided-State dynamics), its anonymous-consensus-process comparison
 framework (majorization, protocol dominance, Strassen couplings), the
-coalescing-random-walks duality, dynamic adversaries, and a benchmark
-harness that validates every theorem, lemma and counterexample in the
-paper.  See DESIGN.md for the system inventory and EXPERIMENTS.md for
+coalescing-random-walks duality, dynamic adversaries, crash / recovery /
+message-loss fault injection, and a benchmark harness that validates
+every theorem, lemma and counterexample in the paper.  See DESIGN.md for the system inventory and EXPERIMENTS.md for
 paper-vs-measured results.
 
 Quickstart
@@ -53,6 +53,12 @@ from .engine import (
     run_ensemble,
     symmetry_breaking_time,
 )
+from .faults import (
+    CrashRecovery,
+    CrashStop,
+    FaultSchedule,
+    MessageLoss,
+)
 from .processes import (
     HMajority,
     ThreeMajority,
@@ -69,6 +75,7 @@ from . import api
 from .api import simulate, study, sweep
 from .study import (
     RunRecord,
+    StoreCorruptError,
     StudySpec,
     StudyStore,
     compile_study,
@@ -80,7 +87,12 @@ from .study import (
 )
 
 __all__ = [
+    "CrashRecovery",
+    "CrashStop",
+    "FaultSchedule",
+    "MessageLoss",
     "RunRecord",
+    "StoreCorruptError",
     "StudySpec",
     "StudyStore",
     "api",

@@ -81,6 +81,15 @@ def _as_adversary(adversary, n: int, colors: int):
     return build_adversary(adversary, n, colors)
 
 
+def _as_faults(faults):
+    """Accept a FaultModel/FaultSchedule, a declarative dict, or a CLI string."""
+    from .faults import FaultModel, FaultSchedule, build_fault_schedule
+
+    if faults is None or isinstance(faults, (FaultModel, FaultSchedule)):
+        return faults
+    return build_fault_schedule(faults)
+
+
 def simulate(
     process,
     *,
@@ -92,6 +101,7 @@ def simulate(
     stop="consensus",
     scheduler: str = "synchronous",
     adversary=None,
+    faults=None,
     backend: str = "auto",
     rng_mode: str = "batched",
     max_rounds: "int | None" = None,
@@ -110,8 +120,12 @@ def simulate(
     ``initial`` configuration is given).  ``stop`` takes the declarative
     rule strings of :func:`repro.study.compile.parse_stop`; ``adversary``
     a §5 strategy dict like ``{"name": "plant-invalid", "budget": 4}``
-    (or an instance).  Everything else is a plan axis with the meanings
-    documented on :class:`~repro.engine.plan.SimulationPlan`.
+    (or an instance); ``faults`` a declarative fault table like
+    ``{"crash": 0.01, "recover": 0.1}``, a CLI-style string
+    (``"crash:p=0.01,recover=0.1"``), or a
+    :class:`~repro.faults.FaultSchedule` / model instance.  Everything
+    else is a plan axis with the meanings documented on
+    :class:`~repro.engine.plan.SimulationPlan`.
     """
     if initial is None:
         initial = resolve_workload(workload, n)
@@ -127,6 +141,7 @@ def simulate(
         workers=workers,
         scheduler=scheduler,
         adversary=_as_adversary(adversary, initial.num_nodes, initial.num_colors),
+        faults=_as_faults(faults),
         recorder=recorder,
         stable_fraction=stable_fraction,
         stable_rounds=stable_rounds,
@@ -145,6 +160,7 @@ def sweep(
     stop: str = "consensus",
     scheduler: str = "synchronous",
     adversary=None,
+    faults=None,
     backend: str = "auto",
     rng_mode: str = "batched",
     max_rounds: "int | None" = None,
@@ -192,9 +208,12 @@ def sweep(
             "max_rounds": [max_rounds if max_rounds is not None else "none"],
             "backend": [backend],
             "rng_mode": [rng_mode],
+            "faults": [faults if faults is not None else "none"],
         },
     )
-    store = run_study(spec)
+    # Imperative sweeps propagate errors: the SweepResult conversion
+    # needs every record to carry data, so failure isolation is off.
+    store = run_study(spec, on_error="raise")
     return sweep_result_from_records(
         spec.name if name is None else name,
         param_name,
@@ -211,14 +230,17 @@ def study(
     resume: "bool | str" = False,
     max_cells: "int | None" = None,
     progress=None,
+    on_error: str = "record",
+    max_attempts: int = 2,
 ) -> StudyStore:
     """Run a study from a :class:`StudySpec`, a TOML path, or a dict.
 
     A thin veneer over :func:`repro.study.run_study` that also accepts
     the on-disk spec forms: a path to a ``.toml`` file or a plain dict
     (e.g. parsed JSON).  See :func:`repro.study.runner.run_study` for
-    ``store_path`` / ``resume`` / ``max_cells`` semantics — in
-    particular, resumed runs complete interrupted stores bit-for-bit.
+    ``store_path`` / ``resume`` / ``max_cells`` and the failure-isolation
+    knobs ``on_error`` / ``max_attempts`` — in particular, resumed runs
+    complete interrupted stores bit-for-bit and re-attempt failed cells.
     """
     if isinstance(spec, str):
         spec = load_spec(spec)
@@ -235,4 +257,6 @@ def study(
         resume=resume,
         max_cells=max_cells,
         progress=progress,
+        on_error=on_error,
+        max_attempts=max_attempts,
     )

@@ -45,6 +45,7 @@ from .engine.plan import RNG_MODES, SCHEDULERS
 from .engine.runtime import backend_choices
 from .experiments import Table
 from .experiments.persistence import save_sweep
+from .faults import parse_fault_cli
 from .processes import available_processes
 from .study import ADVERSARY_NAMES, load_spec, load_study_store, study_report
 
@@ -147,6 +148,24 @@ def build_parser() -> argparse.ArgumentParser:
             "(reproduces the sequential reference streams bit-for-bit)"
         ),
     )
+    sweep.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inject node faults each round: 'crash:p=0.01' (crash-stop), "
+            "'crash:p=0.01,recover=0.1' (crash-recovery), "
+            "'loss:p=0.05' (message loss); add start=/stop= to window "
+            "the injection (synchronous scheduler only)"
+        ),
+    )
+    sweep.add_argument(
+        "--loss",
+        type=float,
+        default=None,
+        metavar="P",
+        help="per-round message-loss probability (merges with --faults)",
+    )
 
     study = sub.add_parser(
         "study", help="run / resume / report declarative study specs"
@@ -242,6 +261,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "--adversary needs the synchronous scheduler (the §5 fault "
             "model corrupts after each synchronous round)"
         )
+    try:
+        faults = parse_fault_cli(args.faults, loss=args.loss)
+    except ValueError as exc:
+        raise SystemExit(f"bad --faults/--loss value: {exc}") from exc
+    if faults is not None and args.scheduler != "synchronous":
+        raise SystemExit(
+            "--faults/--loss need the synchronous scheduler (fault masks "
+            "gate each synchronous update)"
+        )
+    if faults is not None and args.adversary is not None:
+        raise SystemExit(
+            "--faults/--loss and --adversary are mutually exclusive axes; "
+            "sweep them separately"
+        )
     n_values = [args.min_n]
     while n_values[-1] * 2 <= args.max_n:
         n_values.append(n_values[-1] * 2)
@@ -279,6 +312,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             workload=workload,
             scheduler=args.scheduler,
             adversary=adversary,
+            faults=faults,
             backend=args.backend,
             rng_mode=args.rng_mode,
             workers=args.workers,
@@ -307,6 +341,15 @@ def _default_store_path(spec_path: str) -> str:
 
 def _progress_printer(total: int):
     def progress(cell, record) -> None:
+        if not record.ok:
+            error = record.error or {}
+            print(
+                f"[{cell.index + 1}/{total}] {cell.label()}: FAILED after "
+                f"{error.get('attempts', '?')} attempt(s) — "
+                f"{error.get('type', 'Error')}: {error.get('message', '')} "
+                f"({record.wall_time_s:.2f}s)"
+            )
+            return
         print(
             f"[{cell.index + 1}/{total}] {cell.label()}: "
             f"mean {float(record.times.mean()):.1f} {record.unit} "
@@ -344,8 +387,17 @@ def _cmd_study(args: argparse.Namespace) -> int:
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise SystemExit(f"cannot run this study: {exc}") from exc
-    done, total = len(store), spec.num_cells()
-    state = "complete" if done == total else f"{done}/{total} cells (resumable)"
+    failed, total = len(store.failed()), spec.num_cells()
+    done = len(store) - failed
+    if failed:
+        state = (
+            f"{done}/{total} cells ok, {failed} failed "
+            "(resume to retry the failures)"
+        )
+    elif done == total:
+        state = "complete"
+    else:
+        state = f"{done}/{total} cells (resumable)"
     print(f"store saved to {store_path} — {state}")
     if not args.quiet:
         print(study_report(store).render())

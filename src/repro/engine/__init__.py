@@ -36,7 +36,12 @@ from .ensemble import (
     run_counts_ensemble,
     run_ensemble,
 )
-from .sharded import ShardedEnsembleExecutor, resolve_workers, shard_bounds
+from .sharded import (
+    ShardedEnsembleExecutor,
+    WorkerPoolError,
+    resolve_workers,
+    shard_bounds,
+)
 from .batch import (
     BatchSummary,
     cdf_dominates,
@@ -112,6 +117,7 @@ __all__ = [
     "SimulationPlan",
     "SimulationResult",
     "StoppingCondition",
+    "WorkerPoolError",
     "as_generator",
     "backend_choices",
     "backend_names",

@@ -162,6 +162,7 @@ def first_passage_plan(
     workers: "int | None" = None,
     scheduler: str = "synchronous",
     adversary=None,
+    faults=None,
     recorder=None,
     check_every: "int | None" = None,
     stable_fraction: float = 0.95,
@@ -193,6 +194,7 @@ def first_passage_plan(
         repetitions=repetitions,
         scheduler=scheduler,
         adversary=adversary,
+        faults=faults,
         rng=rng,
         rng_mode=rng_mode,
         recorder=recorder,

@@ -167,6 +167,7 @@ def run_counts_ensemble(
     rng_mode: str = "batched",
     raise_on_limit: bool = True,
     recorder: "MetricRecorder | None" = None,
+    faults=None,
 ) -> EnsembleResult:
     """Exact count-level chain for ``R`` replicas lock-step (AC-processes).
 
@@ -177,12 +178,21 @@ def run_counts_ensemble(
     ``recorder`` receives :meth:`MetricRecorder.observe_ensemble` every
     round (counts of the still-active replicas plus their indices), so
     per-round trajectory metrics ride the fast path.
+
+    ``faults`` (a :class:`~repro.faults.FaultSchedule` or bare model)
+    switches every transition to the exact faulty chain
+    ``c' = f + Mult(n − |f|, α(c))``; per-replica mode keeps one fault
+    state per replica so the samples stay bit-identical to faulty
+    sequential runs.
     """
+    from ..faults import as_fault_schedule
+
     if not isinstance(process, ACAgentProcess):
         raise TypeError(
             f"count-level simulation requires an AC-process; {process.name} is not one"
         )
     _check_args(repetitions, rng_mode)
+    fault_schedule = as_fault_schedule(faults)
     condition = stop if stop is not None else Consensus()
     limit = max_rounds if max_rounds is not None else default_round_limit(initial.num_nodes)
 
@@ -199,16 +209,39 @@ def run_counts_ensemble(
         generators = None
         master = as_generator(rng)
 
+    if fault_schedule is None:
+        fault_matrix = None
+        fault_rows = None
+    elif master is not None:
+        fault_matrix = fault_schedule.counts_runtime(process.process_function)
+        fault_rows = None
+    else:
+        fault_matrix = None
+        fault_rows = [
+            fault_schedule.counts_runtime(process.process_function)
+            for _ in range(repetitions)
+        ]
+
     if recorder is not None:
         recorder.observe_ensemble(0, counts, active)
     mask = condition.satisfied_ensemble(counts)
     active = _retire(mask, active, 0, counts, times, stopped, final_counts)
     counts = counts[~mask]
+    if fault_rows is not None:
+        fault_rows = [rt for rt, done in zip(fault_rows, mask) if not done]
 
     rounds = 0
     while active.size and rounds < limit:
         if master is not None:
-            counts = process.step_counts_ensemble(counts, master)
+            if fault_matrix is not None:
+                counts = fault_matrix.step_matrix(counts, master, rounds)
+            else:
+                counts = process.step_counts_ensemble(counts, master)
+        elif fault_rows is not None:
+            for row, replica in enumerate(active):
+                counts[row] = fault_rows[row].step_row(
+                    counts[row], generators[replica], rounds
+                )
         else:
             for row, replica in enumerate(active):
                 counts[row] = process.step_counts(counts[row], generators[replica])
@@ -219,6 +252,10 @@ def run_counts_ensemble(
         if mask.any():
             active = _retire(mask, active, rounds, counts, times, stopped, final_counts)
             counts = counts[~mask]
+            if fault_matrix is not None:
+                fault_matrix.compact(~mask)
+            if fault_rows is not None:
+                fault_rows = [rt for rt, done in zip(fault_rows, mask) if not done]
     if active.size:
         times[active] = rounds
         final_counts[active] = counts
@@ -260,6 +297,7 @@ def run_agent_ensemble(
     rng_mode: str = "batched",
     raise_on_limit: bool = True,
     recorder: "MetricRecorder | None" = None,
+    faults=None,
 ) -> EnsembleResult:
     """Agent-level simulation of ``R`` replicas as one ``(R, n)`` matrix.
 
@@ -275,8 +313,16 @@ def run_agent_ensemble(
     halves the memory traffic of the ``O(R·n)`` per-round gather without
     touching the rng streams (indices stay ``int64``), so per-replica runs
     remain bit-for-bit equal to the sequential backend.
+
+    ``faults`` draws a frozen mask per round (vectorized over the whole
+    ``(R, n)`` matrix in batched mode, one flat mask per replica stream
+    in per-replica mode) and reverts frozen nodes to their previous
+    color after the honest update.
     """
+    from ..faults import as_fault_schedule
+
     _check_args(repetitions, rng_mode)
+    fault_schedule = as_fault_schedule(faults)
     condition = stop if stop is not None else Consensus()
     limit = max_rounds if max_rounds is not None else default_round_limit(initial.num_nodes)
     num_slots = initial.num_slots
@@ -306,17 +352,45 @@ def run_agent_ensemble(
     final_counts = counts.copy()
     active = np.arange(repetitions)
 
+    if fault_schedule is None:
+        fault_matrix = None
+        fault_rows = None
+    elif batched:
+        fault_matrix = fault_schedule.agent_runtime()
+        fault_rows = None
+    else:
+        fault_matrix = None
+        fault_rows = [fault_schedule.agent_runtime() for _ in range(repetitions)]
+
     if recorder is not None:
         recorder.observe_ensemble(0, counts, active)
     mask = condition.satisfied_ensemble(counts)
     active = _retire(mask, active, 0, counts, times, stopped, final_counts)
     colors = colors[~mask]
     counts = counts[~mask]
+    if fault_rows is not None:
+        fault_rows = [rt for rt, done in zip(fault_rows, mask) if not done]
 
     rounds = 0
     while active.size and rounds < limit:
         if batched:
-            colors = process.update_ensemble(colors, master)
+            if fault_matrix is not None:
+                frozen = fault_matrix.round_mask(rounds, master, colors.shape)
+                previous = colors.copy()
+                colors = process.update_ensemble(colors, master)
+                if frozen.any():
+                    colors = np.where(frozen, previous, colors)
+            else:
+                colors = process.update_ensemble(colors, master)
+        elif fault_rows is not None:
+            for row, replica in enumerate(active):
+                generator = generators[replica]
+                frozen = fault_rows[row].round_mask(
+                    rounds, generator, colors[row].shape
+                )
+                previous = colors[row].copy()
+                updated = process.update(colors[row], generator)
+                colors[row] = np.where(frozen, previous, updated)
         else:
             for row, replica in enumerate(active):
                 colors[row] = process.update(colors[row], generators[replica])
@@ -331,6 +405,10 @@ def run_agent_ensemble(
             active = _retire(mask, active, rounds, counts, times, stopped, final_counts)
             colors = colors[~mask]
             counts = counts[~mask]
+            if fault_matrix is not None:
+                fault_matrix.compact(~mask)
+            if fault_rows is not None:
+                fault_rows = [rt for rt, done in zip(fault_rows, mask) if not done]
     if active.size:
         times[active] = rounds
         final_counts[active] = counts
@@ -351,6 +429,7 @@ def run_ensemble(
     rng_mode: str = "batched",
     raise_on_limit: bool = True,
     recorder: "MetricRecorder | None" = None,
+    faults=None,
 ) -> EnsembleResult:
     """Simulate ``R`` independent replicas of ``process`` lock-step.
 
@@ -371,6 +450,7 @@ def run_ensemble(
                 rng_mode=rng_mode,
                 raise_on_limit=raise_on_limit,
                 recorder=recorder,
+                faults=faults,
             )
         raise TypeError(
             f"{process.name} is not an AC-process; use the agent backend"
@@ -385,4 +465,5 @@ def run_ensemble(
         rng_mode=rng_mode,
         raise_on_limit=raise_on_limit,
         recorder=recorder,
+        faults=faults,
     )

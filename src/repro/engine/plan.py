@@ -25,6 +25,7 @@ from .stopping import StoppingCondition
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine ↔ adversary)
     from ..adversary.adversary import Adversary, AdversarySchedule
+    from ..faults import FaultModel, FaultSchedule
     from .metrics import MetricRecorder
 
 __all__ = ["SCHEDULERS", "RNG_MODES", "SimulationPlan"]
@@ -70,6 +71,11 @@ class SimulationPlan:
         ``None``, or an :class:`~repro.adversary.adversary.Adversary` /
         :class:`~repro.adversary.adversary.AdversarySchedule` for §5
         robust runs (synchronous scheduler only).
+    faults:
+        ``None``, or a :class:`~repro.faults.FaultModel` /
+        :class:`~repro.faults.FaultSchedule` injecting crash-stop,
+        crash-recovery or message-loss node faults (synchronous
+        scheduler only; mutually exclusive with ``adversary``).
     rng / rng_mode:
         Seed material and the randomness regime (:data:`RNG_MODES`).
     recorder:
@@ -104,6 +110,7 @@ class SimulationPlan:
     repetitions: int = 1
     scheduler: str = "synchronous"
     adversary: "Adversary | AdversarySchedule | None" = None
+    faults: "FaultModel | FaultSchedule | None" = None
     rng: RandomSource = None
     rng_mode: str = "batched"
     recorder: "MetricRecorder | None" = None
@@ -131,6 +138,20 @@ class SimulationPlan:
                 "adversarial plans use the synchronous scheduler (the §5 "
                 "fault model corrupts after each synchronous round)"
             )
+        if self.faults is not None:
+            if self.scheduler != "synchronous":
+                raise ValueError(
+                    "fault injection is defined on the synchronous round "
+                    "model (crash/loss masks gate each synchronous update)"
+                )
+            if self.adversary is not None:
+                raise ValueError(
+                    "faults and adversary are mutually exclusive plan axes; "
+                    "run them in separate plans"
+                )
+            from ..faults import as_fault_schedule
+
+            as_fault_schedule(self.faults)  # type-check eagerly
         if not 0.5 < self.stable_fraction <= 1.0:
             raise ValueError("stable_fraction must lie in (0.5, 1]")
         if self.stable_rounds < 1:
@@ -156,6 +177,17 @@ class SimulationPlan:
             return self.adversary
         return AdversarySchedule(self.adversary)
 
+    def fault_schedule(self) -> "FaultSchedule | None":
+        """The plan's ``faults`` axis normalised to a live schedule.
+
+        Trivial schedules (all rates zero) collapse to ``None`` so the
+        engines take the exact fault-free path — the rate-0 bit-for-bit
+        contract.
+        """
+        from ..faults import as_fault_schedule
+
+        return as_fault_schedule(self.faults)
+
     def describe(self) -> str:
         """A short human-readable summary (used in resolution errors)."""
         axes = [
@@ -165,6 +197,8 @@ class SimulationPlan:
         ]
         if self.adversary is not None:
             axes.append(f"adversary={self.adversary!r}")
+        if self.faults is not None:
+            axes.append(f"faults={self.faults!r}")
         if self.workers is not None:
             axes.append(f"workers={self.workers}")
         if self.recorder is not None:

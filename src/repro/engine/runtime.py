@@ -202,6 +202,9 @@ class BackendSpec:
     requires_counts_tractable: bool
     #: One-line summary (surfaced by the CLI and the ROADMAP table).
     description: str
+    #: True when the backend honours the plan's ``faults=`` axis
+    #: (crash/recovery/message-loss injection).
+    faults: bool = False
 
 
 class Backend(Protocol):
@@ -401,6 +404,18 @@ class _BackendBase:
     def __init__(self, spec: BackendSpec):
         self.spec = spec
 
+    def _faults_supported(self, plan: SimulationPlan) -> bool:
+        """Capability gate for the plan's ``faults=`` axis."""
+        if plan.faults is None:
+            return True
+        if not self.spec.faults:
+            return False
+        if self.spec.representation == "counts":
+            schedule = plan.fault_schedule()
+            if schedule is not None and not schedule.supports_counts:
+                return False
+        return True
+
     def eligible(self, plan: SimulationPlan, family_forced: bool = False) -> bool:
         if not self.supports(plan):
             return False
@@ -451,6 +466,8 @@ class SequentialSyncBackend(_BackendBase):
     def supports(self, plan: SimulationPlan) -> bool:
         if plan.scheduler != "synchronous" or plan.adversary is not None:
             return False
+        if not self._faults_supported(plan):
+            return False
         if plan.recorder is not None and plan.repetitions > 1:
             return False
         if self.spec.representation == "counts":
@@ -480,6 +497,7 @@ class SequentialSyncBackend(_BackendBase):
                 recorder=plan.recorder,
                 backend=self.spec.representation,
                 raise_on_limit=plan.raise_on_limit,
+                faults=plan.faults,
             )
             times[index] = result.rounds
             stopped[index] = result.stopped
@@ -511,6 +529,8 @@ class EnsembleSyncBackend(_BackendBase):
 
     def supports(self, plan: SimulationPlan) -> bool:
         if plan.scheduler != "synchronous" or plan.adversary is not None:
+            return False
+        if not self._faults_supported(plan):
             return False
         if self.spec.representation == "counts":
             return _counts_capable(plan, plan.spawn_process())
@@ -544,6 +564,7 @@ class EnsembleSyncBackend(_BackendBase):
             rng_mode=plan.rng_mode,
             raise_on_limit=plan.raise_on_limit,
             recorder=plan.recorder,
+            faults=plan.faults,
         )
         return ExecutionResult(
             plan=plan,
@@ -928,7 +949,10 @@ class ShardedBackend(_BackendBase):
 # the sharded wrappers.
 
 
-def _spec(name, kind, scheduler, adversary, representation, tractable, description):
+def _spec(
+    name, kind, scheduler, adversary, representation, tractable, description,
+    faults=False,
+):
     return BackendSpec(
         name=name,
         kind=kind,
@@ -937,6 +961,7 @@ def _spec(name, kind, scheduler, adversary, representation, tractable, descripti
         representation=representation,
         requires_counts_tractable=tractable,
         description=description,
+        faults=faults,
     )
 
 
@@ -944,10 +969,12 @@ def _register_default_backends() -> None:
     register_backend(SequentialSyncBackend(_spec(
         "agent", "sequential", "synchronous", False, "agent", False,
         "one agent-level run per replica (reference path, every process)",
+        faults=True,
     )))
     register_backend(SequentialSyncBackend(_spec(
         "counts", "sequential", "synchronous", False, "counts", True,
         "one exact count-level run per replica (AC-processes)",
+        faults=True,
     )))
     register_backend(AsyncSequentialBackend(_spec(
         "async", "sequential", "asynchronous", False, "agent", False,
@@ -960,10 +987,12 @@ def _register_default_backends() -> None:
     register_backend(EnsembleSyncBackend(_spec(
         "ensemble-agent", "ensemble", "synchronous", False, "agent", False,
         "(R, n) color matrix, lock-step replicas",
+        faults=True,
     )))
     register_backend(EnsembleSyncBackend(_spec(
         "ensemble-counts", "ensemble", "synchronous", False, "counts", True,
         "(R, k) counts matrix, one broadcast multinomial per round",
+        faults=True,
     )))
     register_backend(AsyncEnsembleBackend(_spec(
         "ensemble-async", "ensemble", "asynchronous", False, "agent", False,
@@ -989,6 +1018,7 @@ def _register_default_backends() -> None:
             name, "sharded", inner_spec.scheduler, inner_spec.adversary,
             inner_spec.representation, inner_spec.requires_counts_tractable,
             f"{inner} sharded over the persistent worker pool",
+            faults=inner_spec.faults,
         ), inner))
 
 

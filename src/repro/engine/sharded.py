@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 import weakref
 from dataclasses import dataclass
 
@@ -52,7 +53,24 @@ from .rng import RandomSource, replica_seed_sequences
 from .simulator import RoundLimitExceeded, default_round_limit
 from .stopping import StoppingCondition
 
-__all__ = ["ShardedEnsembleExecutor", "resolve_workers", "shard_bounds"]
+__all__ = [
+    "ShardedEnsembleExecutor",
+    "WorkerPoolError",
+    "resolve_workers",
+    "shard_bounds",
+]
+
+
+class WorkerPoolError(RuntimeError):
+    """A pool worker died mid-map (OOM kill, external signal, hard crash).
+
+    ``multiprocessing.Pool`` silently replaces dead workers, but any task
+    in flight on the dead process is lost forever — a bare ``pool.map``
+    would block on it indefinitely.  The executor detects the death,
+    tears its pool down (the next call respawns lazily), and raises this
+    error naming the dead worker pids and the shard indices whose
+    results were lost, so callers can retry the whole map.
+    """
 
 
 def resolve_workers(workers: "int | None") -> int:
@@ -194,10 +212,37 @@ class ShardedEnsembleExecutor:
         pool, no pickling.  This is the primitive the runtime's generic
         sharded backends use to spread *any* plan family (synchronous,
         asynchronous, adversarial) over the same pool.
+
+        Dispatch is per-payload (``apply_async``) with a worker-health
+        poll: if any worker process dies mid-map (OOM kill, signal) a
+        :class:`WorkerPoolError` naming the dead pids and lost shard
+        indices is raised instead of blocking forever, and the pool is
+        torn down so the next call respawns a fresh one.
         """
         if self._workers == 1 or len(payloads) <= 1:
             return [fn(payload) for payload in payloads]
-        return self._ensure_pool().map(fn, payloads)
+        pool = self._ensure_pool()
+        workers = list(pool._pool)
+        known_pids = {worker.pid for worker in workers}
+        pending = [pool.apply_async(fn, (payload,)) for payload in payloads]
+        while not all(task.ready() for task in pending):
+            current = list(pool._pool)
+            dead_pids = sorted(
+                {w.pid for w in workers if w.exitcode is not None}
+                | (known_pids - {w.pid for w in current})
+            )
+            if dead_pids:
+                lost = [i for i, task in enumerate(pending) if not task.ready()]
+                self.close()  # lazy respawn at the next map()/run()
+                raise WorkerPoolError(
+                    f"worker process(es) {dead_pids} died mid-map; "
+                    f"shard(s) {lost} of {len(payloads)} were lost. "
+                    "The pool has been torn down and will respawn on the "
+                    "next call; re-run the map to retry."
+                )
+            workers = current
+            time.sleep(0.02)
+        return [task.get() for task in pending]
 
     def __repr__(self) -> str:
         return (

@@ -145,11 +145,22 @@ def run_agent(
     max_rounds: "int | None" = None,
     recorder: "Optional[MetricRecorder]" = None,
     raise_on_limit: bool = True,
+    faults=None,
 ) -> SimulationResult:
-    """Agent-level simulation until ``stop`` fires or ``max_rounds`` pass."""
+    """Agent-level simulation until ``stop`` fires or ``max_rounds`` pass.
+
+    ``faults`` is an optional :class:`~repro.faults.FaultSchedule` (or a
+    bare model): each round the schedule's frozen mask is drawn *before*
+    the honest update and frozen nodes are reverted to their previous
+    color afterwards — silenced, but still visible to samplers.
+    """
+    from ..faults import as_fault_schedule
+
     generator = as_generator(rng)
     condition = _resolve_stop(stop)
     limit = max_rounds if max_rounds is not None else default_round_limit(initial.num_nodes)
+    schedule = as_fault_schedule(faults)
+    fault_runtime = schedule.agent_runtime() if schedule is not None else None
     colors = process.initial_colors(initial)
     num_slots = initial.num_slots
     counts = _agent_counts(process, colors, num_slots)
@@ -158,7 +169,14 @@ def run_agent(
     rounds = 0
     stopped = condition.satisfied(counts)
     while not stopped and rounds < limit:
-        colors = process.update(colors, generator)
+        if fault_runtime is not None:
+            frozen = fault_runtime.round_mask(rounds, generator, colors.shape)
+            previous = colors.copy()
+            colors = process.update(colors, generator)
+            if frozen.any():
+                colors = np.where(frozen, previous, colors)
+        else:
+            colors = process.update(colors, generator)
         rounds += 1
         counts = _agent_counts(process, colors, num_slots)
         if recorder is not None:
@@ -192,8 +210,16 @@ def run_counts(
     max_rounds: "int | None" = None,
     recorder: "Optional[MetricRecorder]" = None,
     raise_on_limit: bool = True,
+    faults=None,
 ) -> SimulationResult:
-    """Exact count-level simulation (AC-processes only)."""
+    """Exact count-level simulation (AC-processes only).
+
+    With ``faults`` the transition becomes the exact faulty chain
+    ``c' = f + Mult(n − |f|, α(c))`` where ``f`` are the round's frozen
+    nodes per color (see :mod:`repro.faults.schedule`).
+    """
+    from ..faults import as_fault_schedule
+
     if not isinstance(process, ACAgentProcess):
         raise TypeError(
             f"count-level simulation requires an AC-process; {process.name} is not one"
@@ -201,13 +227,22 @@ def run_counts(
     generator = as_generator(rng)
     condition = _resolve_stop(stop)
     limit = max_rounds if max_rounds is not None else default_round_limit(initial.num_nodes)
+    schedule = as_fault_schedule(faults)
+    fault_runtime = (
+        schedule.counts_runtime(process.process_function)
+        if schedule is not None
+        else None
+    )
     counts = initial.counts_array().copy()
     if recorder is not None:
         recorder.observe(0, counts)
     rounds = 0
     stopped = condition.satisfied(counts)
     while not stopped and rounds < limit:
-        counts = process.step_counts(counts, generator)
+        if fault_runtime is not None:
+            counts = fault_runtime.step_row(counts, generator, rounds)
+        else:
+            counts = process.step_counts(counts, generator)
         rounds += 1
         if recorder is not None:
             recorder.observe(rounds, counts)
@@ -234,6 +269,7 @@ def run(
     recorder: "Optional[MetricRecorder]" = None,
     backend: str = "auto",
     raise_on_limit: bool = True,
+    faults=None,
 ) -> SimulationResult:
     """Simulate ``process`` from ``initial`` until ``stop`` fires.
 
@@ -251,6 +287,7 @@ def run(
                 max_rounds=max_rounds,
                 recorder=recorder,
                 raise_on_limit=raise_on_limit,
+                faults=faults,
             )
         if backend == "counts":
             raise TypeError(
@@ -264,6 +301,7 @@ def run(
         max_rounds=max_rounds,
         recorder=recorder,
         raise_on_limit=raise_on_limit,
+        faults=faults,
     )
 
 

@@ -1,0 +1,35 @@
+"""Fault injection: crash-stop / crash-recovery / message-loss node faults.
+
+The robustness sibling of :mod:`repro.adversary`: where the §5 adversary
+corrupts *opinions*, a fault model silences *nodes* — permanently
+(:class:`CrashStop`), transiently with repair (:class:`CrashRecovery`),
+or for a single round of dropped samples (:class:`MessageLoss`).  Models
+compose in a :class:`FaultSchedule` with an activation window and ride
+every engine through the ``faults=`` axis of
+:class:`~repro.engine.plan.SimulationPlan`; the declarative study layer
+speaks the same vocabulary via :func:`build_fault_schedule` and friends.
+"""
+
+from .declarative import (
+    FAULT_KEYS,
+    build_fault_schedule,
+    canonical_fault_value,
+    encode_fault_value,
+    parse_fault_cli,
+)
+from .models import CrashRecovery, CrashStop, FaultModel, MessageLoss
+from .schedule import FaultSchedule, as_fault_schedule
+
+__all__ = [
+    "FAULT_KEYS",
+    "CrashRecovery",
+    "CrashStop",
+    "FaultModel",
+    "FaultSchedule",
+    "MessageLoss",
+    "as_fault_schedule",
+    "build_fault_schedule",
+    "canonical_fault_value",
+    "encode_fault_value",
+    "parse_fault_cli",
+]

@@ -1,0 +1,217 @@
+"""Fault models: crash-stop, crash-recovery and message loss.
+
+A :class:`FaultModel` perturbs *node activity* rather than node opinions
+— the dual of the §5 adversary, which corrupts colors but never silences
+nodes.  Each round the engine asks the active fault models which nodes
+are **frozen**: a frozen node skips its honest update and keeps its
+current color, but that color stays visible on the message board, so
+other nodes still sample it and stopping conditions still count it.
+This matches the classical fault taxonomy for population/gossip models:
+
+* *crash-stop* — a node halts permanently and never updates again
+  (its last opinion remains readable forever);
+* *crash-recovery* — a crashed node may come back and resume the
+  dynamics from its pre-crash opinion;
+* *message loss* — a node's incoming samples for one round are dropped,
+  so it keeps its opinion for that round only (transient omission).
+
+Models expose two representation-specific hooks mirroring the engine's
+two chain representations:
+
+* the **agent** hook works on boolean masks over nodes — shape ``(n,)``
+  in the sequential/per-replica engines, ``(R, n)`` in the batched
+  ensemble; the same code serves both because every operation is
+  elementwise;
+* the **counts** hook works on per-color integer counts — shape ``(k,)``
+  or ``(R, k)`` — drawing binomially from the not-yet-frozen pool per
+  color, which is the exact projection of the per-node Bernoulli draws
+  onto the count chain.
+
+rng discipline (the bit-for-bit contract): a model consumes random
+numbers on a *round-deterministic* schedule — draws happen for **all**
+nodes (then get masked by eligibility) whenever the corresponding rate
+is positive, never a data-dependent subset — so the stream position
+after round *t* depends only on ``t`` and the schedule, not on which
+nodes happened to fail.  A model whose rates are all zero is *trivial*
+and is dropped from the schedule before the engines ever see it, which
+is what keeps rate-0 fault runs bit-for-bit identical to fault-free
+runs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["FaultModel", "CrashStop", "CrashRecovery", "MessageLoss"]
+
+
+def _check_rate(name: str, value: float) -> float:
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return value
+
+
+class FaultModel(ABC):
+    """One source of node-level faults, applied round by round.
+
+    Subclasses implement the agent-mask and count-level hooks; stateful
+    models (the crash family) keep their per-node / per-color state in
+    the dict returned by ``init_agent_state`` / ``init_counts_state`` so
+    one model instance can serve many independent replicas at once.
+    """
+
+    #: Whether the model has an exact count-level projection.  All three
+    #: built-in models do; a hypothetical topology-aware model would not.
+    supports_counts = True
+
+    @abstractmethod
+    def is_trivial(self) -> bool:
+        """True when the model can never freeze a node (all rates zero)."""
+
+    # -- agent representation ---------------------------------------------
+
+    def init_agent_state(self, shape) -> "dict | None":
+        """Fresh mutable state for a mask of ``shape`` nodes (or None)."""
+        return None
+
+    @abstractmethod
+    def agent_round(self, state, frozen, active, rng):
+        """Extend the boolean ``frozen`` mask with this model's victims.
+
+        ``frozen`` accumulates over the models of one schedule in order;
+        eligibility is always drawn from the complement, so the models'
+        victim pools stay disjoint.  ``active`` is the schedule window
+        gate for injection; recovery (if any) runs regardless.
+        """
+
+    # -- counts representation --------------------------------------------
+
+    def init_counts_state(self, shape) -> "dict | None":
+        """Fresh mutable state for per-color counts of ``shape``."""
+        return None
+
+    @abstractmethod
+    def counts_round(self, state, frozen, counts, active, rng):
+        """Extend the per-color ``frozen`` counts with this model's victims.
+
+        Exact projection of :meth:`agent_round`: every per-node Bernoulli
+        over an eligible pool becomes one binomial per color.
+        """
+
+
+class CrashStop(FaultModel):
+    """Permanent crashes: each active round, every live node halts w.p. ``rate``.
+
+    A crashed node keeps its opinion visible forever but never updates
+    again — the fail-stop model of the consensus literature.
+    """
+
+    def __init__(self, rate: float):
+        self.rate = _check_rate("crash rate", rate)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(rate={self.rate})"
+
+    def is_trivial(self) -> bool:
+        return self.rate == 0.0
+
+    def init_agent_state(self, shape):
+        return {"crashed": np.zeros(shape, dtype=bool)}
+
+    def agent_round(self, state, frozen, active, rng):
+        crashed = state["crashed"]
+        if active and self.rate > 0.0:
+            draw = rng.random(crashed.shape)
+            crashed |= (draw < self.rate) & ~frozen & ~crashed
+        return frozen | crashed
+
+    def init_counts_state(self, shape):
+        return {"crashed": np.zeros(shape, dtype=np.int64)}
+
+    def counts_round(self, state, frozen, counts, active, rng):
+        crashed = state["crashed"]
+        if active and self.rate > 0.0:
+            eligible = counts - frozen - crashed
+            crashed += rng.binomial(eligible, self.rate)
+        return frozen + crashed
+
+
+class CrashRecovery(FaultModel):
+    """Crashes with repair: halt w.p. ``rate``, return w.p. ``recovery``.
+
+    Recovery draws happen *every* round once a node is down — the
+    schedule window gates fault *injection* only, so nodes crashed
+    inside the window keep recovering after it closes.  A recovered node
+    resumes the dynamics from its pre-crash opinion (crash-recovery with
+    stable storage).
+    """
+
+    def __init__(self, rate: float, recovery: float):
+        self.rate = _check_rate("crash rate", rate)
+        self.recovery = _check_rate("recovery rate", recovery)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(rate={self.rate}, recovery={self.recovery})"
+        )
+
+    def is_trivial(self) -> bool:
+        return self.rate == 0.0
+
+    def init_agent_state(self, shape):
+        return {"crashed": np.zeros(shape, dtype=bool)}
+
+    def agent_round(self, state, frozen, active, rng):
+        crashed = state["crashed"]
+        if self.recovery > 0.0:
+            draw = rng.random(crashed.shape)
+            crashed &= ~(draw < self.recovery)
+        if active and self.rate > 0.0:
+            draw = rng.random(crashed.shape)
+            crashed |= (draw < self.rate) & ~frozen & ~crashed
+        return frozen | crashed
+
+    def init_counts_state(self, shape):
+        return {"crashed": np.zeros(shape, dtype=np.int64)}
+
+    def counts_round(self, state, frozen, counts, active, rng):
+        crashed = state["crashed"]
+        if self.recovery > 0.0:
+            crashed -= rng.binomial(crashed, self.recovery)
+        if active and self.rate > 0.0:
+            eligible = counts - frozen - crashed
+            crashed += rng.binomial(eligible, self.rate)
+        return frozen + crashed
+
+
+class MessageLoss(FaultModel):
+    """Transient omission: each active round a node's samples drop w.p. ``rate``.
+
+    Stateless — a victim keeps its opinion for exactly that round (it
+    received nothing to update from) and is a normal node again next
+    round.  This is per-round iid message loss on a node's whole inbox,
+    the standard lossy-channel abstraction for uniform-gossip models.
+    """
+
+    def __init__(self, rate: float):
+        self.rate = _check_rate("loss rate", rate)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(rate={self.rate})"
+
+    def is_trivial(self) -> bool:
+        return self.rate == 0.0
+
+    def agent_round(self, state, frozen, active, rng):
+        if active and self.rate > 0.0:
+            draw = rng.random(frozen.shape)
+            return frozen | ((draw < self.rate) & ~frozen)
+        return frozen
+
+    def counts_round(self, state, frozen, counts, active, rng):
+        if active and self.rate > 0.0:
+            return frozen + rng.binomial(counts - frozen, self.rate)
+        return frozen

@@ -7,7 +7,8 @@ This package makes the set itself a first-class artifact:
 
 * :class:`StudySpec` (``spec.py``) — a plain dataclass declaring named
   axes (process, workload, ``n``, scheduler, adversary, stopping rule,
-  horizon, backend, rng regime) plus a ``grid``/``zip`` expansion rule;
+  horizon, backend, rng regime, fault schedule) plus a ``grid``/``zip``
+  expansion rule;
   round-trippable to/from TOML and JSON, content-addressed by
   :func:`spec_hash`.
 * :func:`compile_study` (``compile.py``) — expands a spec into
@@ -18,7 +19,9 @@ This package makes the set itself a first-class artifact:
   resolved backend, wall time, package version).
 * :func:`run_study` (``runner.py``) — executes the cells through the
   unified runtime (:func:`repro.engine.runtime.execute`, shared pool and
-  all) and supports bit-for-bit ``resume=`` of interrupted runs.
+  all), isolates per-cell failures as retried-then-recorded
+  ``status="failed"`` records, and supports bit-for-bit ``resume=`` of
+  interrupted runs (failed cells are re-attempted).
 * :func:`study_report` (``report.py``) — renders a store as tables.
 
 The user-facing entry points are re-exported by :mod:`repro.api`
@@ -35,7 +38,13 @@ from .compile import (
 from .report import study_report
 from .runner import execute_cells, run_study
 from .spec import AXIS_NAMES, StudySpec, spec_hash
-from .store import STORE_FORMAT_VERSION, RunRecord, StudyStore, load_study_store
+from .store import (
+    STORE_FORMAT_VERSION,
+    RunRecord,
+    StoreCorruptError,
+    StudyStore,
+    load_study_store,
+)
 from .toml_io import load_spec, loads_spec, dumps_spec, save_spec
 
 __all__ = [
@@ -43,6 +52,7 @@ __all__ = [
     "AXIS_NAMES",
     "RunRecord",
     "STORE_FORMAT_VERSION",
+    "StoreCorruptError",
     "StudyCell",
     "StudySpec",
     "StudyStore",

@@ -43,6 +43,7 @@ from ..engine.stopping import (
     StoppingCondition,
 )
 from ..experiments.workloads import resolve_workload
+from ..faults import build_fault_schedule, encode_fault_value
 from ..processes.registry import make_process
 from .spec import AXIS_NAMES, StudySpec
 
@@ -169,6 +170,11 @@ def describe_axes(params: dict) -> str:
         bits.append(f"{adversary['name']} F={adversary['budget']}")
     if params.get("stop", "consensus") != "consensus":
         bits.append(params["stop"])
+    faults = params.get("faults")
+    if faults is not None:
+        encoded = encode_fault_value(faults)
+        inner = ",".join(f"{k}={v}" for k, v in encoded.items())
+        bits.append(f"faults({inner})")
     return " ".join(bits)
 
 
@@ -232,6 +238,8 @@ def compile_study(spec: StudySpec) -> "list[StudyCell]":
                 "kwargs": dict(adversary_value["kwargs"]),
             }
         stop = parse_stop(assignment["stop"])
+        faults_value = assignment["faults"]
+        faults = build_fault_schedule(faults_value)
         params = {
             **assignment,
             "adversary": adversary_value,
@@ -243,6 +251,10 @@ def compile_study(spec: StudySpec) -> "list[StudyCell]":
             "raise_on_limit": spec.raise_on_limit,
             "record": spec.record,
         }
+        if faults_value is None:
+            # Elide the default so fault-free cells keep their pre-fault
+            # cell_ids — the hashes resume matches completed cells by.
+            del params["faults"]
         seed = derive_seed(spec.seed, index)
         params["seed"] = seed
         plan = first_passage_plan(
@@ -257,6 +269,7 @@ def compile_study(spec: StudySpec) -> "list[StudyCell]":
             workers=spec.workers,
             scheduler=assignment["scheduler"],
             adversary=adversary,
+            faults=faults,
             recorder=_cell_recorder(spec),
             check_every=spec.check_every,
             stable_fraction=spec.stable_fraction,

@@ -50,8 +50,12 @@ def study_report(store: StudyStore) -> Table:
     """The store's cells as one table (stats per cell, fits as footnotes)."""
     spec = store.spec
     total = spec.num_cells()
-    title = f"study {spec.name!r} — {len(store)}/{total} cells"
-    if len(store) < total:
+    failed = store.failed()
+    ok_count = len(store) - len(failed)
+    title = f"study {spec.name!r} — {ok_count}/{total} cells"
+    if failed:
+        title += f" ({len(failed)} failed)"
+    elif len(store) < total:
         title += " (incomplete)"
     table = Table(
         title=title,
@@ -62,8 +66,20 @@ def study_report(store: StudyStore) -> Table:
     )
     groups: "dict[str, list[RunRecord]]" = {}
     for record in store.records():
-        summary = record.summary()
         params = record.params
+        if not record.ok:
+            # Failed cells report their outcome, not statistics, and are
+            # excluded from fit groups (no data to pool).
+            table.add_row(
+                record.index,
+                params["process"]["name"],
+                params["n"],
+                describe_axes(params) or "-",
+                "-", 0, 0, "-", "-", "-", "-",
+                "failed",
+            )
+            continue
+        summary = record.summary()
         table.add_row(
             record.index,
             params["process"]["name"],
@@ -91,6 +107,14 @@ def study_report(store: StudyStore) -> Table:
         means = np.asarray([np.mean(by_n[int(n)]) for n in ns])
         fit = fit_power_law(ns, means)
         table.add_footnote(f"fit [{_group_label(records[0])}]: {fit.summary()}")
+    for record in failed:
+        error = record.error or {}
+        table.add_footnote(
+            f"FAILED cell {record.index} [{describe_axes(record.params) or '-'}] "
+            f"after {error.get('attempts', '?')} attempt(s): "
+            f"{error.get('type', 'Error')}: {error.get('message', '')} "
+            "(resume the study to retry)"
+        )
     table.add_footnote(
         f"spec {store.spec_hash} · seed {spec.seed} · R={spec.repetitions} "
         f"per cell · repro {store.package_version} · "

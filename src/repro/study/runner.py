@@ -6,21 +6,33 @@ the rest via :func:`repro.engine.runtime.execute` (which shares the
 persistent sharded pool across cells), and checkpoint the store after
 every cell so an interrupted run loses at most the cell in flight.
 
+Failure isolation: one exploding cell must not lose a night of results.
+With the default ``on_error="record"`` a cell that raises is retried
+once on a fresh jittered sub-seed (transient failures — a pool worker
+OOM-killed, a flaky recorder — recover without human attention), and a
+cell that still fails lands in the store as a ``status="failed"`` record
+carrying the exception type, message and traceback.  The run continues
+with the next cell; ``repro study report`` summarises the failures, and
+``resume=True`` re-attempts exactly the failed/missing cells.
+
 Resume is bit-for-bit by construction: each cell's seed derives from the
 spec seed and the cell *index* (never from execution order), so the
 records a resumed run adds are exactly the records the uninterrupted run
 would have produced — enforced by ``tests/test_study.py`` and the
-``study-smoke`` step of ``scripts/check.sh``.
+``study-smoke`` / ``faults-smoke`` steps of ``scripts/check.sh``.
 """
 
 from __future__ import annotations
 
 import os
 import time
+import traceback
+from dataclasses import replace
 from typing import Callable, Iterable
 
 import numpy as np
 
+from ..engine.rng import derive_seed
 from ..engine.runtime import execute
 from .compile import StudyCell, compile_study
 from .spec import StudySpec, spec_hash
@@ -28,12 +40,23 @@ from .store import RunRecord, StudyStore, load_study_store
 
 __all__ = ["execute_cells", "run_study"]
 
+_ON_ERROR = ("record", "raise")
 
-def _record_cell(cell: StudyCell) -> RunRecord:
-    """Run one cell and capture its outcome plus provenance."""
-    start = time.perf_counter()
-    result = execute(cell.plan)
-    wall_time = time.perf_counter() - start
+
+def _attempt_plan(cell: StudyCell, attempt: int):
+    """The plan for retry ``attempt`` (0 = the pristine compiled plan).
+
+    Retries jitter the rng with a sub-seed derived from the cell seed and
+    the attempt number — deterministic (a re-run retries with the same
+    streams) but decorrelated from the failing attempt, so a failure tied
+    to one sample path does not repeat verbatim.
+    """
+    if attempt == 0:
+        return cell.plan
+    return replace(cell.plan, rng=derive_seed(cell.params["seed"], attempt))
+
+
+def _success_record(cell: StudyCell, result, wall_time: float) -> RunRecord:
     trajectory = None
     if cell.plan.recorder is not None:
         trajectory = {
@@ -66,6 +89,56 @@ def _record_cell(cell: StudyCell) -> RunRecord:
     )
 
 
+def _failed_record(
+    cell: StudyCell, exc: BaseException, attempts: int, wall_time: float
+) -> RunRecord:
+    return RunRecord(
+        cell_id=cell.cell_id,
+        index=cell.index,
+        seed=int(cell.params["seed"]),
+        params=cell.params,
+        resolved_backend="-",
+        unit="-",
+        times=np.zeros(0, dtype=np.int64),
+        stopped=np.zeros(0, dtype=bool),
+        wall_time_s=wall_time,
+        status="failed",
+        error={
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": "".join(
+                traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+            "attempts": attempts,
+        },
+    )
+
+
+def _record_cell(
+    cell: StudyCell, on_error: str = "raise", max_attempts: int = 1
+) -> RunRecord:
+    """Run one cell and capture its outcome plus provenance.
+
+    With ``on_error="record"`` every exception is caught: the cell is
+    retried up to ``max_attempts`` total attempts (later attempts on
+    jittered sub-seeds) and the final failure becomes a
+    ``status="failed"`` record instead of propagating.
+    """
+    start = time.perf_counter()
+    attempts = max(1, int(max_attempts)) if on_error == "record" else 1
+    last_exc = None
+    for attempt in range(attempts):
+        try:
+            result = execute(_attempt_plan(cell, attempt))
+        except Exception as exc:
+            if on_error == "raise":
+                raise
+            last_exc = exc
+            continue
+        return _success_record(cell, result, time.perf_counter() - start)
+    return _failed_record(cell, last_exc, attempts, time.perf_counter() - start)
+
+
 def execute_cells(
     cells: Iterable[StudyCell],
     progress: "Callable[[StudyCell, RunRecord], None] | None" = None,
@@ -74,7 +147,9 @@ def execute_cells(
 
     The imperative core shared by :func:`run_study` and the legacy sweep
     harness (:func:`repro.experiments.harness.sweep_first_passage`), so
-    both produce identical records for identical plans.
+    both produce identical records for identical plans.  Errors
+    propagate (``on_error="raise"`` semantics): imperative callers want
+    the exception, not a record.
     """
     records = []
     for cell in cells:
@@ -92,6 +167,8 @@ def run_study(
     resume: "bool | str" = False,
     max_cells: "int | None" = None,
     progress: "Callable[[StudyCell, RunRecord], None] | None" = None,
+    on_error: str = "record",
+    max_attempts: int = 2,
 ) -> StudyStore:
     """Execute a study spec; optionally checkpoint and resume.
 
@@ -106,7 +183,8 @@ def run_study(
     resume:
         ``False`` starts fresh (and refuses to clobber an existing store
         at ``store_path``); ``True`` loads ``store_path`` if present and
-        completes only the missing cells;
+        completes only the missing cells — plus any cells previously
+        recorded as failed, which are re-attempted and replaced in place;
         a string is a path to resume from (checkpoints still go to
         ``store_path``).  A store whose ``spec_hash`` differs from
         ``spec``'s is rejected — resuming a *different* study is always
@@ -117,9 +195,22 @@ def run_study(
         ``--max-cells`` CLI knob for budgeted sessions).
     progress:
         Optional callback invoked after each executed cell.
+    on_error:
+        ``"record"`` (default) isolates failures: a cell that raises is
+        retried and, failing that, recorded as ``status="failed"`` with
+        its traceback while the run continues.  ``"raise"`` propagates
+        the first error immediately (the pre-v2 behaviour).
+    max_attempts:
+        Total attempts per cell under ``on_error="record"``; attempts
+        after the first use fresh sub-seeds derived from (cell seed,
+        attempt), so a re-run retries deterministically.
     """
     if max_cells is not None and max_cells < 1:
         raise ValueError("max_cells must be positive")
+    if on_error not in _ON_ERROR:
+        raise ValueError(f"on_error must be one of {_ON_ERROR}, got {on_error!r}")
+    if max_attempts < 1:
+        raise ValueError("max_attempts must be positive")
     resume_path = resume if isinstance(resume, str) else store_path
     store = None
     if resume:
@@ -144,11 +235,12 @@ def run_study(
         store = StudyStore(spec)
     executed = 0
     for cell in compile_study(spec):
-        if store.get(cell.cell_id) is not None:
+        existing = store.get(cell.cell_id)
+        if existing is not None and existing.ok:
             continue
         if max_cells is not None and executed >= max_cells:
             break
-        record = _record_cell(cell)
+        record = _record_cell(cell, on_error=on_error, max_attempts=max_attempts)
         store.add(record)
         executed += 1
         if store_path is not None:

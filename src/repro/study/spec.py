@@ -38,6 +38,9 @@ stop         ``"consensus"`` | ``"colors<=K"`` | ``"max-support>K"`` |
 max_rounds   ``None`` | ``int`` (scheduler units: rounds or ticks)
 backend      a runtime registry name or resolution alias
 rng_mode     ``"batched"`` | ``"per-replica"``
+faults       ``None`` | ``{"crash": p, "recover": q, "loss": r,
+             "start": s, "stop": t}`` (default-valued keys elided; also
+             accepts the CLI string form ``"crash:p=0.01,recover=0.1"``)
 ===========  ==============================================================
 
 ``None`` appears in TOML/JSON as the string ``"none"`` (TOML has no
@@ -52,10 +55,13 @@ from dataclasses import dataclass
 from typing import Any, Mapping
 
 from ..engine.plan import RNG_MODES, SCHEDULERS
+from ..faults import canonical_fault_value, encode_fault_value
 
 __all__ = ["AXIS_NAMES", "REQUIRED_AXES", "StudySpec", "spec_hash"]
 
 #: Every axis a spec may sweep, in grid-expansion (and cell-id) order.
+#: ``faults`` is appended last so pre-fault specs keep their historical
+#: grid order (and, via the to_dict default-elision rule, their hashes).
 AXIS_NAMES = (
     "process",
     "workload",
@@ -66,6 +72,7 @@ AXIS_NAMES = (
     "max_rounds",
     "backend",
     "rng_mode",
+    "faults",
 )
 
 #: Axes a spec must declare; the rest default to one-element lists.
@@ -79,6 +86,7 @@ _AXIS_DEFAULTS = {
     "max_rounds": [None],
     "backend": ["auto"],
     "rng_mode": ["per-replica"],
+    "faults": [None],
 }
 
 _EXPANSIONS = ("grid", "zip")
@@ -178,6 +186,11 @@ def _normalize_axis_value(axis: str, value: Any) -> Any:
         if value not in RNG_MODES:
             raise ValueError(f"axis 'rng_mode': {value!r} not in {RNG_MODES}")
         return str(value)
+    if axis == "faults":
+        try:
+            return canonical_fault_value(value)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"axis 'faults': {exc}") from exc
     raise ValueError(f"unknown axis {axis!r}; valid axes: {AXIS_NAMES}")
 
 
@@ -327,6 +340,11 @@ class StudySpec:
             out["record"] = record
         axes: dict = {}
         for axis, values in self.axes.items():
+            if axis == "faults" and values == [None]:
+                # Elide the default so pre-fault specs keep their hashes
+                # (spec_hash anchors resume; adding an axis must not
+                # orphan every existing store).
+                continue
             axes[axis] = [_encode_axis_value(axis, v) for v in values]
         out["axes"] = axes
         return out
@@ -363,6 +381,8 @@ class StudySpec:
 
 def _encode_axis_value(axis: str, value: Any) -> Any:
     """Canonical in-memory value → its serialised (TOML-safe) form."""
+    if axis == "faults":
+        return encode_fault_value(value)
     if value is None:
         return "none"
     if axis in ("process", "workload"):

@@ -11,7 +11,15 @@ store completes the same study rather than guessing from file names.
 
 The format is schema-versioned like the sweep JSON
 (:mod:`repro.experiments.persistence`): readers accept the current
-version only and reject unknown future versions with a clear error.
+version (and upgrade version-1 files in memory) and reject unknown
+future versions with a clear error.  Version 2 added the failure
+bookkeeping columns: every record carries a ``status`` (``"ok"`` or
+``"failed"``) and, when failed, an ``error`` table with the exception
+type, message, traceback and attempt count — the substrate of the
+failure-isolating runner (:func:`repro.study.runner.run_study`).
+A truncated or hand-mangled store file surfaces as
+:class:`StoreCorruptError` naming the file, never as a bare JSON
+traceback.
 """
 
 from __future__ import annotations
@@ -26,9 +34,18 @@ import numpy as np
 from ..engine.batch import BatchSummary, summarize
 from .spec import StudySpec, spec_hash
 
-__all__ = ["STORE_FORMAT_VERSION", "RunRecord", "StudyStore", "load_study_store"]
+__all__ = [
+    "STORE_FORMAT_VERSION",
+    "RunRecord",
+    "StoreCorruptError",
+    "StudyStore",
+    "load_study_store",
+]
 
-STORE_FORMAT_VERSION = 1
+STORE_FORMAT_VERSION = 2
+
+#: Formats this build can read (older versions upgrade in memory).
+_READABLE_VERSIONS = (1, 2)
 
 #: Columnar layout: field name → JSON encoder over the in-memory value.
 _COLUMNS = (
@@ -43,7 +60,19 @@ _COLUMNS = (
     "wall_time_s",
     "trajectory",
     "extras",
+    "status",
+    "error",
 )
+
+
+class StoreCorruptError(ValueError):
+    """A store file exists but cannot be decoded (truncated or mangled).
+
+    Distinct from legitimate refusals (wrong spec hash, future format
+    version): this error means the *file itself* is damaged — typically a
+    checkpoint truncated by a hard kill — and names the offending path so
+    the user can remove or restore it.
+    """
 
 
 @dataclass
@@ -67,16 +96,31 @@ class RunRecord:
     trajectory: "dict | None" = field(default=None, repr=False)
     #: Family-specific extra columns (e.g. §5 winner validity masks).
     extras: "dict | None" = field(default=None, repr=False)
+    #: ``"ok"`` or ``"failed"`` (cell raised after every retry attempt).
+    status: str = "ok"
+    #: Failure detail for ``status="failed"``: ``{"type", "message",
+    #: "traceback", "attempts"}``; ``None`` for successful cells.
+    error: "dict | None" = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     def summary(self) -> BatchSummary:
         return summarize(self.times)
 
     def same_results(self, other: "RunRecord") -> bool:
-        """Bit-for-bit result equality, ignoring wall time."""
+        """Bit-for-bit result equality, ignoring wall time.
+
+        Failure *outcomes* must match (status), but the error detail —
+        tracebacks carry memory addresses and line numbers — is
+        execution-environment noise, not a result.
+        """
         return (
             self.cell_id == other.cell_id
             and self.index == other.index
             and self.seed == other.seed
+            and self.status == other.status
             and self.resolved_backend == other.resolved_backend
             and self.unit == other.unit
             and np.array_equal(self.times, other.times)
@@ -121,17 +165,29 @@ class StudyStore:
         return self._by_id.get(cell_id)
 
     def add(self, record: RunRecord) -> None:
-        if record.cell_id in self._by_id:
-            raise ValueError(f"cell {record.cell_id} is already recorded")
+        existing = self._by_id.get(record.cell_id)
+        if existing is not None:
+            if existing.ok:
+                raise ValueError(f"cell {record.cell_id} is already recorded")
+            # A failed record is a placeholder: a retry (resume) replaces
+            # it in place, keeping one record per cell.
+            self._records[self._records.index(existing)] = record
+            self._by_id[record.cell_id] = record
+            return
         self._records.append(record)
         self._by_id[record.cell_id] = record
 
+    def failed(self) -> "list[RunRecord]":
+        """The failed records, in cell-index order."""
+        return [record for record in self.records() if not record.ok]
+
     def is_complete(self) -> bool:
-        """Does the store cover every cell the spec expands to?"""
+        """Does the store cover every cell the spec expands to, successfully?"""
         from .compile import compile_study
 
         return all(
-            cell.cell_id in self._by_id for cell in compile_study(self.spec)
+            cell.cell_id in self._by_id and self._by_id[cell.cell_id].ok
+            for cell in compile_study(self.spec)
         )
 
     def column(self, name: str) -> list:
@@ -175,16 +231,18 @@ class StudyStore:
                 "wall_time_s": [float(r.wall_time_s) for r in records],
                 "trajectory": [r.trajectory for r in records],
                 "extras": [r.extras for r in records],
+                "status": [r.status for r in records],
+                "error": [r.error for r in records],
             },
         }
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "StudyStore":
         version = payload.get("format_version")
-        if version != STORE_FORMAT_VERSION:
+        if version not in _READABLE_VERSIONS:
             raise ValueError(
                 f"unsupported study-store format version {version!r}; this "
-                f"build reads version {STORE_FORMAT_VERSION} (a newer repro "
+                f"build reads versions {_READABLE_VERSIONS} (a newer repro "
                 "probably wrote the file — upgrade to read it)"
             )
         if payload.get("kind") != "repro-study-store":
@@ -200,7 +258,12 @@ class StudyStore:
                 f"spec ({store.spec_hash!r}); the file was edited inconsistently"
             )
         columns = payload["columns"]
-        for i in range(len(columns["cell_id"])):
+        count = len(columns["cell_id"])
+        # Version-1 files predate the failure columns: upgrade in memory
+        # (every recorded cell was by definition a success).
+        statuses = columns.get("status", ["ok"] * count)
+        errors = columns.get("error", [None] * count)
+        for i in range(count):
             store.add(
                 RunRecord(
                     cell_id=columns["cell_id"][i],
@@ -214,6 +277,8 @@ class StudyStore:
                     wall_time_s=float(columns["wall_time_s"][i]),
                     trajectory=columns["trajectory"][i],
                     extras=columns["extras"][i],
+                    status=str(statuses[i]),
+                    error=errors[i],
                 )
             )
         return store
@@ -228,7 +293,28 @@ class StudyStore:
 
 
 def load_study_store(path: str) -> StudyStore:
-    """Read a store previously written by :meth:`StudyStore.save`."""
+    """Read a store previously written by :meth:`StudyStore.save`.
+
+    A file that exists but cannot be decoded — truncated JSON from a
+    hard kill, or a hand-edit that dropped a column — raises
+    :class:`StoreCorruptError` naming the path.  Legitimate refusals
+    (future format version, spec-hash mismatch) stay plain
+    ``ValueError``\\ s: the file is intact, the request is wrong.
+    """
     with open(path, encoding="utf-8") as handle:
-        payload = json.load(handle)
-    return StudyStore.from_dict(payload)
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise StoreCorruptError(
+                f"study store {path} is not valid JSON ({exc}); the file is "
+                "corrupt — likely a checkpoint truncated by a hard kill. "
+                "Remove it (or restore a backup) and re-run the study."
+            ) from exc
+    try:
+        return StudyStore.from_dict(payload)
+    except (KeyError, TypeError, IndexError) as exc:
+        raise StoreCorruptError(
+            f"study store {path} decodes as JSON but is structurally "
+            f"damaged ({type(exc).__name__}: {exc}); remove it (or restore "
+            "a backup) and re-run the study."
+        ) from exc

@@ -29,6 +29,7 @@ from repro.engine import (
     shared_executor,
     spawn_generators,
 )
+from repro.faults import CrashRecovery, CrashStop, FaultSchedule, MessageLoss
 from repro.processes import ThreeMajority, TwoChoices, Voter
 
 pytestmark = pytest.mark.bench_smoke
@@ -187,6 +188,74 @@ def test_adversary_plan_matches_sequential_runner():
     )
     assert resolve_backend(auto).spec.name == "ensemble-adversary-counts"
     assert execute(auto).all_stopped
+
+
+@pytest.mark.parametrize(
+    "faults",
+    [
+        pytest.param(CrashStop(0.0), id="crash-stop-0"),
+        pytest.param(CrashRecovery(0.0, 0.0), id="crash-recovery-0"),
+        pytest.param(MessageLoss(0.0), id="loss-0"),
+        pytest.param(FaultSchedule(()), id="empty-schedule"),
+        pytest.param(
+            FaultSchedule((CrashStop(0.0), MessageLoss(0.0))),
+            id="all-zero-schedule",
+        ),
+    ],
+)
+@pytest.mark.parametrize("factory, initial, representation", CASES)
+def test_rate_zero_faults_reproduce_baseline(
+    factory, initial, representation, faults
+):
+    """Every fault model at rate 0 is bit-for-bit the fault-free run.
+
+    Trivial schedules collapse to ``None`` at plan-resolution time, so
+    the engines take the unmodified path and consume zero extra rng
+    draws — on every backend of the matrix.
+    """
+    for backend, workers in [
+        ("sequential-auto", None),
+        ("ensemble-auto", None),
+        ("sharded-auto", 2),
+        ("auto", None),
+    ]:
+        baseline = execute(_plan(factory, initial, backend, workers=workers))
+        faulted = execute(
+            _plan(factory, initial, backend, workers=workers, faults=faults)
+        )
+        label = f"{backend} (workers={workers})"
+        assert np.array_equal(faulted.times, baseline.times), label
+        assert np.array_equal(faulted.stopped, baseline.stopped), label
+        assert np.array_equal(
+            faulted.final_counts, baseline.final_counts
+        ), label
+
+
+@pytest.mark.parametrize("factory, initial, representation", CASES)
+def test_active_faults_cross_backend_equivalence(
+    factory, initial, representation
+):
+    """Per-replica fault runs are bitwise identical across all backends."""
+    faults = FaultSchedule((CrashRecovery(0.02, 0.3), MessageLoss(0.05)))
+    reference = execute(
+        _plan(factory, initial, "sequential-auto", faults=faults)
+    )
+    assert reference.backend == representation
+    for backend, workers in [
+        ("ensemble-auto", None),
+        ("sharded-auto", 1),
+        ("sharded-auto", 2),
+        ("auto", None),
+    ]:
+        result = execute(
+            _plan(factory, initial, backend, workers=workers, faults=faults)
+        )
+        label = f"{backend} (workers={workers})"
+        assert np.array_equal(result.times, reference.times), label
+        assert np.array_equal(result.stopped, reference.stopped), label
+        assert np.array_equal(
+            result.final_counts, reference.final_counts
+        ), label
 
 
 def test_shared_pool_persists_across_plans():

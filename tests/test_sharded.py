@@ -172,3 +172,48 @@ class TestPoolExecution:
             raise_on_limit=False,
         )
         assert lenient.repetitions == 4
+
+
+def _sleep_then_echo(payload):
+    import time as _time
+
+    _time.sleep(3.0)
+    return payload * 2
+
+
+def _increment(payload):
+    return payload + 1
+
+
+class TestWorkerPoolDeath:
+    """A worker killed mid-map must raise, name the loss, and respawn."""
+
+    def test_killed_worker_raises_and_pool_respawns(self):
+        import os
+        import signal
+        import threading
+
+        from repro.engine import WorkerPoolError
+
+        executor = ShardedEnsembleExecutor(workers=2)
+        try:
+            assert executor.map(_increment, [1, 2, 3, 4]) == [2, 3, 4, 5]
+            pool = executor._ensure_pool()
+            victim = pool._pool[0].pid
+            timer = threading.Timer(0.5, os.kill, (victim, signal.SIGKILL))
+            timer.start()
+            try:
+                with pytest.raises(WorkerPoolError) as excinfo:
+                    executor.map(_sleep_then_echo, [10, 20, 30, 40])
+            finally:
+                timer.cancel()
+            message = str(excinfo.value)
+            assert str(victim) in message
+            assert "shard" in message
+            # The dead pool is retired, not wedged...
+            assert not executor.pool_alive
+            # ...and the next call lazily respawns a fresh one.
+            assert executor.map(_increment, [7, 8, 9]) == [8, 9, 10]
+            assert executor.pool_alive
+        finally:
+            executor.close()

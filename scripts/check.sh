@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # One-command verification: tier-1 + plan-matrix + study-smoke +
-# faults-smoke + throughput.
+# faults-smoke + supervision-smoke + throughput.
 #
 # Steps:
 #   1. tier-1    — the full test suite.
@@ -20,7 +20,13 @@
 #      traceback, the report surfaces it, and resuming a store that only
 #      has the healthy cell retries just the broken one — leaving the
 #      healthy cell's samples bit-for-bit what the uninterrupted run got.
-#   5. smoke     — the engine-throughput benchmark in ≤30 s mode
+#   5. supervision-smoke — the execution policy's chaos story: a cell
+#      whose process hangs is killed at its deadline (status="timeout",
+#      run continues, resume re-attempts it), and a study subprocess is
+#      SIGKILL'd mid-run, its journal truncated at a random byte offset,
+#      then resumed — the resumed store must be bit-for-bit identical to
+#      an uninterrupted run.
+#   6. smoke     — the engine-throughput benchmark in ≤30 s mode
 #      (sequential vs ensemble headline, the persistent sharded pool at
 #      R=4 / workers=2, async / adversary engines, fault-path overhead,
 #      and the runtime's resolved-backend record per section).
@@ -105,4 +111,6 @@ assert ok_resumed[0].same_results(ok_full[0]), (
 )
 print("faults-smoke OK: failure recorded with traceback; healthy cell untouched")
 EOF
+echo "== supervision-smoke: deadline kill + torn-journal resume =="
+python scripts/supervision_smoke.py
 python benchmarks/bench_engine_throughput.py --smoke

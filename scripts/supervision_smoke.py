@@ -1,0 +1,216 @@
+#!/usr/bin/env python
+"""Supervision smoke: the execution policy's crash story, end to end.
+
+Two chaos scenarios that cannot run inside pytest comfortably (they need
+signal handlers on the main thread and a real ``kill -9``):
+
+Part A — deadline enforcement.  A process whose ``update`` hangs is
+registered into the process registry and swept alongside the healthy
+3-Majority.  The run must kill the hanging cell at ``deadline_s``,
+record it as ``status="timeout"`` and *continue* to the healthy cell.
+The registry entry is then swapped for the real process (simulating a
+transient hang) and ``resume`` must re-attempt exactly the timed-out
+cell and complete the store.
+
+Part B — torn-journal resume.  The same spec runs twice: once
+uninterrupted (the reference), once in a subprocess that is SIGKILL'd at
+a random moment mid-study — skipping every ``finally``, so only the
+sidecar journal survives.  The journal is then truncated at a *random
+byte offset* (simulating a tear inside the kill window itself), and the
+study is resumed on top of the wreckage.  The resumed store must be
+bit-for-bit identical to the uninterrupted one and the journal must be
+compacted away.
+
+The kill moment and the truncation offset are randomised per run (chaos
+is the point); the seed is printed and can be pinned via
+``SUPERVISION_SMOKE_SEED`` to replay a failure.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import api
+from repro.processes.registry import PROCESS_FACTORIES
+from repro.processes.three_majority import ThreeMajority
+from repro.study import StudySpec, load_study_store, journal_path, save_spec
+
+
+class HangingThreeMajority(ThreeMajority):
+    """3-Majority whose every update blocks far past any sane deadline."""
+
+    def update(self, colors, rng):
+        time.sleep(600.0)
+        return super().update(colors, rng)
+
+
+def part_a_deadline(tmp: str) -> None:
+    PROCESS_FACTORIES["hanging"] = HangingThreeMajority
+    spec = StudySpec(
+        name="supervision smoke: deadline",
+        seed=11,
+        repetitions=2,
+        axes={
+            "process": ["hanging", "3-majority"],
+            "n": [48],
+            "backend": ["agent"],
+            "rng_mode": ["per-replica"],
+        },
+    )
+    store_path = os.path.join(tmp, "deadline.json")
+    store = api.study(spec.to_dict(), store_path=store_path, deadline_s=1.0)
+    records = store.records()
+    assert len(records) == 2, f"run stopped early: {len(records)} records"
+    hung, healthy = records
+    assert hung.status == "timeout", hung.status
+    assert hung.error["deadline_s"] == 1.0, hung.error
+    assert hung.error["attempts"] == 1, "a hang must not be retried in-run"
+    assert healthy.ok, "the run did not continue past the timed-out cell"
+    assert not os.path.exists(journal_path(store_path)), "journal not compacted"
+    print(
+        f"part A: hanging cell killed at deadline "
+        f"(wall {hung.wall_time_s:.2f}s), run continued"
+    )
+
+    # The hang was transient: swap in the real process and resume.  Only
+    # the timed-out cell may be re-attempted; the healthy cell's samples
+    # must be exactly what the first pass recorded.
+    PROCESS_FACTORIES["hanging"] = ThreeMajority
+    try:
+        resumed = api.study(
+            spec.to_dict(), store_path=store_path, resume=True, deadline_s=1.0
+        )
+        assert resumed.is_complete(), "resume left the timed-out cell broken"
+        assert resumed.get(healthy.cell_id).same_results(healthy), (
+            "resume disturbed the healthy cell's samples"
+        )
+    finally:
+        del PROCESS_FACTORIES["hanging"]
+    print("part A: resume re-attempted exactly the timed-out cell; store complete")
+
+
+_CHILD = """
+import sys, time
+from repro import api
+api.study(
+    sys.argv[1],
+    store_path=sys.argv[2],
+    progress=lambda cell, record: time.sleep(0.25),
+)
+"""
+
+
+def _run_child_until_killed(
+    rng: random.Random, spec_path: str, store_path: str
+) -> bool:
+    """Start a study subprocess and SIGKILL it mid-run.
+
+    Returns True when the kill landed while the journal was still live
+    (the scenario under test); False when the child won the race and
+    finished first — the caller clears the output and retries.
+    """
+    child = subprocess.Popen(
+        [sys.executable, "-c", _CHILD, spec_path, store_path],
+        env={
+            **os.environ,
+            "PYTHONPATH": os.path.join(
+                os.path.dirname(__file__), "..", "src"
+            ),
+        },
+    )
+    jpath = journal_path(store_path)
+    try:
+        # Wait until at least one record line follows the header, then
+        # kill at a random moment — anywhere from "one cell in" to
+        # "almost done".
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if child.poll() is not None:
+                return False  # finished before any kill: retry
+            try:
+                with open(jpath, "rb") as handle:
+                    if handle.read().count(b"\n") >= 2:
+                        break
+            except FileNotFoundError:
+                pass
+            time.sleep(0.01)
+        time.sleep(rng.uniform(0.0, 0.6))
+        if child.poll() is not None:
+            return False
+        child.send_signal(signal.SIGKILL)
+        child.wait()
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait()
+    return os.path.exists(jpath)
+
+
+def part_b_torn_journal(tmp: str, rng: random.Random) -> None:
+    spec = StudySpec(
+        name="supervision smoke: torn journal",
+        seed=23,
+        repetitions=3,
+        axes={
+            "process": ["3-majority"],
+            "n": [32, 48, 64, 80, 96, 128],
+            "rng_mode": ["per-replica"],
+        },
+    )
+    spec_path = os.path.join(tmp, "torn.toml")
+    save_spec(spec, spec_path)
+    full = api.study(spec_path, store_path=os.path.join(tmp, "full.json"))
+    assert full.is_complete()
+
+    part_path = os.path.join(tmp, "part.json")
+    jpath = journal_path(part_path)
+    for attempt in range(5):
+        if _run_child_until_killed(rng, spec_path, part_path):
+            break
+        # The child finished (journal compacted) before the kill: wipe
+        # its output and race again with a fresh start.
+        for stale in (part_path, jpath):
+            if os.path.exists(stale):
+                os.remove(stale)
+    else:
+        raise AssertionError("could not SIGKILL the study mid-run in 5 tries")
+    assert not os.path.exists(part_path), "SIGKILL should skip compaction"
+
+    size = os.path.getsize(jpath)
+    offset = rng.randrange(0, size + 1)
+    with open(jpath, "r+b") as handle:
+        handle.truncate(offset)
+    print(f"part B: SIGKILL'd mid-study; journal torn at byte {offset}/{size}")
+
+    resumed = api.study(spec_path, store_path=part_path, resume=True)
+    assert resumed.is_complete(), "resume left cells unrun"
+    assert resumed.results_equal(full), (
+        "resumed store diverged from the uninterrupted run"
+    )
+    assert not os.path.exists(jpath), "journal not compacted after resume"
+    reloaded = load_study_store(part_path)
+    assert reloaded.results_equal(full), "compacted store diverged on reload"
+    print("part B: resumed store is bit-for-bit the uninterrupted one")
+
+
+def main() -> None:
+    seed = os.environ.get("SUPERVISION_SMOKE_SEED")
+    seed = int(seed) if seed else random.SystemRandom().randrange(2**32)
+    print(f"supervision smoke (SUPERVISION_SMOKE_SEED={seed})")
+    rng = random.Random(seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        part_a_deadline(tmp)
+        part_b_torn_journal(tmp, rng)
+    print("supervision-smoke OK: deadlines enforced; torn journal resumed bit-for-bit")
+
+
+if __name__ == "__main__":
+    main()

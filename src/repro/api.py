@@ -231,16 +231,19 @@ def study(
     max_cells: "int | None" = None,
     progress=None,
     on_error: str = "record",
-    max_attempts: int = 2,
+    max_attempts: "int | None" = None,
+    policy=None,
+    deadline_s: "float | None" = None,
 ) -> StudyStore:
     """Run a study from a :class:`StudySpec`, a TOML path, or a dict.
 
     A thin veneer over :func:`repro.study.run_study` that also accepts
     the on-disk spec forms: a path to a ``.toml`` file or a plain dict
     (e.g. parsed JSON).  See :func:`repro.study.runner.run_study` for
-    ``store_path`` / ``resume`` / ``max_cells`` and the failure-isolation
-    knobs ``on_error`` / ``max_attempts`` — in particular, resumed runs
-    complete interrupted stores bit-for-bit and re-attempt failed cells.
+    ``store_path`` / ``resume`` / ``max_cells`` and the supervision
+    knobs ``on_error`` / ``policy`` / ``max_attempts`` / ``deadline_s``
+    — in particular, resumed runs complete interrupted stores (journal
+    and all) bit-for-bit and re-attempt failed or timed-out cells.
     """
     if isinstance(spec, str):
         spec = load_spec(spec)
@@ -259,4 +262,6 @@ def study(
         progress=progress,
         on_error=on_error,
         max_attempts=max_attempts,
+        policy=policy,
+        deadline_s=deadline_s,
     )

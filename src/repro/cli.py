@@ -47,7 +47,13 @@ from .experiments import Table
 from .experiments.persistence import save_sweep
 from .faults import parse_fault_cli
 from .processes import available_processes
-from .study import ADVERSARY_NAMES, load_spec, load_study_store, study_report
+from .study import (
+    ADVERSARY_NAMES,
+    journal_path,
+    load_spec,
+    load_study_store,
+    study_report,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -155,8 +161,10 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "inject node faults each round: 'crash:p=0.01' (crash-stop), "
             "'crash:p=0.01,recover=0.1' (crash-recovery), "
-            "'loss:p=0.05' (message loss); add start=/stop= to window "
-            "the injection (synchronous scheduler only)"
+            "'loss:p=0.05' (message loss), 'byzantine:p=0.02' (hostile "
+            "rewrites; add color=C for a fixed hostile color); add "
+            "start=/stop= to window the injection (synchronous scheduler "
+            "only)"
         ),
     )
     sweep.add_argument(
@@ -189,6 +197,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="run at most this many new cells, then checkpoint and exit",
     )
     run.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help=(
+            "wall-clock budget per cell attempt; a cell exceeding it is "
+            "killed and recorded as status=timeout (overrides the spec's "
+            "[execution] table)"
+        ),
+    )
+    run.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help=(
+            "total attempts per cell for transient/unknown errors "
+            "(overrides the spec's [execution] table; default 2)"
+        ),
+    )
+    run.add_argument(
         "--quiet", action="store_true", help="suppress the final report table"
     )
 
@@ -201,6 +224,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="store to complete (default: <spec>.store.json next to the spec)",
     )
     resume.add_argument("--max-cells", type=int, default=None)
+    resume.add_argument("--deadline", type=float, default=None, metavar="SECONDS")
+    resume.add_argument("--max-attempts", type=int, default=None, metavar="N")
     resume.add_argument("--quiet", action="store_true")
 
     report = study_sub.add_parser(
@@ -341,6 +366,14 @@ def _default_store_path(spec_path: str) -> str:
 
 def _progress_printer(total: int):
     def progress(cell, record) -> None:
+        if record.status == "timeout":
+            error = record.error or {}
+            print(
+                f"[{cell.index + 1}/{total}] {cell.label()}: TIMEOUT — "
+                f"exceeded deadline_s={error.get('deadline_s')} "
+                f"({record.wall_time_s:.2f}s; resume to retry)"
+            )
+            return
         if not record.ok:
             error = record.error or {}
             print(
@@ -350,10 +383,13 @@ def _progress_printer(total: int):
                 f"({record.wall_time_s:.2f}s)"
             )
             return
+        backend = record.resolved_backend
+        if record.degraded_from:
+            backend += f" (degraded from {record.degraded_from})"
         print(
             f"[{cell.index + 1}/{total}] {cell.label()}: "
             f"mean {float(record.times.mean()):.1f} {record.unit} "
-            f"({record.resolved_backend}, {record.wall_time_s:.2f}s)"
+            f"({backend}, {record.wall_time_s:.2f}s)"
         )
 
     return progress
@@ -373,7 +409,11 @@ def _cmd_study(args: argparse.Namespace) -> int:
         raise SystemExit(f"cannot load spec: {exc}") from exc
     store_path = args.store or _default_store_path(args.spec)
     resume = args.study_command == "resume" or args.resume
-    if args.study_command == "resume" and not os.path.exists(store_path):
+    if (
+        args.study_command == "resume"
+        and not os.path.exists(store_path)
+        and not os.path.exists(journal_path(store_path))
+    ):
         raise SystemExit(
             f"no store to resume at {store_path} (run `repro study run` first)"
         )
@@ -384,14 +424,21 @@ def _cmd_study(args: argparse.Namespace) -> int:
             resume=resume,
             max_cells=args.max_cells,
             progress=_progress_printer(spec.num_cells()),
+            max_attempts=args.max_attempts,
+            deadline_s=args.deadline,
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise SystemExit(f"cannot run this study: {exc}") from exc
-    failed, total = len(store.failed()), spec.num_cells()
+    broken = store.failed()
+    timeouts = sum(1 for r in broken if r.status == "timeout")
+    failed, total = len(broken), spec.num_cells()
     done = len(store) - failed
     if failed:
+        breakdown = f"{failed - timeouts} failed"
+        if timeouts:
+            breakdown += f", {timeouts} timed out"
         state = (
-            f"{done}/{total} cells ok, {failed} failed "
+            f"{done}/{total} cells ok, {breakdown} "
             "(resume to retry the failures)"
         )
     elif done == total:

@@ -314,10 +314,11 @@ def run_agent_ensemble(
     touching the rng streams (indices stay ``int64``), so per-replica runs
     remain bit-for-bit equal to the sequential backend.
 
-    ``faults`` draws a frozen mask per round (vectorized over the whole
+    ``faults`` draws a victim mask per round (vectorized over the whole
     ``(R, n)`` matrix in batched mode, one flat mask per replica stream
-    in per-replica mode) and reverts frozen nodes to their previous
-    color after the honest update.
+    in per-replica mode); after the honest update, frozen victims revert
+    to their previous color and Byzantine victims take their hostile
+    replacement.
     """
     from ..faults import as_fault_schedule
 
@@ -356,11 +357,13 @@ def run_agent_ensemble(
         fault_matrix = None
         fault_rows = None
     elif batched:
-        fault_matrix = fault_schedule.agent_runtime()
+        fault_matrix = fault_schedule.agent_runtime(num_slots)
         fault_rows = None
     else:
         fault_matrix = None
-        fault_rows = [fault_schedule.agent_runtime() for _ in range(repetitions)]
+        fault_rows = [
+            fault_schedule.agent_runtime(num_slots) for _ in range(repetitions)
+        ]
 
     if recorder is not None:
         recorder.observe_ensemble(0, counts, active)
@@ -375,22 +378,21 @@ def run_agent_ensemble(
     while active.size and rounds < limit:
         if batched:
             if fault_matrix is not None:
-                frozen = fault_matrix.round_mask(rounds, master, colors.shape)
+                fault_matrix.round_mask(rounds, master, colors.shape)
                 previous = colors.copy()
                 colors = process.update_ensemble(colors, master)
-                if frozen.any():
-                    colors = np.where(frozen, previous, colors)
+                colors = fault_matrix.resolve(previous, colors, master)
             else:
                 colors = process.update_ensemble(colors, master)
         elif fault_rows is not None:
             for row, replica in enumerate(active):
                 generator = generators[replica]
-                frozen = fault_rows[row].round_mask(
+                fault_rows[row].round_mask(
                     rounds, generator, colors[row].shape
                 )
                 previous = colors[row].copy()
                 updated = process.update(colors[row], generator)
-                colors[row] = np.where(frozen, previous, updated)
+                colors[row] = fault_rows[row].resolve(previous, updated, generator)
         else:
             for row, replica in enumerate(active):
                 colors[row] = process.update(colors[row], generators[replica])

@@ -98,6 +98,7 @@ __all__ = [
     "backend_choices",
     "backend_names",
     "backend_specs",
+    "degradation_ladder",
     "execute",
     "get_backend",
     "register_backend",
@@ -343,6 +344,39 @@ def resolve_backend(plan: SimulationPlan) -> Backend:
 def execute(plan: SimulationPlan) -> ExecutionResult:
     """Resolve the plan's backend and run it."""
     return resolve_backend(plan).execute(plan)
+
+
+#: The single-process backend each ensemble family degrades to when even
+#: in-process execution is suspect (e.g. the ensemble path itself OOMs).
+_SEQUENTIAL_FALLBACKS = {
+    "ensemble-agent": "agent",
+    "ensemble-counts": "counts",
+    "ensemble-async": "async",
+    "ensemble-adversary-agent": "adversary",
+    "ensemble-adversary-counts": "adversary",
+}
+
+
+def degradation_ladder(name: str) -> "tuple[str, ...]":
+    """Backends to fall back to when ``name`` keeps failing transiently.
+
+    The capability ladder runs ``sharded-* → ensemble-* → sequential``:
+    a sharded backend first sheds its worker pool (its inner ensemble
+    backend computes the identical per-replica streams in-process), then
+    the ensemble path drops to the one-replica-at-a-time sequential
+    engine.  Sequential backends have nothing below them — the ladder is
+    empty — and an unknown name degrades nowhere rather than raising
+    (degradation is best-effort by definition).
+    """
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        return ()
+    inner = getattr(backend, "inner_name", None)
+    if inner is not None:
+        sequential = _SEQUENTIAL_FALLBACKS.get(inner)
+        return (inner,) + ((sequential,) if sequential else ())
+    sequential = _SEQUENTIAL_FALLBACKS.get(name)
+    return (sequential,) if sequential else ()
 
 
 # ---------------------------------------------------------------------------

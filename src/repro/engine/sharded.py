@@ -72,6 +72,10 @@ class WorkerPoolError(RuntimeError):
     results were lost, so callers can retry the whole map.
     """
 
+    #: Retrying (or degrading to an in-process backend) can genuinely
+    #: succeed — the study runner's error classifier keys off this.
+    transient = True
+
 
 def resolve_workers(workers: "int | None") -> int:
     """Normalise a ``workers`` request (``None`` → all available cores)."""

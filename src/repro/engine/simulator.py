@@ -150,9 +150,10 @@ def run_agent(
     """Agent-level simulation until ``stop`` fires or ``max_rounds`` pass.
 
     ``faults`` is an optional :class:`~repro.faults.FaultSchedule` (or a
-    bare model): each round the schedule's frozen mask is drawn *before*
-    the honest update and frozen nodes are reverted to their previous
-    color afterwards — silenced, but still visible to samplers.
+    bare model): each round the schedule's victim mask is drawn *before*
+    the honest update; frozen victims are then reverted to their
+    previous color (silenced, but still visible to samplers) and
+    Byzantine victims overwritten with their hostile replacement.
     """
     from ..faults import as_fault_schedule
 
@@ -160,9 +161,11 @@ def run_agent(
     condition = _resolve_stop(stop)
     limit = max_rounds if max_rounds is not None else default_round_limit(initial.num_nodes)
     schedule = as_fault_schedule(faults)
-    fault_runtime = schedule.agent_runtime() if schedule is not None else None
-    colors = process.initial_colors(initial)
     num_slots = initial.num_slots
+    fault_runtime = (
+        schedule.agent_runtime(num_slots) if schedule is not None else None
+    )
+    colors = process.initial_colors(initial)
     counts = _agent_counts(process, colors, num_slots)
     if recorder is not None:
         recorder.observe(0, counts)
@@ -170,11 +173,10 @@ def run_agent(
     stopped = condition.satisfied(counts)
     while not stopped and rounds < limit:
         if fault_runtime is not None:
-            frozen = fault_runtime.round_mask(rounds, generator, colors.shape)
+            fault_runtime.round_mask(rounds, generator, colors.shape)
             previous = colors.copy()
             colors = process.update(colors, generator)
-            if frozen.any():
-                colors = np.where(frozen, previous, colors)
+            colors = fault_runtime.resolve(previous, colors, generator)
         else:
             colors = process.update(colors, generator)
         rounds += 1
@@ -215,8 +217,9 @@ def run_counts(
     """Exact count-level simulation (AC-processes only).
 
     With ``faults`` the transition becomes the exact faulty chain
-    ``c' = f + Mult(n − |f|, α(c))`` where ``f`` are the round's frozen
-    nodes per color (see :mod:`repro.faults.schedule`).
+    ``c' = f + Mult(n − |claimed|, α(c)) + Σ rewrites`` where ``f`` are
+    the round's frozen nodes per color and rewriting models re-insert
+    their victims at hostile colors (see :mod:`repro.faults.schedule`).
     """
     from ..faults import as_fault_schedule
 

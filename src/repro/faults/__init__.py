@@ -1,9 +1,11 @@
-"""Fault injection: crash-stop / crash-recovery / message-loss node faults.
+"""Fault injection: crash / recovery / loss / Byzantine node faults.
 
 The robustness sibling of :mod:`repro.adversary`: where the §5 adversary
 corrupts *opinions*, a fault model silences *nodes* — permanently
 (:class:`CrashStop`), transiently with repair (:class:`CrashRecovery`),
-or for a single round of dropped samples (:class:`MessageLoss`).  Models
+or for a single round of dropped samples (:class:`MessageLoss`) — or, in
+the :class:`Byzantine` case, has them lie outright (per-round rewritten
+colors, uniform or a fixed hostile value).  Models
 compose in a :class:`FaultSchedule` with an activation window and ride
 every engine through the ``faults=`` axis of
 :class:`~repro.engine.plan.SimulationPlan`; the declarative study layer
@@ -17,11 +19,12 @@ from .declarative import (
     encode_fault_value,
     parse_fault_cli,
 )
-from .models import CrashRecovery, CrashStop, FaultModel, MessageLoss
+from .models import Byzantine, CrashRecovery, CrashStop, FaultModel, MessageLoss
 from .schedule import FaultSchedule, as_fault_schedule
 
 __all__ = [
     "FAULT_KEYS",
+    "Byzantine",
     "CrashRecovery",
     "CrashStop",
     "FaultModel",

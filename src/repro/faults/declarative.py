@@ -2,11 +2,14 @@
 
 One canonical value describes a whole fault environment::
 
-    {"crash": 0.01, "recover": 0.1, "loss": 0.05, "start": 0, "stop": None}
+    {"crash": 0.01, "recover": 0.1, "loss": 0.05, "byzantine": 0.02,
+     "color": None, "start": 0, "stop": None}
 
 * ``crash > 0, recover == 0`` → :class:`~repro.faults.CrashStop`
 * ``crash > 0, recover > 0``  → :class:`~repro.faults.CrashRecovery`
 * ``loss > 0``                → :class:`~repro.faults.MessageLoss`
+* ``byzantine > 0``           → :class:`~repro.faults.Byzantine`
+  (``color`` pins the hostile color; ``None`` = uniform-random lies)
 * all rates zero              → no faults (compiles to ``None``)
 
 ``start``/``stop`` bound the shared injection window, exactly like the
@@ -17,7 +20,7 @@ always serialises to the same TOML fragment.
 
 from __future__ import annotations
 
-from .models import CrashRecovery, CrashStop, MessageLoss
+from .models import Byzantine, CrashRecovery, CrashStop, MessageLoss
 from .schedule import FaultSchedule
 
 __all__ = [
@@ -33,6 +36,8 @@ FAULT_KEYS = (
     ("crash", 0.0),
     ("recover", 0.0),
     ("loss", 0.0),
+    ("byzantine", 0.0),
+    ("color", None),
     ("start", 0),
     ("stop", None),
 )
@@ -68,12 +73,21 @@ def canonical_fault_value(value) -> "dict | None":
     out = {}
     for key, default in FAULT_KEYS:
         raw = items.get(key, default)
-        if key in ("crash", "recover", "loss"):
+        if key in ("crash", "recover", "loss", "byzantine"):
             raw = float(raw)
             if not 0.0 <= raw <= 1.0:
                 raise ValueError(
                     f"faults.{key} must be a probability in [0, 1], got {raw!r}"
                 )
+        elif key == "color":
+            if raw == "none":
+                raw = None
+            if raw is not None:
+                if isinstance(raw, bool) or int(raw) != raw or int(raw) < 0:
+                    raise ValueError(
+                        f"faults.color must be a non-negative int, got {raw!r}"
+                    )
+                raw = int(raw)
         elif key == "start":
             raw = int(raw)
             if raw < 0:
@@ -87,6 +101,10 @@ def canonical_fault_value(value) -> "dict | None":
         raise ValueError(
             "faults.recover is meaningless without a positive faults.crash"
         )
+    if out["color"] is not None and out["byzantine"] == 0.0:
+        raise ValueError(
+            "faults.color is meaningless without a positive faults.byzantine"
+        )
     return out
 
 
@@ -95,7 +113,11 @@ def encode_fault_value(value) -> "dict | str":
     if value is None:
         return "none"
     value = canonical_fault_value(value)
-    if value is None or (value["crash"] == 0.0 and value["loss"] == 0.0):
+    if value is None or (
+        value["crash"] == 0.0
+        and value["loss"] == 0.0
+        and value["byzantine"] == 0.0
+    ):
         # All rates zero compiles to no schedule — same environment,
         # same encoding (window bounds without a rate are meaningless).
         return "none"
@@ -119,6 +141,8 @@ def build_fault_schedule(value) -> "FaultSchedule | None":
             models.append(CrashStop(value["crash"]))
     if value["loss"] > 0.0:
         models.append(MessageLoss(value["loss"]))
+    if value["byzantine"] > 0.0:
+        models.append(Byzantine(value["byzantine"], color=value["color"]))
     if not models:
         return None
     return FaultSchedule(tuple(models), start=value["start"], stop=value["stop"])
@@ -127,9 +151,10 @@ def build_fault_schedule(value) -> "FaultSchedule | None":
 def parse_fault_cli(text: "str | None", loss: "float | None" = None) -> "dict | None":
     """Parse the CLI grammar ``kind:key=val,key=val`` (+ a ``--loss`` merge).
 
-    ``kind`` is ``crash`` or ``loss``; ``p=`` aliases the kind's own
-    rate, so ``--faults crash:p=0.01,recover=0.1 --loss 0.05`` yields
-    ``{"crash": 0.01, "recover": 0.1, "loss": 0.05}``.
+    ``kind`` is ``crash``, ``loss`` or ``byzantine``; ``p=`` aliases the
+    kind's own rate, so ``--faults crash:p=0.01,recover=0.1 --loss 0.05``
+    yields ``{"crash": 0.01, "recover": 0.1, "loss": 0.05}`` and
+    ``--faults byzantine:p=0.02,color=0`` pins the hostile color.
     """
     items: dict = {}
     if text:
@@ -137,9 +162,10 @@ def parse_fault_cli(text: "str | None", loss: "float | None" = None) -> "dict | 
         kind = kind.strip().lower()
         if kind in ("none", "off", ""):
             kind = None
-        elif kind not in ("crash", "loss"):
+        elif kind not in ("crash", "loss", "byzantine"):
             raise ValueError(
-                f"unknown fault kind {kind!r}; expected 'crash' or 'loss'"
+                f"unknown fault kind {kind!r}; expected 'crash', 'loss' "
+                "or 'byzantine'"
             )
         if kind is not None:
             if not sep or not rest.strip():
@@ -154,8 +180,10 @@ def parse_fault_cli(text: "str | None", loss: "float | None" = None) -> "dict | 
                     raise ValueError(f"malformed fault parameter {item!r}")
                 if key == "p":
                     key = kind
-                if key in ("crash", "recover", "loss"):
+                if key in ("crash", "recover", "loss", "byzantine"):
                     items[key] = float(raw)
+                elif key == "color":
+                    items[key] = int(raw)
                 elif key == "start":
                     items[key] = int(raw)
                 elif key == "stop":

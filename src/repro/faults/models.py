@@ -1,11 +1,13 @@
-"""Fault models: crash-stop, crash-recovery and message loss.
+"""Fault models: crash-stop, crash-recovery, message loss and Byzantine.
 
 A :class:`FaultModel` perturbs *node activity* rather than node opinions
 — the dual of the §5 adversary, which corrupts colors but never silences
 nodes.  Each round the engine asks the active fault models which nodes
-are **frozen**: a frozen node skips its honest update and keeps its
+they claim: a **frozen** node skips its honest update and keeps its
 current color, but that color stays visible on the message board, so
-other nodes still sample it and stopping conditions still count it.
+other nodes still sample it and stopping conditions still count it; a
+**rewritten** node (the Byzantine model, ``rewrites = True``) instead
+has its post-update color replaced by an adversarially chosen one.
 This matches the classical fault taxonomy for population/gossip models:
 
 * *crash-stop* — a node halts permanently and never updates again
@@ -13,7 +15,11 @@ This matches the classical fault taxonomy for population/gossip models:
 * *crash-recovery* — a crashed node may come back and resume the
   dynamics from its pre-crash opinion;
 * *message loss* — a node's incoming samples for one round are dropped,
-  so it keeps its opinion for that round only (transient omission).
+  so it keeps its opinion for that round only (transient omission);
+* *Byzantine* — a node ignores the protocol for one round and announces
+  a color of the adversary's choosing (uniform-random, or a fixed
+  hostile color), while its *pre-round* color stays visible on the
+  board during that round — corruption, not silence.
 
 Models expose two representation-specific hooks mirroring the engine's
 two chain representations:
@@ -44,7 +50,9 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-__all__ = ["FaultModel", "CrashStop", "CrashRecovery", "MessageLoss"]
+from ..core.ac_process import multinomial_step, multinomial_step_batch
+
+__all__ = ["FaultModel", "CrashStop", "CrashRecovery", "MessageLoss", "Byzantine"]
 
 
 def _check_rate(name: str, value: float) -> float:
@@ -63,9 +71,16 @@ class FaultModel(ABC):
     one model instance can serve many independent replicas at once.
     """
 
-    #: Whether the model has an exact count-level projection.  All three
+    #: Whether the model has an exact count-level projection.  All the
     #: built-in models do; a hypothetical topology-aware model would not.
     supports_counts = True
+
+    #: Whether this model's victims are *rewritten* (post-update color
+    #: replaced via the ``*_replacement`` hooks) rather than frozen
+    #: (reverted to their pre-round color).  Claiming stays shared — the
+    #: victim draw joins the same accumulated mask either way, keeping
+    #: victim pools disjoint within a round.
+    rewrites = False
 
     @abstractmethod
     def is_trivial(self) -> bool:
@@ -100,6 +115,32 @@ class FaultModel(ABC):
         Exact projection of :meth:`agent_round`: every per-node Bernoulli
         over an eligible pool becomes one binomial per color.
         """
+
+    # -- replacement hooks (rewrites = True models only) ------------------
+
+    def agent_replacement(self, state, victims, previous, rng, num_slots):
+        """Replacement colors for this round's victims (full shape).
+
+        Called once per round whenever the model is active and
+        non-trivial — regardless of how many victims the round drew — so
+        rng consumption stays round-deterministic.  Must return an array
+        of ``previous``'s shape *and dtype* (only the ``victims``
+        positions are used).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not rewrite colors"
+        )
+
+    def counts_replacement(self, state, victims, rng):
+        """Per-color counts the rewritten nodes land on.
+
+        ``victims`` holds this model's claimed nodes per color (``(k,)``
+        or ``(R, k)``); the return value must conserve them:
+        ``out.sum(axis=-1) == victims.sum(axis=-1)``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not rewrite colors"
+        )
 
 
 class CrashStop(FaultModel):
@@ -215,3 +256,88 @@ class MessageLoss(FaultModel):
         if active and self.rate > 0.0:
             return frozen + rng.binomial(counts - frozen, self.rate)
         return frozen
+
+
+class Byzantine(FaultModel):
+    """Hostile nodes: each active round a node goes rogue w.p. ``rate``.
+
+    A victim skips the protocol for that round and announces an
+    adversarially chosen color instead — uniform over the color space by
+    default, or the fixed hostile ``color`` when given (the classical
+    "all traitors push one value" strategy).  Its *pre-round* color stays
+    visible on the message board during the round (other nodes may still
+    sample it), exactly like the frozen models; the lie lands in the
+    post-round configuration.  Stateless: a node is Byzantine per round,
+    not permanently, so ``rate`` is the per-round fraction of traitors in
+    expectation — the paper's adversary strength knob recast as a fault.
+
+    Counts projection: victims are drawn binomially per color from the
+    unclaimed pool (same law as :class:`MessageLoss`), honest mobile
+    nodes resample via the usual multinomial, and the victims re-enter
+    the configuration at the hostile color (fixed) or via a uniform
+    multinomial (the exact projection of per-node uniform choices).
+    """
+
+    rewrites = True
+
+    def __init__(self, rate: float, color: "int | None" = None):
+        self.rate = _check_rate("byzantine rate", rate)
+        if color is not None:
+            if isinstance(color, bool) or int(color) != color or int(color) < 0:
+                raise ValueError(
+                    f"byzantine color must be a non-negative int, got {color!r}"
+                )
+            color = int(color)
+        self.color = color
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.color is None:
+            return f"{type(self).__name__}(rate={self.rate})"
+        return f"{type(self).__name__}(rate={self.rate}, color={self.color})"
+
+    def is_trivial(self) -> bool:
+        return self.rate == 0.0
+
+    def agent_round(self, state, frozen, active, rng):
+        if active and self.rate > 0.0:
+            draw = rng.random(frozen.shape)
+            return frozen | ((draw < self.rate) & ~frozen)
+        return frozen
+
+    def counts_round(self, state, frozen, counts, active, rng):
+        if active and self.rate > 0.0:
+            return frozen + rng.binomial(counts - frozen, self.rate)
+        return frozen
+
+    def _check_color(self, num_slots: int) -> None:
+        if self.color is not None and self.color >= num_slots:
+            raise ValueError(
+                f"byzantine color {self.color} is outside the color space "
+                f"[0, {num_slots})"
+            )
+
+    def agent_replacement(self, state, victims, previous, rng, num_slots):
+        self._check_color(num_slots)
+        if self.color is not None:
+            return np.full(previous.shape, self.color, dtype=previous.dtype)
+        # Draw in the generator's native int64 then narrow: the stream
+        # consumption (and the values) are then identical whether the
+        # color matrix is int64 (sequential) or int32 (ensemble).
+        draw = rng.integers(0, num_slots, size=previous.shape)
+        return draw.astype(previous.dtype, copy=False)
+
+    def counts_replacement(self, state, victims, rng):
+        num_slots = victims.shape[-1]
+        self._check_color(num_slots)
+        if self.color is not None:
+            out = np.zeros_like(victims)
+            out[..., self.color] = victims.sum(axis=-1)
+            return out
+        alpha = np.full(num_slots, 1.0 / num_slots)
+        if victims.ndim == 1:
+            return multinomial_step(int(victims.sum()), alpha, rng)
+        return multinomial_step_batch(
+            victims.sum(axis=-1),
+            np.broadcast_to(alpha, victims.shape),
+            rng,
+        )

@@ -10,10 +10,11 @@ one immutable schedule can drive any number of independent replicas.
 
 Two runtimes, one per chain representation:
 
-* :class:`_AgentFaultRuntime` — produces the boolean **frozen mask**
+* :class:`_AgentFaultRuntime` — produces the boolean **claimed mask**
   for one round over a color vector (``(n,)``) or matrix (``(R, n)``).
-  The engine applies the honest update, then reverts frozen nodes to
-  their previous color.
+  The engine applies the honest update, then calls :meth:`resolve`,
+  which reverts frozen victims to their previous color and overwrites
+  rewritten victims (Byzantine) with their replacement colors.
 * :class:`_CountsFaultRuntime` — *replaces* the count-chain transition:
   with ``f`` frozen nodes per color the faulty round is exactly
   ``c' = f + Mult(n − |f|, α(c))``, i.e. only mobile nodes resample,
@@ -91,9 +92,14 @@ class FaultSchedule:
 
     # -- engine entry points ----------------------------------------------
 
-    def agent_runtime(self) -> "_AgentFaultRuntime":
-        """Fresh per-replica (or per-matrix) agent-mask runtime."""
-        return _AgentFaultRuntime(self)
+    def agent_runtime(self, num_slots: "int | None" = None) -> "_AgentFaultRuntime":
+        """Fresh per-replica (or per-matrix) agent-mask runtime.
+
+        ``num_slots`` (the color-space width) is required only when the
+        schedule contains a rewriting model — replacement colors must
+        know the space they draw from.
+        """
+        return _AgentFaultRuntime(self, num_slots)
 
     def counts_runtime(self, function) -> "_CountsFaultRuntime":
         """Fresh count-chain runtime stepping with ``function``'s α."""
@@ -129,29 +135,68 @@ def as_fault_schedule(faults) -> "FaultSchedule | None":
 
 
 class _AgentFaultRuntime:
-    """Per-round frozen masks over one color vector or matrix.
+    """Per-round claimed masks over one color vector or matrix.
 
     State is lazily shaped from the first mask request, so the same
     runtime class serves the sequential ``(n,)`` path and the batched
     ``(R, n)`` path; the batched ensemble additionally calls
     :meth:`compact` when replicas retire so fault state rows stay
     aligned with the surviving color rows.
+
+    Protocol per round: the engine calls :meth:`round_mask` *before* the
+    honest update (victim draws precede update draws on the stream),
+    applies the update, then calls :meth:`resolve` with the pre- and
+    post-update colors.  ``resolve`` reverts frozen victims and
+    overwrites rewritten (Byzantine) victims — replacement draws land
+    *after* the update draws, again round-deterministically.
     """
 
-    def __init__(self, schedule: FaultSchedule):
+    def __init__(self, schedule: FaultSchedule, num_slots: "int | None" = None):
         self._schedule = schedule
+        self._num_slots = num_slots
         self._states = None
+        self._round = None
 
     def round_mask(self, round_index: int, rng, shape) -> np.ndarray:
         if self._states is None:
             self._states = [
                 model.init_agent_state(shape) for model in self._schedule.faults
             ]
-        frozen = np.zeros(shape, dtype=bool)
+        claimed = np.zeros(shape, dtype=bool)
+        revert = np.zeros(shape, dtype=bool)
+        rewrites = []
         active = self._schedule.active(round_index)
         for model, state in zip(self._schedule.faults, self._states):
-            frozen = model.agent_round(state, frozen, active, rng)
-        return frozen
+            extended = model.agent_round(state, claimed, active, rng)
+            victims = extended & ~claimed
+            claimed = extended
+            if model.rewrites:
+                # Recorded whenever the model *could* act this round
+                # (not only when victims landed), so replacement draws
+                # stay round-deterministic.
+                if active and not model.is_trivial():
+                    rewrites.append((model, state, victims))
+            else:
+                revert |= victims
+        self._round = (revert, rewrites)
+        return claimed
+
+    def resolve(self, previous: np.ndarray, updated: np.ndarray, rng) -> np.ndarray:
+        """Apply this round's verdicts to the post-update colors."""
+        revert, rewrites = self._round
+        colors = updated
+        if revert.any():
+            colors = np.where(revert, previous, colors)
+        for model, state, victims in rewrites:
+            if self._num_slots is None:
+                raise ValueError(
+                    "a rewriting fault model needs agent_runtime(num_slots)"
+                )
+            replacement = model.agent_replacement(
+                state, victims, previous, rng, self._num_slots
+            )
+            colors = np.where(victims, replacement, colors)
+        return colors
 
     def compact(self, keep: np.ndarray) -> None:
         """Drop retired replica rows from every stateful model."""
@@ -164,7 +209,8 @@ class _AgentFaultRuntime:
 
 
 class _CountsFaultRuntime:
-    """The faulty count-chain transition ``c' = f + Mult(n − |f|, α(c))``."""
+    """The faulty count-chain transition
+    ``c' = f + Mult(n − |claimed|, α(c)) + Σ rewrites``."""
 
     def __init__(self, schedule: FaultSchedule, function):
         self._schedule = schedule
@@ -179,26 +225,56 @@ class _CountsFaultRuntime:
             ]
         return self._states
 
-    def _frozen(self, counts: np.ndarray, rng, round_index: int) -> np.ndarray:
+    def _claim(self, counts: np.ndarray, rng, round_index: int):
+        """One round of victim claiming: ``(frozen, rewrites, claimed)``.
+
+        ``frozen`` holds the freeze models' victims per color (they keep
+        their colors), ``rewrites`` the rewriting models' victim vectors
+        (they re-enter via :meth:`FaultModel.counts_replacement`), and
+        ``claimed`` their sum — the nodes excluded from the honest
+        multinomial.
+        """
+        claimed = np.zeros_like(counts)
         frozen = np.zeros_like(counts)
+        rewrites = []
         active = self._schedule.active(round_index)
         for model, state in zip(self._schedule.faults, self._ensure_states(counts.shape)):
-            frozen = model.counts_round(state, frozen, counts, active, rng)
-        return frozen
+            extended = model.counts_round(state, claimed, counts, active, rng)
+            victims = extended - claimed
+            claimed = extended
+            if model.rewrites:
+                if active and not model.is_trivial():
+                    rewrites.append((model, state, victims))
+            else:
+                frozen = frozen + victims
+        return frozen, rewrites, claimed
 
     def step_row(self, counts: np.ndarray, rng, round_index: int) -> np.ndarray:
-        """One faulty round for a single ``(k,)`` count vector."""
-        frozen = self._frozen(counts, rng, round_index)
-        mobile = int(counts.sum() - frozen.sum())
+        """One faulty round for a single ``(k,)`` count vector.
+
+        The exact law ``c' = f + Mult(n − |claimed|, α(c)) + Σ rewrites``:
+        α still comes from the *full* pre-round configuration (every
+        victim's old color stayed visible on the board), only unclaimed
+        nodes resample honestly, frozen victims carry over verbatim, and
+        rewritten victims re-enter at their replacement colors.
+        """
+        frozen, rewrites, claimed = self._claim(counts, rng, round_index)
+        mobile = int(counts.sum() - claimed.sum())
         alpha = self._function.probabilities(counts)
-        return frozen + multinomial_step(mobile, alpha, rng)
+        out = frozen + multinomial_step(mobile, alpha, rng)
+        for model, state, victims in rewrites:
+            out = out + model.counts_replacement(state, victims, rng)
+        return out
 
     def step_matrix(self, counts: np.ndarray, rng, round_index: int) -> np.ndarray:
         """One faulty round for an ``(R, k)`` counts matrix (master rng)."""
-        frozen = self._frozen(counts, rng, round_index)
-        mobile = counts.sum(axis=1) - frozen.sum(axis=1)
+        frozen, rewrites, claimed = self._claim(counts, rng, round_index)
+        mobile = counts.sum(axis=1) - claimed.sum(axis=1)
         alpha = self._function.probabilities_batch(counts)
-        return frozen + multinomial_step_batch(mobile, alpha, rng)
+        out = frozen + multinomial_step_batch(mobile, alpha, rng)
+        for model, state, victims in rewrites:
+            out = out + model.counts_replacement(state, victims, rng)
+        return out
 
     def compact(self, keep: np.ndarray) -> None:
         """Drop retired replica rows from every stateful model."""

@@ -19,9 +19,11 @@ This package makes the set itself a first-class artifact:
   resolved backend, wall time, package version).
 * :func:`run_study` (``runner.py``) — executes the cells through the
   unified runtime (:func:`repro.engine.runtime.execute`, shared pool and
-  all), isolates per-cell failures as retried-then-recorded
-  ``status="failed"`` records, and supports bit-for-bit ``resume=`` of
-  interrupted runs (failed cells are re-attempted).
+  all) under an :class:`ExecutionPolicy` (``policy.py``: per-cell
+  deadlines, classified backoff retries, backend degradation), isolates
+  per-cell failures as ``status="failed"`` / ``"timeout"`` records,
+  journals each record crash-safely, and supports bit-for-bit
+  ``resume=`` of interrupted runs (broken cells are re-attempted).
 * :func:`study_report` (``report.py``) — renders a store as tables.
 
 The user-facing entry points are re-exported by :mod:`repro.api`
@@ -35,6 +37,15 @@ from .compile import (
     compile_study,
     parse_stop,
 )
+from .policy import (
+    POLICY_KEYS,
+    CellDeadlineExceeded,
+    ExecutionPolicy,
+    as_execution_policy,
+    canonical_policy_value,
+    encode_policy_value,
+    resolve_policy,
+)
 from .report import study_report
 from .runner import execute_cells, run_study
 from .spec import AXIS_NAMES, StudySpec, spec_hash
@@ -43,6 +54,7 @@ from .store import (
     RunRecord,
     StoreCorruptError,
     StudyStore,
+    journal_path,
     load_study_store,
 )
 from .toml_io import load_spec, loads_spec, dumps_spec, save_spec
@@ -50,20 +62,28 @@ from .toml_io import load_spec, loads_spec, dumps_spec, save_spec
 __all__ = [
     "ADVERSARY_NAMES",
     "AXIS_NAMES",
+    "POLICY_KEYS",
+    "CellDeadlineExceeded",
+    "ExecutionPolicy",
     "RunRecord",
     "STORE_FORMAT_VERSION",
     "StoreCorruptError",
     "StudyCell",
     "StudySpec",
     "StudyStore",
+    "as_execution_policy",
     "build_adversary",
+    "canonical_policy_value",
     "compile_study",
     "dumps_spec",
+    "encode_policy_value",
     "execute_cells",
+    "journal_path",
     "load_spec",
     "load_study_store",
     "loads_spec",
     "parse_stop",
+    "resolve_policy",
     "run_study",
     "save_spec",
     "spec_hash",

@@ -50,11 +50,18 @@ def study_report(store: StudyStore) -> Table:
     """The store's cells as one table (stats per cell, fits as footnotes)."""
     spec = store.spec
     total = spec.num_cells()
-    failed = store.failed()
-    ok_count = len(store) - len(failed)
+    broken = store.failed()
+    timeouts = [r for r in broken if r.status == "timeout"]
+    failed = [r for r in broken if r.status != "timeout"]
+    ok_count = len(store) - len(broken)
     title = f"study {spec.name!r} — {ok_count}/{total} cells"
+    notes = []
     if failed:
-        title += f" ({len(failed)} failed)"
+        notes.append(f"{len(failed)} failed")
+    if timeouts:
+        notes.append(f"{len(timeouts)} timed out")
+    if notes:
+        title += f" ({', '.join(notes)})"
     elif len(store) < total:
         title += " (incomplete)"
     table = Table(
@@ -68,7 +75,7 @@ def study_report(store: StudyStore) -> Table:
     for record in store.records():
         params = record.params
         if not record.ok:
-            # Failed cells report their outcome, not statistics, and are
+            # Broken cells report their outcome, not statistics, and are
             # excluded from fit groups (no data to pool).
             table.add_row(
                 record.index,
@@ -76,10 +83,13 @@ def study_report(store: StudyStore) -> Table:
                 params["n"],
                 describe_axes(params) or "-",
                 "-", 0, 0, "-", "-", "-", "-",
-                "failed",
+                record.status,
             )
             continue
         summary = record.summary()
+        backend = record.resolved_backend
+        if record.degraded_from:
+            backend += "*"
         table.add_row(
             record.index,
             params["process"]["name"],
@@ -92,7 +102,7 @@ def study_report(store: StudyStore) -> Table:
             summary.sem,
             summary.median,
             summary.maximum,
-            record.resolved_backend,
+            backend,
         )
         groups.setdefault(_group_key(record, spec.expansion), []).append(record)
     for records in groups.values():
@@ -107,13 +117,38 @@ def study_report(store: StudyStore) -> Table:
         means = np.asarray([np.mean(by_n[int(n)]) for n in ns])
         fit = fit_power_law(ns, means)
         table.add_footnote(f"fit [{_group_label(records[0])}]: {fit.summary()}")
-    for record in failed:
-        error = record.error or {}
+    for record in store.records():
+        if not record.ok or not record.degraded_from:
+            continue
         table.add_footnote(
-            f"FAILED cell {record.index} [{describe_axes(record.params) or '-'}] "
-            f"after {error.get('attempts', '?')} attempt(s): "
-            f"{error.get('type', 'Error')}: {error.get('message', '')} "
-            "(resume the study to retry)"
+            f"DEGRADED cell {record.index}: ran on {record.resolved_backend} "
+            f"after {record.degraded_from} failed transiently "
+            "(results bit-for-bit by the per-replica rng contract)"
+        )
+    for record in broken:
+        error = record.error or {}
+        walls = error.get("attempt_walls_s")
+        wall_note = (
+            " (" + ", ".join(f"{w:.2f}s" for w in walls) + " per attempt)"
+            if walls
+            else ""
+        )
+        label = "TIMEOUT" if record.status == "timeout" else "FAILED"
+        detail = (
+            f"exceeded deadline_s={error.get('deadline_s')}"
+            if record.status == "timeout"
+            else f"{error.get('type', 'Error')}: {error.get('message', '')}"
+        )
+        table.add_footnote(
+            f"{label} cell {record.index} [{describe_axes(record.params) or '-'}] "
+            f"after {error.get('attempts', '?')} attempt(s){wall_note}: "
+            f"{detail} (resume the study to retry)"
+        )
+    if store.salvage:
+        table.add_footnote(
+            f"SALVAGED journal {store.salvage['journal']}: "
+            f"{store.salvage['records_salvaged']} record(s) recovered, "
+            f"{store.salvage['bytes_discarded']} torn byte(s) discarded"
         )
     table.add_footnote(
         f"spec {store.spec_hash} · seed {spec.seed} · R={spec.repetitions} "

@@ -1,30 +1,50 @@
-"""Execute compiled study cells through the unified runtime.
+"""Execute compiled study cells through the unified runtime, supervised.
 
 ``run_study`` is the one loop every experiment suite now goes through:
 compile the spec, skip cells an existing store already covers, execute
 the rest via :func:`repro.engine.runtime.execute` (which shares the
-persistent sharded pool across cells), and checkpoint the store after
-every cell so an interrupted run loses at most the cell in flight.
+persistent sharded pool across cells), and journal each record the
+moment it exists so an interrupted run loses at most the cell in flight.
 
-Failure isolation: one exploding cell must not lose a night of results.
-With the default ``on_error="record"`` a cell that raises is retried
-once on a fresh jittered sub-seed (transient failures — a pool worker
-OOM-killed, a flaky recorder — recover without human attention), and a
-cell that still fails lands in the store as a ``status="failed"`` record
-carrying the exception type, message and traceback.  The run continues
-with the next cell; ``repro study report`` summarises the failures, and
-``resume=True`` re-attempts exactly the failed/missing cells.
+Supervision (the :class:`~repro.study.policy.ExecutionPolicy`):
+
+* **Deadlines** — a watchdog (:class:`_CellDeadline`) kills any attempt
+  that runs past ``deadline_s``: sequential cells via ``SIGALRM``
+  (interrupting even a tight numpy loop), pool cells by tearing the
+  shared pool down so the blocked ``map`` raises.  The cell lands as
+  ``status="timeout"`` and the run moves on; ``resume`` re-attempts it.
+* **Classified retries** — a raising cell is retried only when retrying
+  can help: *transient* substrate faults (dead pool worker, OOM, OSError)
+  back off deterministically (:func:`~repro.study.policy.backoff_delay`)
+  and retry on a jittered sub-seed; deterministic *fatal* config errors
+  fail fast with a single attempt; everything else keeps the historical
+  retry behaviour.
+* **Degradation** — when transient retries exhaust on a pool-based
+  backend, the plan re-resolves down the capability ladder
+  (``sharded-* → ensemble-* → sequential``); the per-replica rng
+  contract makes the degraded result bit-for-bit identical, and the
+  record's ``degraded_from`` field keeps the provenance honest.
+
+Failure isolation: with the default ``on_error="record"`` a cell that
+still fails after all that lands in the store as a ``status="failed"``
+record carrying the exception type, message, traceback, attempt count
+and per-attempt wall times.  The run continues with the next cell;
+``repro study report`` summarises the failures, and ``resume=True``
+re-attempts exactly the failed/timed-out/missing cells.
 
 Resume is bit-for-bit by construction: each cell's seed derives from the
 spec seed and the cell *index* (never from execution order), so the
 records a resumed run adds are exactly the records the uninterrupted run
 would have produced — enforced by ``tests/test_study.py`` and the
-``study-smoke`` / ``faults-smoke`` steps of ``scripts/check.sh``.
+``study-smoke`` / ``faults-smoke`` / ``supervision-smoke`` steps of
+``scripts/check.sh``.
 """
 
 from __future__ import annotations
 
 import os
+import signal
+import threading
 import time
 import traceback
 from dataclasses import replace
@@ -33,14 +53,94 @@ from typing import Callable, Iterable
 import numpy as np
 
 from ..engine.rng import derive_seed
-from ..engine.runtime import execute
+from ..engine.runtime import (
+    degradation_ladder,
+    execute,
+    get_backend,
+    resolve_backend,
+    shutdown_pools,
+)
 from .compile import StudyCell, compile_study
+from .policy import (
+    CellDeadlineExceeded,
+    ExecutionPolicy,
+    backoff_delay,
+    classify_error,
+    resolve_policy,
+)
 from .spec import StudySpec, spec_hash
-from .store import RunRecord, StudyStore, load_study_store
+from .store import RunRecord, StudyStore, journal_path, load_study_store
 
 __all__ = ["execute_cells", "run_study"]
 
 _ON_ERROR = ("record", "raise")
+
+
+class _CellDeadline:
+    """Context manager enforcing one attempt's wall-clock budget.
+
+    On the main thread (the common case) it arms ``SIGALRM`` via
+    ``setitimer``, which interrupts *anything* — a numpy inner loop, a
+    blocked pool ``map`` — by raising :class:`CellDeadlineExceeded`
+    right in the cell's frame.  Off the main thread (studies driven from
+    worker threads), signals are unavailable, so a daemon timer tears
+    the shared pool down instead: a pool-based cell's ``map`` then dies
+    with a pool error, which ``__exit__`` converts to the deadline
+    exception.  (A pure-Python sequential cell on a non-main thread is
+    the one shape this fallback cannot interrupt mid-attempt.)
+
+    Either way the hung workers are gone afterwards: the caller is
+    expected to ``shutdown_pools()`` on timeout so the next cell starts
+    against a fresh pool.
+    """
+
+    def __init__(self, deadline_s: "float | None"):
+        self.deadline_s = deadline_s
+        self.expired = False
+        self._timer = None
+        self._previous = None
+        self._use_signal = False
+
+    def _alarm(self, _signum, _frame):
+        self.expired = True
+        raise CellDeadlineExceeded(self.deadline_s)
+
+    def _expire(self):
+        self.expired = True
+        shutdown_pools()
+
+    def __enter__(self):
+        if self.deadline_s is None:
+            return self
+        if threading.current_thread() is threading.main_thread() and hasattr(
+            signal, "SIGALRM"
+        ):
+            self._use_signal = True
+            self._previous = signal.signal(signal.SIGALRM, self._alarm)
+            signal.setitimer(signal.ITIMER_REAL, self.deadline_s)
+        else:
+            self._timer = threading.Timer(self.deadline_s, self._expire)
+            self._timer.daemon = True
+            self._timer.start()
+        return self
+
+    def __exit__(self, exc_type, exc, _tb):
+        if self.deadline_s is None:
+            return False
+        if self._use_signal:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._previous)
+        else:
+            self._timer.cancel()
+        if (
+            self.expired
+            and exc is not None
+            and not isinstance(exc, CellDeadlineExceeded)
+        ):
+            # Timer path: the teardown surfaced as a pool error inside
+            # the cell — report the deadline, not the collateral damage.
+            raise CellDeadlineExceeded(self.deadline_s) from exc
+        return False
 
 
 def _attempt_plan(cell: StudyCell, attempt: int):
@@ -56,7 +156,12 @@ def _attempt_plan(cell: StudyCell, attempt: int):
     return replace(cell.plan, rng=derive_seed(cell.params["seed"], attempt))
 
 
-def _success_record(cell: StudyCell, result, wall_time: float) -> RunRecord:
+def _success_record(
+    cell: StudyCell,
+    result,
+    wall_time: float,
+    degraded_from: "str | None" = None,
+) -> RunRecord:
     trajectory = None
     if cell.plan.recorder is not None:
         trajectory = {
@@ -86,12 +191,28 @@ def _success_record(cell: StudyCell, result, wall_time: float) -> RunRecord:
         wall_time_s=wall_time,
         trajectory=trajectory,
         extras=extras,
+        degraded_from=degraded_from,
     )
 
 
-def _failed_record(
-    cell: StudyCell, exc: BaseException, attempts: int, wall_time: float
+def _error_dict(
+    exc: BaseException, attempts: int, attempt_walls: "list[float]"
+) -> dict:
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ),
+        "attempts": attempts,
+        "attempt_walls_s": [float(w) for w in attempt_walls],
+    }
+
+
+def _unrun_record(
+    cell: StudyCell, status: str, wall_time: float, error: dict
 ) -> RunRecord:
+    """A record for a cell that produced no results (failed or timed out)."""
     return RunRecord(
         cell_id=cell.cell_id,
         index=cell.index,
@@ -102,41 +223,134 @@ def _failed_record(
         times=np.zeros(0, dtype=np.int64),
         stopped=np.zeros(0, dtype=bool),
         wall_time_s=wall_time,
-        status="failed",
-        error={
-            "type": type(exc).__name__,
-            "message": str(exc),
-            "traceback": "".join(
-                traceback.format_exception(type(exc), exc, exc.__traceback__)
-            ),
-            "attempts": attempts,
-        },
+        status=status,
+        error=error,
     )
 
 
-def _record_cell(
-    cell: StudyCell, on_error: str = "raise", max_attempts: int = 1
+def _timeout_record(
+    cell: StudyCell,
+    exc: CellDeadlineExceeded,
+    attempts: int,
+    attempt_walls: "list[float]",
+    wall_time: float,
 ) -> RunRecord:
-    """Run one cell and capture its outcome plus provenance.
+    error = _error_dict(exc, attempts, attempt_walls)
+    error["deadline_s"] = float(exc.deadline_s)
+    return _unrun_record(cell, "timeout", wall_time, error)
 
-    With ``on_error="record"`` every exception is caught: the cell is
-    retried up to ``max_attempts`` total attempts (later attempts on
-    jittered sub-seeds) and the final failure becomes a
-    ``status="failed"`` record instead of propagating.
+
+def _try_degrade(
+    cell: StudyCell,
+    resolved_name: str,
+    policy: ExecutionPolicy,
+    attempt_walls: "list[float]",
+) -> "RunRecord | None":
+    """Walk the capability ladder below ``resolved_name``; None if no rung ran.
+
+    The fallback plan keeps the *pristine* rng (attempt 0) and pins
+    ``workers=1``: under the per-replica contract the degraded result is
+    bit-for-bit the record the original backend would have produced.
     """
-    start = time.perf_counter()
-    attempts = max(1, int(max_attempts)) if on_error == "record" else 1
-    last_exc = None
-    for attempt in range(attempts):
-        try:
-            result = execute(_attempt_plan(cell, attempt))
-        except Exception as exc:
-            if on_error == "raise":
-                raise
-            last_exc = exc
+    for fallback in degradation_ladder(resolved_name):
+        fb_plan = replace(cell.plan, backend=fallback, workers=1)
+        if not get_backend(fallback).supports(fb_plan):
             continue
+        start = time.perf_counter()
+        try:
+            with _CellDeadline(policy.deadline_s):
+                result = execute(fb_plan)
+        except Exception:
+            attempt_walls.append(time.perf_counter() - start)
+            continue
+        attempt_walls.append(time.perf_counter() - start)
+        return _success_record(
+            cell, result, sum(attempt_walls), degraded_from=resolved_name
+        )
+    return None
+
+
+def _record_cell(
+    cell: StudyCell,
+    on_error: str = "raise",
+    policy: "ExecutionPolicy | None" = None,
+) -> RunRecord:
+    """Run one cell under the policy and capture its outcome plus provenance.
+
+    With ``on_error="record"`` every exception is caught: transient and
+    unknown errors are retried up to ``policy.max_attempts`` total
+    attempts (later attempts on jittered sub-seeds, after a deterministic
+    backoff), fatal errors are not retried, exhausted transient failures
+    try the degradation ladder, and whatever remains becomes a
+    ``status="failed"`` (or ``"timeout"``) record instead of propagating.
+
+    ``on_error="raise"`` propagates the first error immediately and never
+    retries — but the deadline still applies, so imperative callers get
+    hang protection too.
+    """
+    if policy is None:
+        policy = ExecutionPolicy()
+    if on_error == "raise":
+        start = time.perf_counter()
+        with _CellDeadline(policy.deadline_s) as watchdog:
+            try:
+                result = execute(_attempt_plan(cell, 0))
+            except CellDeadlineExceeded:
+                shutdown_pools()
+                raise
         return _success_record(cell, result, time.perf_counter() - start)
-    return _failed_record(cell, last_exc, attempts, time.perf_counter() - start)
+
+    # Resolve the backend up front: a resolution error is a config error
+    # (fail fast), and the name anchors the degradation ladder.
+    try:
+        resolved_name = resolve_backend(cell.plan).spec.name
+    except Exception as exc:
+        return _unrun_record(cell, "failed", 0.0, _error_dict(exc, 1, [0.0]))
+
+    attempt_walls: "list[float]" = []
+    last_exc = None
+    last_kind = None
+    attempts = 0
+    for attempt in range(policy.max_attempts):
+        attempts = attempt + 1
+        start = time.perf_counter()
+        try:
+            with _CellDeadline(policy.deadline_s):
+                result = execute(_attempt_plan(cell, attempt))
+        except CellDeadlineExceeded as exc:
+            attempt_walls.append(time.perf_counter() - start)
+            # A hang would burn the whole budget again: record the
+            # timeout now and let `resume` re-attempt it later.
+            shutdown_pools()
+            return _timeout_record(
+                cell, exc, attempts, attempt_walls, sum(attempt_walls)
+            )
+        except Exception as exc:
+            attempt_walls.append(time.perf_counter() - start)
+            last_exc = exc
+            last_kind = classify_error(exc)
+            if last_kind == "fatal":
+                break
+            if attempt + 1 < policy.max_attempts:
+                delay = backoff_delay(
+                    policy, int(cell.params["seed"]), attempt + 1
+                )
+                if delay > 0.0:
+                    time.sleep(delay)
+            continue
+        attempt_walls.append(time.perf_counter() - start)
+        return _success_record(cell, result, sum(attempt_walls))
+
+    if last_kind == "transient" and policy.degrade:
+        record = _try_degrade(cell, resolved_name, policy, attempt_walls)
+        if record is not None:
+            return record
+    return _unrun_record(
+        cell,
+        "failed",
+        sum(attempt_walls),
+        _error_dict(last_exc, attempts, attempt_walls),
+    )
 
 
 def execute_cells(
@@ -168,7 +382,9 @@ def run_study(
     max_cells: "int | None" = None,
     progress: "Callable[[StudyCell, RunRecord], None] | None" = None,
     on_error: str = "record",
-    max_attempts: int = 2,
+    max_attempts: "int | None" = None,
+    policy: "ExecutionPolicy | None" = None,
+    deadline_s: "float | None" = None,
 ) -> StudyStore:
     """Execute a study spec; optionally checkpoint and resume.
 
@@ -177,16 +393,20 @@ def run_study(
     spec:
         The declarative study to run.
     store_path:
-        Where to checkpoint the store (JSON).  Written after *every*
-        completed cell, atomically, so a killed run loses at most the
-        cell in flight.  ``None`` keeps the store in memory only.
+        Where to checkpoint results.  Each completed cell appends one
+        fsync'd line to a sidecar journal (``<store_path>.journal.jsonl``)
+        — O(record) bytes, crash-safe at any byte offset — and the
+        journal compacts into the columnar JSON at ``store_path`` when
+        the run finishes (or raises).  ``None`` keeps the store in
+        memory only.
     resume:
         ``False`` starts fresh (and refuses to clobber an existing store
-        at ``store_path``); ``True`` loads ``store_path`` if present and
-        completes only the missing cells — plus any cells previously
-        recorded as failed, which are re-attempted and replaced in place;
-        a string is a path to resume from (checkpoints still go to
-        ``store_path``).  A store whose ``spec_hash`` differs from
+        or journal at ``store_path``); ``True`` loads ``store_path`` —
+        base JSON, leftover journal, or both — if present and completes
+        only the missing cells, plus any cells previously recorded as
+        failed or timed out, which are re-attempted and replaced in
+        place; a string is a path to resume from (checkpoints still go
+        to ``store_path``).  A store whose ``spec_hash`` differs from
         ``spec``'s is rejected — resuming a *different* study is always
         an error, never silent data mixing.
     max_cells:
@@ -197,20 +417,30 @@ def run_study(
         Optional callback invoked after each executed cell.
     on_error:
         ``"record"`` (default) isolates failures: a cell that raises is
-        retried and, failing that, recorded as ``status="failed"`` with
-        its traceback while the run continues.  ``"raise"`` propagates
-        the first error immediately (the pre-v2 behaviour).
-    max_attempts:
-        Total attempts per cell under ``on_error="record"``; attempts
-        after the first use fresh sub-seeds derived from (cell seed,
-        attempt), so a re-run retries deterministically.
+        retried per the policy and, failing that, recorded as
+        ``status="failed"`` (or ``"timeout"``) with its traceback while
+        the run continues.  ``"raise"`` propagates the first error
+        immediately (the pre-v2 behaviour).
+    max_attempts, deadline_s:
+        Convenience overrides patched onto the resolved policy (the CLI
+        flags); ``None`` leaves the policy's own values in force.
+    policy:
+        An explicit :class:`ExecutionPolicy`.  Precedence: this argument,
+        else the spec's ``[execution]`` table, else the defaults — then
+        the ``max_attempts`` / ``deadline_s`` overrides.
     """
     if max_cells is not None and max_cells < 1:
         raise ValueError("max_cells must be positive")
     if on_error not in _ON_ERROR:
         raise ValueError(f"on_error must be one of {_ON_ERROR}, got {on_error!r}")
-    if max_attempts < 1:
+    if max_attempts is not None and max_attempts < 1:
         raise ValueError("max_attempts must be positive")
+    live_policy = resolve_policy(
+        policy,
+        spec.execution,
+        max_attempts=max_attempts,
+        deadline_s=deadline_s,
+    )
     resume_path = resume if isinstance(resume, str) else store_path
     store = None
     if resume:
@@ -226,29 +456,36 @@ def run_study(
                 f"{store.spec_hash!r} but this spec hashes to "
                 f"{spec_hash(spec)!r}; refusing to resume a different study"
             )
-    elif store_path is not None and os.path.exists(store_path):
+    elif store_path is not None and (
+        os.path.exists(store_path) or os.path.exists(journal_path(store_path))
+    ):
         raise ValueError(
-            f"store {store_path} already exists; pass resume=True to "
-            "complete it, or remove the file to start over"
+            f"store {store_path} (or its journal) already exists; pass "
+            "resume=True to complete it, or remove the file(s) to start over"
         )
     if store is None:
         store = StudyStore(spec)
+    if store_path is not None:
+        store.begin_journal(store_path)
     executed = 0
-    for cell in compile_study(spec):
-        existing = store.get(cell.cell_id)
-        if existing is not None and existing.ok:
-            continue
-        if max_cells is not None and executed >= max_cells:
-            break
-        record = _record_cell(cell, on_error=on_error, max_attempts=max_attempts)
-        store.add(record)
-        executed += 1
+    try:
+        for cell in compile_study(spec):
+            existing = store.get(cell.cell_id)
+            if existing is not None and existing.ok:
+                continue
+            if max_cells is not None and executed >= max_cells:
+                break
+            record = _record_cell(cell, on_error=on_error, policy=live_policy)
+            store.add(record)
+            executed += 1
+            if store_path is not None:
+                store.checkpoint(record)
+            if progress is not None:
+                progress(cell, record)
+    finally:
         if store_path is not None:
-            store.save(store_path)
-        if progress is not None:
-            progress(cell, record)
-    if store_path is not None and executed == 0:
-        # Nothing ran (fully resumed store): still persist, so `run` on a
-        # complete store is idempotent and leaves a fresh checkpoint.
-        store.save(store_path)
+            # Compaction is atomic (save lands before the journal
+            # unlinks), so even an exception path leaves one consistent
+            # checkpoint — and a hard kill leaves the journal to replay.
+            store.compact(store_path)
     return store

@@ -45,6 +45,14 @@ faults       ``None`` | ``{"crash": p, "recover": q, "loss": r,
 
 ``None`` appears in TOML/JSON as the string ``"none"`` (TOML has no
 null); the canonical in-memory form is the Python ``None``.
+
+Beyond the axes, a spec may carry an optional ``[execution]`` table —
+the declarative form of :class:`~repro.study.policy.ExecutionPolicy`
+(``deadline_s``, ``max_attempts``, ``backoff_s``, ``backoff_max_s``,
+``jitter``, ``degrade``).  It configures how cells are *supervised*,
+never what they measure: the table is elided from :meth:`to_dict` when
+it equals the defaults (so pre-existing ``spec_hash``\\ es survive) and
+never enters cell params (so cell ids are policy-independent).
 """
 
 from __future__ import annotations
@@ -56,6 +64,7 @@ from typing import Any, Mapping
 
 from ..engine.plan import RNG_MODES, SCHEDULERS
 from ..faults import canonical_fault_value, encode_fault_value
+from .policy import canonical_policy_value, encode_policy_value
 
 __all__ = ["AXIS_NAMES", "REQUIRED_AXES", "StudySpec", "spec_hash"]
 
@@ -271,6 +280,10 @@ class StudySpec:
     raise_on_limit: bool = True
     record: "dict | None" = None
     description: str = ""
+    #: Declarative execution policy (the ``[execution]`` TOML table);
+    #: ``None`` = the all-defaults policy.  Supervision only — elided
+    #: when default, never part of cell params or cell ids.
+    execution: "dict | None" = None
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -291,6 +304,10 @@ class StudySpec:
             raise ValueError("stable_rounds must be positive")
         self.axes = _normalize_axes(self.axes)
         self.record = _normalize_record(self.record)
+        try:
+            self.execution = canonical_policy_value(self.execution)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"execution: {exc}") from exc
         if self.expansion == "zip":
             lengths = {len(v) for v in self.axes.values() if len(v) > 1}
             if len(lengths) > 1:
@@ -338,6 +355,11 @@ class StudySpec:
             if self.record["replica"] != 0:
                 record["replica"] = self.record["replica"]
             out["record"] = record
+        encoded_execution = encode_policy_value(self.execution)
+        if encoded_execution:
+            # Elided when default, like the faults axis: adding the
+            # policy table must not orphan pre-existing spec hashes.
+            out["execution"] = encoded_execution
         axes: dict = {}
         for axis, values in self.axes.items():
             if axis == "faults" and values == [None]:
@@ -361,7 +383,7 @@ class StudySpec:
         known = {
             "name", "seed", "repetitions", "expansion", "workers",
             "check_every", "stable_fraction", "stable_rounds",
-            "raise_on_limit", "record", "description",
+            "raise_on_limit", "record", "description", "execution",
         }
         unknown = set(data) - known
         if unknown:

@@ -5,27 +5,42 @@ serialises to plain JSON in *columnar* layout (one parallel array per
 field) so downstream tooling can slice columns without reassembling
 objects.  Provenance travels with the data: the spec itself and its
 content hash, the per-cell seed entropy, the backend the runtime's cost
-model actually resolved, wall time, and the package version — which is
-what makes ``run_study(spec, resume=...)`` able to *prove* a resumed
-store completes the same study rather than guessing from file names.
+model actually resolved (and, for cells that survived a pool failure by
+degrading, the backend originally resolved in ``degraded_from``), wall
+time, and the package version — which is what makes
+``run_study(spec, resume=...)`` able to *prove* a resumed store
+completes the same study rather than guessing from file names.
 
 The format is schema-versioned like the sweep JSON
 (:mod:`repro.experiments.persistence`): readers accept the current
-version (and upgrade version-1 files in memory) and reject unknown
+version (and upgrade version-1/2 files in memory) and reject unknown
 future versions with a clear error.  Version 2 added the failure
-bookkeeping columns: every record carries a ``status`` (``"ok"`` or
-``"failed"``) and, when failed, an ``error`` table with the exception
-type, message, traceback and attempt count — the substrate of the
-failure-isolating runner (:func:`repro.study.runner.run_study`).
-A truncated or hand-mangled store file surfaces as
-:class:`StoreCorruptError` naming the file, never as a bare JSON
-traceback.
+bookkeeping columns (``status`` / ``error``); version 3 adds
+``degraded_from`` and the ``"timeout"`` status.  A truncated or
+hand-mangled store file surfaces as :class:`StoreCorruptError` naming
+the file, never as a bare JSON traceback.
+
+Crash safety: the journal
+-------------------------
+
+Rewriting the whole JSON after every cell is O(cells²) bytes and leaves
+a window where a hard kill tears the only copy.  The runner therefore
+checkpoints through an append-only sidecar journal
+(``<store>.journal.jsonl``): one CRC-guarded, fsync'd JSON line per
+record, preceded by a self-contained header (spec + hash), compacted
+into the columnar JSON on completion via :meth:`StudyStore.compact`.
+``kill -9`` at any byte offset loses at most the record in flight:
+:func:`load_study_store` replays the journal's valid prefix on top of
+whatever base JSON exists, *salvages* a torn tail (reported via
+:attr:`StudyStore.salvage`, never raised), and resume re-runs only the
+cells the tear actually lost.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import zlib
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -39,15 +54,18 @@ __all__ = [
     "RunRecord",
     "StoreCorruptError",
     "StudyStore",
+    "journal_path",
     "load_study_store",
 ]
 
-STORE_FORMAT_VERSION = 2
+STORE_FORMAT_VERSION = 3
 
 #: Formats this build can read (older versions upgrade in memory).
-_READABLE_VERSIONS = (1, 2)
+_READABLE_VERSIONS = (1, 2, 3)
 
-#: Columnar layout: field name → JSON encoder over the in-memory value.
+_JOURNAL_KIND = "repro-study-journal"
+
+#: Columnar layout: the record fields, in serialisation order.
 _COLUMNS = (
     "cell_id",
     "index",
@@ -62,7 +80,12 @@ _COLUMNS = (
     "extras",
     "status",
     "error",
+    "degraded_from",
 )
+
+#: Statuses a record may carry; everything but ``"ok"`` is re-attempted
+#: on resume.
+_STATUSES = ("ok", "failed", "timeout")
 
 
 class StoreCorruptError(ValueError):
@@ -71,7 +94,9 @@ class StoreCorruptError(ValueError):
     Distinct from legitimate refusals (wrong spec hash, future format
     version): this error means the *file itself* is damaged — typically a
     checkpoint truncated by a hard kill — and names the offending path so
-    the user can remove or restore it.
+    the user can remove or restore it.  A torn journal *tail* is never
+    this error: the valid prefix is salvaged and the damage reported via
+    :attr:`StudyStore.salvage`.
     """
 
 
@@ -83,7 +108,7 @@ class RunRecord:
     index: int
     seed: int
     params: dict = field(repr=False)
-    #: The backend :func:`repro.engine.runtime.resolve_backend` chose.
+    #: The backend that actually ran (after any degradation).
     resolved_backend: str
     #: Measurement unit: synchronous ``rounds`` or asynchronous ``ticks``.
     unit: str
@@ -96,11 +121,15 @@ class RunRecord:
     trajectory: "dict | None" = field(default=None, repr=False)
     #: Family-specific extra columns (e.g. §5 winner validity masks).
     extras: "dict | None" = field(default=None, repr=False)
-    #: ``"ok"`` or ``"failed"`` (cell raised after every retry attempt).
+    #: ``"ok"``, ``"failed"`` (raised after every attempt), or
+    #: ``"timeout"`` (killed by the execution policy's deadline).
     status: str = "ok"
-    #: Failure detail for ``status="failed"``: ``{"type", "message",
-    #: "traceback", "attempts"}``; ``None`` for successful cells.
+    #: Failure detail for non-ok records: ``{"type", "message",
+    #: "traceback", "attempts", "attempt_walls_s"}``; ``None`` when ok.
     error: "dict | None" = field(default=None, repr=False)
+    #: The backend originally resolved, when transient failures forced
+    #: the runner down the degradation ladder; ``None`` otherwise.
+    degraded_from: "str | None" = None
 
     @property
     def ok(self) -> bool:
@@ -114,7 +143,10 @@ class RunRecord:
 
         Failure *outcomes* must match (status), but the error detail —
         tracebacks carry memory addresses and line numbers — is
-        execution-environment noise, not a result.
+        execution-environment noise, not a result.  ``degraded_from`` is
+        likewise environment history (which pool happened to die), not a
+        result: the per-replica rng contract makes the degraded samples
+        identical, and this predicate is what proves it.
         """
         return (
             self.cell_id == other.cell_id
@@ -134,6 +166,114 @@ def _jsonish_equal(a, b) -> bool:
     return json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
 
 
+def _encode_record(record: RunRecord) -> dict:
+    """One record as a plain-JSON row (shared by columns and journal)."""
+    return {
+        "cell_id": record.cell_id,
+        "index": int(record.index),
+        "seed": int(record.seed),
+        "params": record.params,
+        "resolved_backend": record.resolved_backend,
+        "unit": record.unit,
+        "times": [int(v) for v in record.times],
+        "stopped": [bool(v) for v in record.stopped],
+        "wall_time_s": float(record.wall_time_s),
+        "trajectory": record.trajectory,
+        "extras": record.extras,
+        "status": record.status,
+        "error": record.error,
+        "degraded_from": record.degraded_from,
+    }
+
+
+def _decode_record(row: Mapping) -> RunRecord:
+    """Rebuild a record from :func:`_encode_record` output."""
+    status = str(row.get("status", "ok"))
+    if status not in _STATUSES:
+        raise ValueError(f"unknown record status {status!r}; valid: {_STATUSES}")
+    return RunRecord(
+        cell_id=row["cell_id"],
+        index=int(row["index"]),
+        seed=int(row["seed"]),
+        params=row["params"],
+        resolved_backend=row["resolved_backend"],
+        unit=row["unit"],
+        times=np.asarray(row["times"], dtype=np.int64),
+        stopped=np.asarray(row["stopped"], dtype=bool),
+        wall_time_s=float(row["wall_time_s"]),
+        trajectory=row.get("trajectory"),
+        extras=row.get("extras"),
+        status=status,
+        error=row.get("error"),
+        degraded_from=row.get("degraded_from"),
+    )
+
+
+def journal_path(path: str) -> str:
+    """The sidecar journal's path for a store at ``path``."""
+    return f"{path}.journal.jsonl"
+
+
+def _journal_line(data: dict) -> bytes:
+    """One CRC-guarded journal line: the CRC covers the canonical data."""
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(canonical.encode("utf-8"))
+    return (
+        json.dumps({"crc": crc, "data": data}, sort_keys=True,
+                   separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def _parse_journal_line(raw: bytes) -> "dict | None":
+    """Decode one journal line; ``None`` when torn or CRC-mismatched."""
+    try:
+        wrapper = json.loads(raw.decode("utf-8"))
+        crc = wrapper["crc"]
+        data = wrapper["data"]
+    except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError):
+        return None
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    if zlib.crc32(canonical.encode("utf-8")) != crc:
+        return None
+    return data
+
+
+def _scan_journal(path: str) -> "tuple[dict | None, list[dict], int, int]":
+    """Replay a journal file's valid prefix.
+
+    Returns ``(header, record_rows, valid_bytes, torn_bytes)`` where
+    ``valid_bytes`` is the byte length of the intact prefix (safe to
+    truncate to before appending) and ``torn_bytes`` how much damaged
+    tail follows it.  A torn line stops the scan — everything after a
+    tear is unreachable garbage by construction (appends are
+    sequential), so salvaging the prefix is lossless up to the record in
+    flight when the writer died.
+    """
+    header = None
+    rows: "list[dict]" = []
+    valid_bytes = 0
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    offset = 0
+    while offset < len(raw):
+        newline = raw.find(b"\n", offset)
+        if newline < 0:
+            break  # unterminated final line: torn mid-write
+        line = raw[offset : newline + 1]
+        data = _parse_journal_line(line)
+        if data is None:
+            break
+        if header is None:
+            if not isinstance(data, dict) or data.get("kind") != _JOURNAL_KIND:
+                break  # not a journal header: treat the file as torn
+            header = data
+        else:
+            rows.append(data)
+        offset = newline + 1
+        valid_bytes = offset
+    return header, rows, valid_bytes, len(raw) - valid_bytes
+
+
 class StudyStore:
     """An append-only collection of :class:`RunRecord`\\ s for one spec."""
 
@@ -145,6 +285,10 @@ class StudyStore:
         self.package_version = package_version or __version__
         self._records: "list[RunRecord]" = []
         self._by_id: "dict[str, RunRecord]" = {}
+        self._journal = None
+        #: Set by :func:`load_study_store` when a torn journal tail was
+        #: salvaged: ``{"journal", "records_salvaged", "bytes_discarded"}``.
+        self.salvage: "dict | None" = None
 
     # -- collection behaviour ---------------------------------------------
 
@@ -169,7 +313,7 @@ class StudyStore:
         if existing is not None:
             if existing.ok:
                 raise ValueError(f"cell {record.cell_id} is already recorded")
-            # A failed record is a placeholder: a retry (resume) replaces
+            # A non-ok record is a placeholder: a retry (resume) replaces
             # it in place, keeping one record per cell.
             self._records[self._records.index(existing)] = record
             self._by_id[record.cell_id] = record
@@ -177,9 +321,28 @@ class StudyStore:
         self._records.append(record)
         self._by_id[record.cell_id] = record
 
+    def _absorb(self, record: RunRecord) -> None:
+        """Journal replay upsert: the journal's view of a cell wins.
+
+        A compaction interrupted between ``save`` and the journal unlink
+        leaves the same record in both files; replaying must converge,
+        not raise "already recorded".
+        """
+        existing = self._by_id.get(record.cell_id)
+        if existing is None:
+            self._records.append(record)
+            self._by_id[record.cell_id] = record
+            return
+        self._records[self._records.index(existing)] = record
+        self._by_id[record.cell_id] = record
+
     def failed(self) -> "list[RunRecord]":
-        """The failed records, in cell-index order."""
+        """The non-ok (failed / timed-out) records, in cell-index order."""
         return [record for record in self.records() if not record.ok]
+
+    def timeouts(self) -> "list[RunRecord]":
+        """The deadline-killed records, in cell-index order."""
+        return [r for r in self.records() if r.status == "timeout"]
 
     def is_complete(self) -> bool:
         """Does the store cover every cell the spec expands to, successfully?"""
@@ -211,28 +374,16 @@ class StudyStore:
     # -- serialisation -----------------------------------------------------
 
     def to_dict(self) -> dict:
-        records = self.records()
+        rows = [_encode_record(record) for record in self.records()]
         return {
             "format_version": STORE_FORMAT_VERSION,
             "kind": "repro-study-store",
             "spec_hash": self.spec_hash,
             "package_version": self.package_version,
             "spec": self.spec.to_dict(),
-            "num_records": len(records),
+            "num_records": len(rows),
             "columns": {
-                "cell_id": [r.cell_id for r in records],
-                "index": [int(r.index) for r in records],
-                "seed": [int(r.seed) for r in records],
-                "params": [r.params for r in records],
-                "resolved_backend": [r.resolved_backend for r in records],
-                "unit": [r.unit for r in records],
-                "times": [[int(v) for v in r.times] for r in records],
-                "stopped": [[bool(v) for v in r.stopped] for r in records],
-                "wall_time_s": [float(r.wall_time_s) for r in records],
-                "trajectory": [r.trajectory for r in records],
-                "extras": [r.extras for r in records],
-                "status": [r.status for r in records],
-                "error": [r.error for r in records],
+                name: [row[name] for row in rows] for name in _COLUMNS
             },
         }
 
@@ -259,28 +410,19 @@ class StudyStore:
             )
         columns = payload["columns"]
         count = len(columns["cell_id"])
-        # Version-1 files predate the failure columns: upgrade in memory
-        # (every recorded cell was by definition a success).
-        statuses = columns.get("status", ["ok"] * count)
-        errors = columns.get("error", [None] * count)
+        # Version-1 files predate the failure columns, version-2 files
+        # the degradation column: upgrade in memory.
+        defaults = {
+            "status": ["ok"] * count,
+            "error": [None] * count,
+            "degraded_from": [None] * count,
+        }
         for i in range(count):
-            store.add(
-                RunRecord(
-                    cell_id=columns["cell_id"][i],
-                    index=int(columns["index"][i]),
-                    seed=int(columns["seed"][i]),
-                    params=columns["params"][i],
-                    resolved_backend=columns["resolved_backend"][i],
-                    unit=columns["unit"][i],
-                    times=np.asarray(columns["times"][i], dtype=np.int64),
-                    stopped=np.asarray(columns["stopped"][i], dtype=bool),
-                    wall_time_s=float(columns["wall_time_s"][i]),
-                    trajectory=columns["trajectory"][i],
-                    extras=columns["extras"][i],
-                    status=str(statuses[i]),
-                    error=errors[i],
-                )
-            )
+            row = {
+                name: columns.get(name, defaults.get(name, []))[i]
+                for name in _COLUMNS
+            }
+            store.add(_decode_record(row))
         return store
 
     def save(self, path: str) -> None:
@@ -291,30 +433,162 @@ class StudyStore:
             handle.write("\n")
         os.replace(tmp_path, path)
 
+    # -- crash-safe checkpointing (the journal) ----------------------------
+
+    def _journal_header(self) -> dict:
+        return {
+            "kind": _JOURNAL_KIND,
+            "format_version": STORE_FORMAT_VERSION,
+            "spec_hash": self.spec_hash,
+            "package_version": self.package_version,
+            "spec": self.spec.to_dict(),
+        }
+
+    def begin_journal(self, path: str) -> None:
+        """Open (or adopt) the sidecar journal for a store at ``path``.
+
+        A pre-existing journal — a crashed run's — is truncated to its
+        valid byte prefix first, so new appends never glue onto a torn
+        half-line (which would lose both records).  A fresh journal gets
+        a self-contained header line (spec + hash), making the journal
+        alone sufficient to rebuild the store if the kill lands before
+        the first compaction.
+        """
+        jpath = journal_path(path)
+        if os.path.exists(jpath):
+            header, _rows, valid_bytes, torn = _scan_journal(jpath)
+            if header is not None and header.get("spec_hash") != self.spec_hash:
+                raise ValueError(
+                    f"journal {jpath} belongs to spec_hash "
+                    f"{header.get('spec_hash')!r}, not {self.spec_hash!r}; "
+                    "remove it to start over"
+                )
+            with open(jpath, "r+b") as handle:
+                if torn:
+                    handle.truncate(valid_bytes)
+            self._journal = open(jpath, "ab")
+            if header is None:
+                # Nothing valid survived (torn header): start over.
+                self._journal.write(_journal_line(self._journal_header()))
+                self._flush_journal()
+        else:
+            self._journal = open(jpath, "ab")
+            self._journal.write(_journal_line(self._journal_header()))
+            self._flush_journal()
+
+    def _flush_journal(self) -> None:
+        self._journal.flush()
+        os.fsync(self._journal.fileno())
+
+    def checkpoint(self, record: RunRecord) -> None:
+        """Append one record to the journal, fsync'd (O(record) bytes).
+
+        This is the per-cell durability point: after it returns, a
+        ``kill -9`` cannot lose the record.
+        """
+        if self._journal is None:
+            raise RuntimeError("checkpoint() requires begin_journal() first")
+        self._journal.write(_journal_line({"record": _encode_record(record)}))
+        self._flush_journal()
+
+    def compact(self, path: str) -> None:
+        """Fold the journal into the columnar JSON and remove it.
+
+        Crash-window safe: ``save`` lands atomically *before* the unlink,
+        so a kill between the two leaves both files agreeing — replay
+        converges via :meth:`_absorb`.
+        """
+        self.save(path)
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+        jpath = journal_path(path)
+        if os.path.exists(jpath):
+            os.remove(jpath)
+
 
 def load_study_store(path: str) -> StudyStore:
-    """Read a store previously written by :meth:`StudyStore.save`.
+    """Read a store written by :meth:`StudyStore.save` / the journal.
 
-    A file that exists but cannot be decoded — truncated JSON from a
-    hard kill, or a hand-edit that dropped a column — raises
-    :class:`StoreCorruptError` naming the path.  Legitimate refusals
-    (future format version, spec-hash mismatch) stay plain
-    ``ValueError``\\ s: the file is intact, the request is wrong.
+    Loads the base JSON (when present), then replays the sidecar
+    journal's valid prefix on top — so a run killed before compaction
+    loses at most the record in flight.  A torn journal tail is
+    *salvaged*: the intact records load and the damage is reported via
+    :attr:`StudyStore.salvage`, never raised.  A base file that exists
+    but cannot be decoded — truncated JSON, a hand-edit that dropped a
+    column — raises :class:`StoreCorruptError` naming the path.
+    Legitimate refusals (future format version, spec-hash mismatch) stay
+    plain ``ValueError``\\ s: the file is intact, the request is wrong.
     """
-    with open(path, encoding="utf-8") as handle:
+    jpath = journal_path(path)
+    store = None
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise StoreCorruptError(
+                    f"study store {path} is not valid JSON ({exc}); the file "
+                    "is corrupt — likely a checkpoint truncated by a hard "
+                    "kill. Remove it (or restore a backup) and re-run the "
+                    "study."
+                ) from exc
         try:
-            payload = json.load(handle)
-        except json.JSONDecodeError as exc:
+            store = StudyStore.from_dict(payload)
+        except (KeyError, TypeError, IndexError) as exc:
             raise StoreCorruptError(
-                f"study store {path} is not valid JSON ({exc}); the file is "
-                "corrupt — likely a checkpoint truncated by a hard kill. "
-                "Remove it (or restore a backup) and re-run the study."
+                f"study store {path} decodes as JSON but is structurally "
+                f"damaged ({type(exc).__name__}: {exc}); remove it (or "
+                "restore a backup) and re-run the study."
             ) from exc
-    try:
-        return StudyStore.from_dict(payload)
-    except (KeyError, TypeError, IndexError) as exc:
-        raise StoreCorruptError(
-            f"study store {path} decodes as JSON but is structurally "
-            f"damaged ({type(exc).__name__}: {exc}); remove it (or restore "
-            "a backup) and re-run the study."
-        ) from exc
+    if not os.path.exists(jpath):
+        if store is None:
+            raise FileNotFoundError(path)
+        return store
+    header, rows, _valid_bytes, torn_bytes = _scan_journal(jpath)
+    if header is None:
+        # Even the header is torn: the journal carries nothing usable.
+        if store is None:
+            raise FileNotFoundError(path)
+        store.salvage = {
+            "journal": jpath,
+            "records_salvaged": 0,
+            "bytes_discarded": torn_bytes,
+        }
+        return store
+    if store is None:
+        try:
+            spec = StudySpec.from_dict(header["spec"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreCorruptError(
+                f"journal {jpath} has an undecodable spec header "
+                f"({type(exc).__name__}: {exc}); remove it and re-run."
+            ) from exc
+        store = StudyStore(spec, package_version=header.get("package_version"))
+    if header.get("spec_hash") != store.spec_hash:
+        raise ValueError(
+            f"journal {jpath} belongs to spec_hash "
+            f"{header.get('spec_hash')!r} but the store at {path} hashes to "
+            f"{store.spec_hash!r}; refusing to mix two studies"
+        )
+    salvaged = 0
+    for row in rows:
+        try:
+            record = _decode_record(row["record"])
+        except (KeyError, TypeError, ValueError, IndexError):
+            # A structurally-broken (but CRC-valid) row cannot happen via
+            # our writer; treat it like a tear at this point.
+            torn_bytes += 1
+            break
+        existing = store.get(record.cell_id)
+        if existing is not None and existing.ok and existing.same_results(record):
+            continue  # compaction-crash duplicate
+        store._absorb(record)
+        salvaged += 1
+    if torn_bytes:
+        store.salvage = {
+            "journal": jpath,
+            "records_salvaged": salvaged,
+            "bytes_discarded": torn_bytes,
+        }
+    return store

@@ -35,6 +35,7 @@ from repro.faults import (
 )
 from repro.processes import ThreeMajority, TwoChoices
 from repro.study import (
+    ExecutionPolicy,
     StoreCorruptError,
     StudyStore,
     compile_study,
@@ -164,7 +165,8 @@ class TestDeclarativeVocabulary:
         assert canonical_fault_value("none") is None
         value = canonical_fault_value({"crash": 0.01, "recover": 0.1})
         assert value == {
-            "crash": 0.01, "recover": 0.1, "loss": 0.0, "start": 0, "stop": None,
+            "crash": 0.01, "recover": 0.1, "loss": 0.0,
+            "byzantine": 0.0, "color": None, "start": 0, "stop": None,
         }
 
     def test_canonical_validation(self):
@@ -387,7 +389,7 @@ class TestFailureIsolation:
         replacement = _record_cell(
             [c for c in compile_study(spec) if c.cell_id == failed.cell_id][0],
             on_error="record",
-            max_attempts=1,
+            policy=ExecutionPolicy(max_attempts=1),
         )
         store.add(replacement)  # failed → replaced, not duplicated
         assert len(store) == 2
@@ -499,3 +501,129 @@ class TestFailureIsolation:
         assert [r.resolved_backend for r in records] == [
             "counts", "ensemble-counts", "sharded-counts",
         ]
+
+
+# ---------------------------------------------------------------------------
+# Byzantine faults (the fourth model: rewrites, not reverts)
+# ---------------------------------------------------------------------------
+
+
+class TestByzantine:
+    """Semantics of hostile rewrites in both state representations."""
+
+    def test_rate_one_pinned_color_is_instant_consensus(self):
+        # Every node is a traitor every round; all announce color 2 — the
+        # very first round lands the whole system on the hostile color.
+        result = api.simulate(
+            "3-majority",
+            n=32,
+            workload={"name": "balanced", "kwargs": {"k": 4}},
+            faults={"byzantine": 1.0, "color": 2},
+            backend="agent",
+            rng_mode="per-replica",
+            repetitions=3,
+            seed=13,
+        )
+        assert np.array_equal(result.times, [1, 1, 1])
+        assert result.stopped.all()
+        assert np.array_equal(result.final_counts[:, 2], [32, 32, 32])
+
+    def test_rate_one_pinned_color_counts_projection(self):
+        from repro.core.ac_process import ThreeMajorityFunction
+        from repro.faults import Byzantine
+
+        runtime = FaultSchedule((Byzantine(1.0, color=0),)).counts_runtime(
+            ThreeMajorityFunction()
+        )
+        out = runtime.step_row(
+            np.array([40, 30, 30]), np.random.default_rng(1), 0
+        )
+        assert np.array_equal(out, [100, 0, 0])
+
+    def test_counts_projection_conserves_nodes(self):
+        from repro.core.ac_process import ThreeMajorityFunction
+        from repro.faults import Byzantine
+
+        runtime = FaultSchedule((Byzantine(0.3),)).counts_runtime(
+            ThreeMajorityFunction()
+        )
+        rng = np.random.default_rng(7)
+        counts = np.array([50, 30, 20])
+        for round_index in range(20):
+            counts = runtime.step_row(counts, rng, round_index)
+            assert counts.sum() == 100
+            assert (counts >= 0).all()
+
+    def test_color_outside_slot_space_rejected(self):
+        with pytest.raises(ValueError, match="outside the color space"):
+            api.simulate(
+                "3-majority",
+                n=24,
+                workload={"name": "balanced", "kwargs": {"k": 3}},
+                faults={"byzantine": 0.5, "color": 7},
+                backend="agent",
+                repetitions=1,
+                seed=3,
+            )
+
+    def test_constructor_validation(self):
+        from repro.faults import Byzantine
+
+        with pytest.raises(ValueError):
+            Byzantine(1.5)
+        with pytest.raises(ValueError):
+            Byzantine(0.1, color=-1)
+        with pytest.raises(ValueError):
+            Byzantine(0.1, color=True)
+        assert Byzantine(0.0).is_trivial()
+        assert not Byzantine(0.2, color=1).is_trivial()
+
+    def test_rate_zero_collapses_like_other_models(self):
+        assert build_fault_schedule({"byzantine": 0.0}) is None
+        assert encode_fault_value({"byzantine": 0.0}) == "none"
+        assert as_fault_schedule(build_fault_schedule({"byzantine": 0.0})) is None
+
+    def test_color_without_byzantine_rejected(self):
+        with pytest.raises(ValueError, match="meaningless"):
+            canonical_fault_value({"color": 1})
+        # ...but a pinned color with a positive rate is fine.
+        value = canonical_fault_value({"byzantine": 0.02, "color": 1})
+        assert value["byzantine"] == 0.02 and value["color"] == 1
+
+    def test_cli_grammar(self):
+        value = parse_fault_cli("byzantine:p=0.02,color=1")
+        assert value["byzantine"] == 0.02
+        assert value["color"] == 1
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            parse_fault_cli("gremlins:p=0.5")
+
+    def test_vocabulary_round_trips_through_toml(self):
+        spec = StudySpec(
+            name="byzantine-round-trip",
+            seed=4,
+            repetitions=2,
+            axes={
+                "process": ["3-majority"],
+                "n": [32],
+                "faults": [
+                    "none",
+                    {"byzantine": 0.1},
+                    {"byzantine": 0.05, "color": 0, "start": 2},
+                ],
+            },
+        )
+        reloaded = loads_spec(dumps_spec(spec))
+        assert spec_hash(reloaded) == spec_hash(spec)
+        assert reloaded.axes["faults"][2]["color"] == 0
+
+    def test_build_constructs_byzantine_model(self):
+        from repro.faults import Byzantine
+
+        schedule = build_fault_schedule(
+            {"crash": 0.01, "byzantine": 0.05, "color": 1, "stop": 9}
+        )
+        kinds = [type(model) for model in schedule.faults]
+        assert CrashStop in kinds and Byzantine in kinds
+        byz = schedule.faults[kinds.index(Byzantine)]
+        assert byz.rate == 0.05 and byz.color == 1
+        assert schedule.stop == 9

@@ -29,7 +29,13 @@ from repro.engine import (
     shared_executor,
     spawn_generators,
 )
-from repro.faults import CrashRecovery, CrashStop, FaultSchedule, MessageLoss
+from repro.faults import (
+    Byzantine,
+    CrashRecovery,
+    CrashStop,
+    FaultSchedule,
+    MessageLoss,
+)
 from repro.processes import ThreeMajority, TwoChoices, Voter
 
 pytestmark = pytest.mark.bench_smoke
@@ -196,9 +202,11 @@ def test_adversary_plan_matches_sequential_runner():
         pytest.param(CrashStop(0.0), id="crash-stop-0"),
         pytest.param(CrashRecovery(0.0, 0.0), id="crash-recovery-0"),
         pytest.param(MessageLoss(0.0), id="loss-0"),
+        pytest.param(Byzantine(0.0), id="byzantine-0"),
+        pytest.param(Byzantine(0.0, color=1), id="byzantine-0-pinned"),
         pytest.param(FaultSchedule(()), id="empty-schedule"),
         pytest.param(
-            FaultSchedule((CrashStop(0.0), MessageLoss(0.0))),
+            FaultSchedule((CrashStop(0.0), MessageLoss(0.0), Byzantine(0.0))),
             id="all-zero-schedule",
         ),
     ],
@@ -249,6 +257,57 @@ def test_active_faults_cross_backend_equivalence(
     ]:
         result = execute(
             _plan(factory, initial, backend, workers=workers, faults=faults)
+        )
+        label = f"{backend} (workers={workers})"
+        assert np.array_equal(result.times, reference.times), label
+        assert np.array_equal(result.stopped, reference.stopped), label
+        assert np.array_equal(
+            result.final_counts, reference.final_counts
+        ), label
+
+
+@pytest.mark.parametrize(
+    "byzantine",
+    [
+        pytest.param(Byzantine(0.04), id="uniform"),
+        pytest.param(Byzantine(0.04, color=0), id="pinned-color"),
+    ],
+)
+@pytest.mark.parametrize("factory, initial, representation", CASES)
+def test_active_byzantine_cross_backend_equivalence(
+    factory, initial, representation, byzantine
+):
+    """Byzantine rewrites are bitwise identical across all backends.
+
+    The replacement draw is the delicate part: agent-level engines narrow
+    an int64 draw to the state dtype and count-level engines spend a
+    multinomial per round, both *round-deterministically* (whenever the
+    model is active, hit or not) — so sequential, ensemble and sharded
+    runs stay on the same stream.  Stacking a crash model on top checks
+    the claim/rewrite split inside one schedule.
+
+    Hostile rewrites re-seed dead colors forever, so consensus (or any
+    fixed plurality) may simply be unreachable — the drift-free Voter
+    never shakes 4 % uniform noise.  The runs are therefore compared
+    over a *fixed horizon* (``raise_on_limit=False``): every backend
+    simulates exactly the same 300 faulted rounds and the final count
+    vectors must agree bit for bit, which pins the rng discipline just
+    as hard as a first-passage comparison.
+    """
+    faults = FaultSchedule((CrashRecovery(0.02, 0.3), byzantine))
+    horizon = dict(faults=faults, max_rounds=300, raise_on_limit=False)
+    reference = execute(
+        _plan(factory, initial, "sequential-auto", **horizon)
+    )
+    assert reference.backend == representation
+    for backend, workers in [
+        ("ensemble-auto", None),
+        ("sharded-auto", 1),
+        ("sharded-auto", 2),
+        ("auto", None),
+    ]:
+        result = execute(
+            _plan(factory, initial, backend, workers=workers, **horizon)
         )
         label = f"{backend} (workers={workers})"
         assert np.array_equal(result.times, reference.times), label

@@ -1,6 +1,6 @@
 """Engine throughput: sequential vs ensemble vs sharded execution paths.
 
-The reproducible speedup report behind the engine layer, in four sections:
+The reproducible speedup report behind the engine layer, by section:
 
 * ``scenarios`` — the PR-1 headline: ``repeat_first_passage`` through the
   sequential and vectorized-ensemble paths (3-Majority counts n=10⁴ k=2
@@ -23,6 +23,14 @@ The reproducible speedup report behind the engine layer, in four sections:
   active crash/recovery/loss schedule, reporting the wall-time ratio
   (fault-free plans skip the fault path entirely, so the interesting
   number is the cost of a *live* schedule per round).
+* ``kernels`` — the fused-kernel layer (:mod:`repro.engine.kernels`):
+  the switch-and-redistribute agent kernel vs the sequential and
+  lock-step agent paths on the 2-Choices headline (n=2048 k=8 R=50,
+  where the plain ensemble only managed ~1×), and the dependency-
+  wavefront async kernel vs the per-tick ensemble loop.  Records the
+  active kernel mode (``numba``/``numpy``) and, in full mode, a
+  ``smoke_reference`` block that ``scripts/check.sh --kernels-check``
+  regression-gates fresh smoke runs against (>20% drop fails).
 
 Each section also records which backend the unified runtime's
 ``resolve_backend`` cost model picks for its representative plan
@@ -57,11 +65,15 @@ from repro.engine import (
     SimulationPlan,
     repeat_first_passage,
     resolve_backend,
+    run_agent_ensemble,
     run_asynchronous,
     run_asynchronous_ensemble,
     run_counts_ensemble,
+    run_fused_agent_ensemble,
+    run_fused_asynchronous_ensemble,
     spawn_generators,
 )
+from repro.engine.kernels import HAVE_NUMBA, kernel_mode
 from repro.faults import build_fault_schedule
 from repro.processes import ThreeMajority, TwoChoices
 
@@ -173,6 +185,40 @@ SMOKE_FAULTS = {
     "faults": {"crash": 0.001, "recover": 0.05, "loss": 0.01},
 }
 
+FULL_KERNELS = {
+    "sync": {
+        # The scenario the plain agent ensemble failed to accelerate
+        # (≈1× in the PR-1 report): wide-k 2-Choices first passage.
+        "label": "2-choices kernel-agent n=2048 k=8 R=50",
+        "factory": TwoChoices,
+        "initial": lambda: Configuration.biased(2048, 8, 64),
+        "repetitions": 50,
+    },
+    "async": {
+        "label": "3-majority kernel-async n=2048 k=2 R=50 T=2n",
+        "factory": ThreeMajority,
+        "initial": lambda: Configuration.balanced(2048, 2),
+        "repetitions": 50,
+        "tick_budget": lambda n: 2 * n,
+    },
+}
+
+SMOKE_KERNELS = {
+    "sync": {
+        "label": "2-choices kernel-agent n=512 k=4 R=16 (smoke)",
+        "factory": TwoChoices,
+        "initial": lambda: Configuration.biased(512, 4, 32),
+        "repetitions": 16,
+    },
+    "async": {
+        "label": "3-majority kernel-async n=512 k=2 R=16 T=2n (smoke)",
+        "factory": ThreeMajority,
+        "initial": lambda: Configuration.balanced(512, 2),
+        "repetitions": 16,
+        "tick_budget": lambda n: 2 * n,
+    },
+}
+
 SEED = 20170725  # PODC'17 presentation date
 
 
@@ -210,6 +256,39 @@ def _exactness_check(scenario) -> bool:
     return bool(np.array_equal(sequential, ensemble.times))
 
 
+def _agent_exactness_check(scenario) -> bool:
+    """Per-replica agent ensemble must equal the sequential agent samples.
+
+    This is the exact-stream contract the fused kernel must *not* claim:
+    ``rng_mode="per-replica"`` keeps routing through the loop engines, so
+    the sequential bit-for-bit guarantee survives the kernel layer.
+    """
+    factory = scenario["factory"]
+    initial = scenario["initial"]()
+    repetitions = min(scenario["repetitions"], 25)
+    sequential = repeat_first_passage(
+        lambda: factory(), initial, Consensus(), repetitions, rng=SEED, backend="agent"
+    )
+    ensemble = run_agent_ensemble(
+        factory(), initial, repetitions, rng=SEED, rng_mode="per-replica"
+    )
+    return bool(np.array_equal(sequential, ensemble.times))
+
+
+def _best_seconds(fn, repeats: int = 7) -> float:
+    """Min-of-N wall time.  The kernel sections are ms-scale, and under
+    load (single-core CI, pool workers from earlier sections) any mean or
+    median is dominated by interference; the minimum is the run the OS
+    left alone, which is the quantity the regression gate can compare
+    across sessions."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return min(samples)
+
+
 def _measure_scenarios(scenarios) -> list:
     entries = []
     for scenario in scenarios:
@@ -235,6 +314,8 @@ def _measure_scenarios(scenarios) -> list:
         }
         if scenario["sequential"] == "counts":
             entry["per_replica_rng_exact_match"] = _exactness_check(scenario)
+        elif scenario["sequential"] == "agent":
+            entry["per_replica_rng_exact_match"] = _agent_exactness_check(scenario)
         entries.append(entry)
         print(
             f"{entry['label']}: sequential {entry['sequential_seconds']}s, "
@@ -456,6 +537,124 @@ def _measure_faults(scenario) -> dict:
     return entry
 
 
+def _measure_kernel_sync(scenario) -> dict:
+    """Fused agent kernel vs the sequential and lock-step agent paths."""
+    factory = scenario["factory"]
+    initial = scenario["initial"]()
+    repetitions = scenario["repetitions"]
+    stop = Consensus()
+    # Warm-ups (and, when numba is present, JIT compilation).
+    repeat_first_passage(lambda: factory(), initial, stop, 1, rng=SEED, backend="agent")
+    run_agent_ensemble(factory(), initial, 2, rng=SEED)
+    kernel_result = run_fused_agent_ensemble(factory(), initial, 2, rng=SEED)
+    seq_seconds = _best_seconds(
+        lambda: repeat_first_passage(
+            lambda: factory(), initial, stop, repetitions, rng=SEED, backend="agent"
+        )
+    )
+    ens_seconds = _best_seconds(
+        lambda: run_agent_ensemble(factory(), initial, repetitions, rng=SEED)
+    )
+    kern_seconds = _best_seconds(
+        lambda: run_fused_agent_ensemble(factory(), initial, repetitions, rng=SEED)
+    )
+    kernel_result = run_fused_agent_ensemble(factory(), initial, repetitions, rng=SEED)
+    entry = {
+        "label": scenario["label"],
+        "repetitions": repetitions,
+        "resolved_backend": _resolved(
+            process=factory,
+            initial=scenario["initial"](),
+            stop=stop,
+            repetitions=repetitions,
+            rng=SEED,
+        ),
+        "sequential_seconds": round(seq_seconds, 4),
+        "ensemble_agent_seconds": round(ens_seconds, 4),
+        "kernel_seconds": round(kern_seconds, 4),
+        "speedup_vs_sequential": round(seq_seconds / kern_seconds, 2),
+        "speedup_vs_ensemble": round(ens_seconds / kern_seconds, 2),
+        "kernel_mean_rounds": round(float(kernel_result.times.mean()), 2),
+    }
+    print(
+        f"{entry['label']}: sequential {entry['sequential_seconds']}s, "
+        f"ensemble {entry['ensemble_agent_seconds']}s, "
+        f"kernel {entry['kernel_seconds']}s -> "
+        f"{entry['speedup_vs_sequential']}x vs sequential"
+    )
+    return entry
+
+
+def _measure_kernel_async(scenario) -> dict:
+    """Dependency-wavefront tick batching vs the per-tick ensemble loop."""
+    factory = scenario["factory"]
+    initial = scenario["initial"]()
+    repetitions = scenario["repetitions"]
+    budget = scenario["tick_budget"](initial.num_nodes)
+    run_asynchronous_ensemble(factory(), initial, 2, rng=SEED, max_ticks=64)
+    run_fused_asynchronous_ensemble(factory(), initial, 2, rng=SEED, max_ticks=64)
+    ens_seconds = _best_seconds(
+        lambda: run_asynchronous_ensemble(
+            factory(), initial, repetitions, rng=SEED, max_ticks=budget
+        ),
+        repeats=5,
+    )
+    kern_seconds = _best_seconds(
+        lambda: run_fused_asynchronous_ensemble(
+            factory(), initial, repetitions, rng=SEED, max_ticks=budget
+        ),
+        repeats=5,
+    )
+    entry = {
+        "label": scenario["label"],
+        "repetitions": repetitions,
+        "tick_budget": budget,
+        "resolved_backend": _resolved(
+            process=factory,
+            initial=initial,
+            stop=Consensus(),
+            repetitions=repetitions,
+            scheduler="asynchronous",
+            rng=SEED,
+            max_rounds=budget,
+        ),
+        "ensemble_seconds": round(ens_seconds, 4),
+        "kernel_seconds": round(kern_seconds, 4),
+        "speedup_vs_ensemble": round(ens_seconds / kern_seconds, 2),
+    }
+    print(
+        f"{entry['label']}: ensemble {entry['ensemble_seconds']}s, "
+        f"kernel {entry['kernel_seconds']}s -> "
+        f"{entry['speedup_vs_ensemble']}x vs ensemble"
+    )
+    return entry
+
+
+def _measure_kernels(scenario, smoke_reference: bool = False) -> dict:
+    """The fused-kernel section; in full mode also records the smoke-size
+    baselines that ``--kernels-check`` regression-gates against."""
+    entry = {
+        "mode": kernel_mode(),
+        "numba_available": HAVE_NUMBA,
+        "sync": _measure_kernel_sync(scenario["sync"]),
+        "async": _measure_kernel_async(scenario["async"]),
+    }
+    if smoke_reference:
+        # Median of three full measurements: one favorable run would set
+        # a floor that fresh --kernels-check runs keep tripping over.
+        syncs = [_measure_kernel_sync(SMOKE_KERNELS["sync"]) for _ in range(3)]
+        asyncs = [_measure_kernel_async(SMOKE_KERNELS["async"]) for _ in range(3)]
+        entry["smoke_reference"] = {
+            "sync_speedup_vs_sequential": sorted(
+                s["speedup_vs_sequential"] for s in syncs
+            )[1],
+            "async_speedup_vs_ensemble": sorted(
+                a["speedup_vs_ensemble"] for a in asyncs
+            )[1],
+        }
+    return entry
+
+
 def run_benchmark(smoke: bool = False, output: "pathlib.Path | None" = None) -> dict:
     """Measure every section and (optionally) write the JSON report."""
     report = {
@@ -469,6 +668,9 @@ def run_benchmark(smoke: bool = False, output: "pathlib.Path | None" = None) -> 
             SMOKE_ADVERSARY if smoke else FULL_ADVERSARY
         ),
         "faults": _measure_faults(SMOKE_FAULTS if smoke else FULL_FAULTS),
+        "kernels": _measure_kernels(
+            SMOKE_KERNELS if smoke else FULL_KERNELS, smoke_reference=not smoke
+        ),
     }
     if output is not None:
         output = pathlib.Path(output)
@@ -483,11 +685,64 @@ def bench_engine_throughput(benchmark):
     headline = report["scenarios"][0]
     assert headline["speedup"] >= 10.0, headline
     assert headline["per_replica_rng_exact_match"], headline
+    agent = report["scenarios"][1]
+    assert agent["per_replica_rng_exact_match"], agent
     assert report["async"]["speedup"] >= 5.0, report["async"]
     assert report["adversary"]["speedup"] >= 5.0, report["adversary"]
+    assert report["adversary"]["agent_speedup"] >= 1.0, report["adversary"]
+    kernels = report["kernels"]
+    assert kernels["sync"]["speedup_vs_sequential"] >= 5.0, kernels["sync"]
+    assert kernels["async"]["speedup_vs_ensemble"] >= 1.0, kernels["async"]
     if report["cpu_count"] >= 4:
         best = max(w["speedup_vs_workers1"] for w in report["sharded"]["workers"])
         assert best >= 2.0, report["sharded"]
+
+
+def _kernels_check(report_path: "pathlib.Path") -> int:
+    """Regression gate for scripts/check.sh: re-measure the smoke-size
+    kernel scenarios and fail on a >20% drop vs the committed report's
+    ``kernels.smoke_reference`` block.  Run under both ``REPRO_NO_NUMBA``
+    settings so the numpy fallback is gated too."""
+    report_path = pathlib.Path(report_path)
+    if not report_path.exists():
+        print(f"FAIL: no recorded report at {report_path}")
+        return 1
+    reference = json.loads(report_path.read_text()).get("kernels", {}).get(
+        "smoke_reference"
+    )
+    if not reference:
+        print(f"FAIL: {report_path} has no kernels.smoke_reference baselines")
+        return 1
+    # The measurement window is milliseconds, so one preempted attempt
+    # can fake a regression — a real one fails every retry.
+    for attempt in range(3):
+        fresh = _measure_kernels(SMOKE_KERNELS)
+        checks = [
+            (
+                "sync kernel vs sequential",
+                fresh["sync"]["speedup_vs_sequential"],
+                reference["sync_speedup_vs_sequential"],
+            ),
+            (
+                "async kernel vs ensemble",
+                fresh["async"]["speedup_vs_ensemble"],
+                reference["async_speedup_vs_ensemble"],
+            ),
+        ]
+        failures = []
+        for label, measured, recorded in checks:
+            floor = 0.8 * recorded
+            status = "OK" if measured >= floor else "FAIL"
+            print(
+                f"{status}: {label} {measured}x "
+                f"(recorded {recorded}x, floor {round(floor, 2)}x, "
+                f"mode={fresh['mode']}, attempt {attempt + 1})"
+            )
+            if measured < floor:
+                failures.append(label)
+        if not failures:
+            return 0
+    return 1
 
 
 def main() -> int:
@@ -498,7 +753,19 @@ def main() -> int:
         default=None,
         help=f"report path (default: {DEFAULT_OUTPUT} in full mode, none in smoke)",
     )
+    parser.add_argument(
+        "--kernels-check",
+        nargs="?",
+        const=str(DEFAULT_OUTPUT),
+        default=None,
+        metavar="REPORT",
+        help="only re-measure the smoke-size kernel scenarios and fail on a "
+        ">20%% speedup regression vs the recorded report (default: "
+        f"{DEFAULT_OUTPUT})",
+    )
     args = parser.parse_args()
+    if args.kernels_check is not None:
+        return _kernels_check(args.kernels_check)
     output = args.output
     if output is None and not args.smoke:
         output = DEFAULT_OUTPUT
@@ -525,6 +792,24 @@ def main() -> int:
             f"adversary ensemble speedup {report['adversary']['speedup']}x "
             f"below the {async_floor}x target"
         )
+    if report["adversary"]["agent_speedup"] < 1.0:
+        failures.append(
+            f"adversary agent-ensemble {report['adversary']['agent_speedup']}x "
+            "is slower than sequential (fused colors kernel regression)"
+        )
+    kernels = report["kernels"]
+    kernel_floor = 2.0 if args.smoke else 5.0
+    if kernels["sync"]["speedup_vs_sequential"] < kernel_floor:
+        failures.append(
+            f"fused agent kernel {kernels['sync']['speedup_vs_sequential']}x "
+            f"below the {kernel_floor}x target"
+        )
+    if kernels["async"]["speedup_vs_ensemble"] < 1.0:
+        failures.append(
+            f"async tick-batching kernel "
+            f"{kernels['async']['speedup_vs_ensemble']}x is slower than the "
+            "per-tick ensemble loop"
+        )
     if not args.smoke and report["cpu_count"] >= 4:
         best = max(w["speedup_vs_workers1"] for w in report["sharded"]["workers"])
         if best < 2.0:
@@ -537,8 +822,10 @@ def main() -> int:
         return 1
     print(
         f"OK: headline {headline['speedup']}x, async {report['async']['speedup']}x, "
-        f"adversary {report['adversary']['speedup']}x "
-        f"(cpu_count={report['cpu_count']})"
+        f"adversary {report['adversary']['speedup']}x, "
+        f"kernel-agent {kernels['sync']['speedup_vs_sequential']}x, "
+        f"kernel-async {kernels['async']['speedup_vs_ensemble']}x "
+        f"(cpu_count={report['cpu_count']}, kernel_mode={kernels['mode']})"
     )
     return 0
 

@@ -29,7 +29,14 @@
 #   6. smoke     — the engine-throughput benchmark in ≤30 s mode
 #      (sequential vs ensemble headline, the persistent sharded pool at
 #      R=4 / workers=2, async / adversary engines, fault-path overhead,
-#      and the runtime's resolved-backend record per section).
+#      the fused-kernel section, and the runtime's resolved-backend
+#      record per section).
+#   7. kernels-smoke — the fused-kernel regression gate: re-measures the
+#      smoke-size kernel scenarios under REPRO_NO_NUMBA=0 and =1 and
+#      fails on a >20% speedup drop vs the baselines recorded in the
+#      committed BENCH_engine.json (kernels.smoke_reference).  Both env
+#      settings run so the pure-numpy fallback is gated alongside the
+#      JIT path.
 #
 #   scripts/check.sh            # everything
 #   scripts/check.sh -k engine  # extra args forwarded to the tier-1 run
@@ -114,3 +121,6 @@ EOF
 echo "== supervision-smoke: deadline kill + torn-journal resume =="
 python scripts/supervision_smoke.py
 python benchmarks/bench_engine_throughput.py --smoke
+echo "== kernels-smoke: fused-kernel regression gate (numba + numpy fallback) =="
+REPRO_NO_NUMBA=0 python benchmarks/bench_engine_throughput.py --kernels-check
+REPRO_NO_NUMBA=1 python benchmarks/bench_engine_throughput.py --kernels-check

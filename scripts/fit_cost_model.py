@@ -172,6 +172,49 @@ def _observations(report: dict) -> "list[tuple[str, str, SimulationPlan, float]]
     ):
         observations.append((entry["label"], backend_name, plan, float(entry[key])))
 
+    # The fused-kernel section (PR 8).  Neither kernel cost formula uses
+    # the fitted constants (their factors are separate knobs), so these
+    # rows only constrain the global seconds-per-element scale — which is
+    # exactly what keeps the kernel-vs-counts ranking honest.
+    kernels = report.get("kernels")
+    if kernels:
+        sync = bench.SMOKE_KERNELS["sync"] if smoke else bench.FULL_KERNELS["sync"]
+        plan = SimulationPlan(
+            process=sync["factory"],
+            initial=sync["initial"](),
+            stop=Consensus(),
+            repetitions=sync["repetitions"],
+            rng=rng,
+        )
+        observations.append(
+            (
+                kernels["sync"]["label"],
+                "kernel-agent",
+                plan,
+                float(kernels["sync"]["kernel_seconds"]),
+            )
+        )
+        asynchronous = (
+            bench.SMOKE_KERNELS["async"] if smoke else bench.FULL_KERNELS["async"]
+        )
+        plan = SimulationPlan(
+            process=asynchronous["factory"],
+            initial=asynchronous["initial"](),
+            stop=Consensus(),
+            repetitions=asynchronous["repetitions"],
+            rng=rng,
+            scheduler="asynchronous",
+            max_rounds=int(kernels["async"]["tick_budget"]),
+        )
+        observations.append(
+            (
+                kernels["async"]["label"],
+                "kernel-async",
+                plan,
+                float(kernels["async"]["kernel_seconds"]),
+            )
+        )
+
     return observations
 
 

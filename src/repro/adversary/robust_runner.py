@@ -30,6 +30,7 @@ import numpy as np
 
 from ..core.configuration import Configuration
 from ..engine.ensemble import _counts_matrix_fast, narrow_int_dtype
+from ..engine.kernels import fused_colors_step, kernel_eligible
 from ..engine.rng import RandomSource, as_generator, per_replica_generators
 from ..engine.simulator import _COUNT_BACKEND_SLOT_LIMIT
 from ..processes.base import ACAgentProcess, AgentProcess
@@ -372,6 +373,12 @@ def _adversary_agent_ensemble(
     n = initial.num_nodes
     width = schedule.adversary.color_ceiling(initial.num_slots)
     batched = process.has_vectorized_ensemble and rng_mode == "batched"
+    # The honest step through the fused colors kernel — identically
+    # distributed to update_ensemble (every node redraws by the process's
+    # switch-and-redistribute law, iid given the counts), but one
+    # inverse-cdf draw per node instead of per-node sample gathers.  The
+    # corruption step is untouched: it needs node identities and gets them.
+    fused = batched and kernel_eligible(process, initial)
     if batched:
         generators = None
         master = as_generator(rng)
@@ -398,7 +405,13 @@ def _adversary_agent_ensemble(
     _, leaders, fractions = _plurality_matrix(colors, width, n)
     rounds = 0
     while active.size and rounds < max_rounds:
-        if batched:
+        if fused:
+            # Corruption can have planted ids past the static ceiling;
+            # the kernel's bincount width must cover whatever is present.
+            width_now = max(width, int(colors.max()) + 1)
+            colors = fused_colors_step(process, colors, width_now, master)
+            colors = schedule.corrupt_ensemble(rounds, colors, master)
+        elif batched:
             colors = process.update_ensemble(colors, master)
             colors = schedule.corrupt_ensemble(rounds, colors, master)
         else:

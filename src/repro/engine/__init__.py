@@ -14,6 +14,10 @@
   sharded backends run on;
 * :mod:`repro.engine.asynchronous` — the one-node-per-tick companion
   scheduler, sequential and lock-step ensemble;
+* :mod:`repro.engine.kernels` — fused single-pass kernels: the agent
+  ensemble lumped exactly to a counts chain, the async tick loop resolved
+  in conflict-free wavefronts (registered as ``kernel-agent`` /
+  ``kernel-async``, pure numpy with optional numba acceleration);
 * :mod:`repro.engine.plan` / :mod:`repro.engine.runtime` — the unified
   runtime: declarative :class:`SimulationPlan`\\ s executed by the
   cheapest registered :class:`Backend` whose declared capabilities
@@ -48,6 +52,10 @@ from .batch import (
     empirical_cdf,
     repeat_first_passage,
     summarize,
+)
+from .kernels import (
+    run_fused_agent_ensemble,
+    run_fused_asynchronous_ensemble,
 )
 from .metrics import METRICS, EnsembleMetricRecorder, MetricRecorder
 from .plan import RNG_MODES, SCHEDULERS, SimulationPlan
@@ -140,6 +148,8 @@ __all__ = [
     "resolve_workers",
     "run_asynchronous",
     "run_asynchronous_ensemble",
+    "run_fused_agent_ensemble",
+    "run_fused_asynchronous_ensemble",
     "repeat_first_passage",
     "run",
     "run_agent",

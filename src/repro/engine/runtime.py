@@ -81,6 +81,12 @@ from .asynchronous import (
     run_asynchronous_ensemble,
 )
 from .ensemble import EnsembleResult, run_ensemble
+from .kernels import (
+    async_kernel_eligible,
+    kernel_eligible,
+    run_fused_agent_ensemble,
+    run_fused_asynchronous_ensemble,
+)
 from .plan import SimulationPlan
 from .rng import per_replica_generators, replica_seed_sequences
 from .sharded import ShardedEnsembleExecutor, resolve_workers, shard_bounds
@@ -128,6 +134,11 @@ _SEQ_OVERHEAD = 400.0
 _ROUND_OVERHEAD = 400.0
 #: A count-chain element costs ~a quarter of an agent-gather element.
 _COUNTS_FACTOR = 0.25
+#: A fused-kernel counts element: the switch-and-redistribute chain draws
+#: a binomial alongside the multinomial, so it sits slightly above the
+#: plain count chain — AC-processes keep resolving to ``ensemble-counts``
+#: and the kernel wins exactly where it is the only counts-shaped option.
+_KERNEL_FACTOR = 0.35
 #: Mild edge of the ensemble per-replica loop over the sequential loop
 #: (shared stopping masks + retirement compaction).
 _ENSEMBLE_LOOP_FACTOR = 0.9
@@ -136,13 +147,24 @@ _POOL_SPAWN_COST = 2.5e8
 
 
 def _sync_horizon(plan: SimulationPlan) -> float:
-    """Expected synchronous rounds actually executed (for amortisation)."""
+    """Expected synchronous rounds actually executed (for amortisation).
+
+    Calibrated against measured first-passage round counts rather than
+    worst-case limits: consensus-type runs finish in ``O(log n)`` rounds
+    with a width-driven ``√k`` term for many-color starts (≈16 rounds at
+    ``n = 10⁴, k = 2``; ≈21 at ``n = 2048, k = 8``; ≈110 at
+    ``k = 1024``).  The previous ``6√n + 48`` overestimated these by
+    6–40×, which inflated every synchronous cost uniformly — harmless for
+    ranking sync backends against each other, but it distorted the
+    amortisation against one-off costs like pool spawning.
+    """
     n = plan.initial.num_nodes
+    k = plan.initial.num_slots
     if plan.adversary is not None:
         limit = plan.max_rounds or _ADVERSARY_DEFAULT_HORIZON
     else:
         limit = plan.max_rounds if plan.max_rounds is not None else default_round_limit(n)
-    return float(min(limit, 6.0 * np.sqrt(n) + 48.0))
+    return float(min(limit, 2.0 * np.log(n) + 3.0 * np.sqrt(k) + 8.0))
 
 
 def _async_horizon(plan: SimulationPlan) -> float:
@@ -191,7 +213,8 @@ class BackendSpec:
 
     #: Registry key (also the user-facing ``backend=`` name).
     name: str
-    #: Execution family: ``"sequential"`` | ``"ensemble"`` | ``"sharded"``.
+    #: Execution family: ``"sequential"`` | ``"ensemble"`` | ``"kernel"``
+    #: | ``"sharded"``.
     kind: str
     #: Scheduler this backend implements (one of :data:`~repro.engine.plan.SCHEDULERS`).
     scheduler: str
@@ -269,6 +292,7 @@ _ALIAS_FAMILIES = {
     "auto": None,
     "sequential-auto": "sequential",
     "ensemble-auto": "ensemble",
+    "kernel-auto": "kernel",
     "sharded-auto": "sharded",
 }
 
@@ -354,6 +378,8 @@ _SEQUENTIAL_FALLBACKS = {
     "ensemble-async": "async",
     "ensemble-adversary-agent": "adversary",
     "ensemble-adversary-counts": "adversary",
+    "kernel-agent": "agent",
+    "kernel-async": "async",
 }
 
 
@@ -710,6 +736,125 @@ class AsyncEnsembleBackend(_BackendBase):
         )
 
 
+class KernelSyncBackend(_BackendBase):
+    """The fused agent kernel (:mod:`repro.engine.kernels.sync`).
+
+    Runs the agent-level ensemble as its exact switch-and-redistribute
+    counts lumping — identical in distribution to ``ensemble-agent`` at
+    the counts chain's per-round cost.  Batched-only by construction: the
+    lumping reorders stream consumption, so ``"per-replica"`` plans stay
+    on the bit-for-bit engines.
+    """
+
+    def supports(self, plan: SimulationPlan) -> bool:
+        return (
+            plan.scheduler == "synchronous"
+            and plan.adversary is None
+            and plan.faults is None
+            and plan.rng_mode == "batched"
+            and kernel_eligible(plan.spawn_process(), plan.initial)
+        )
+
+    def cost(self, plan: SimulationPlan) -> float:
+        per_round = (
+            plan.repetitions * _KERNEL_FACTOR * plan.initial.num_slots
+            + _ROUND_OVERHEAD
+        )
+        return per_round * _sync_horizon(plan)
+
+    def rejection(self, plan: SimulationPlan) -> Exception:
+        process = plan.spawn_process()
+        if not kernel_eligible(process, plan.initial):
+            return TypeError(
+                f"backend 'kernel-agent' needs a switch-and-redistribute "
+                f"kernel form (AgentProcess.kernel_switch_law); "
+                f"{process.name} does not declare one for this configuration"
+            )
+        if plan.rng_mode != "batched":
+            return ValueError(
+                "backend 'kernel-agent' is batched-only: the lumped chain "
+                "reorders stream consumption, so per-replica exact streams "
+                "run on the agent/counts engines"
+            )
+        return super().rejection(plan)
+
+    def execute(self, plan: SimulationPlan) -> ExecutionResult:
+        result = run_fused_agent_ensemble(
+            plan.spawn_process(),
+            plan.initial,
+            plan.repetitions,
+            rng=plan.rng,
+            stop=plan.stop,
+            max_rounds=plan.max_rounds,
+            rng_mode=plan.rng_mode,
+            raise_on_limit=plan.raise_on_limit,
+            recorder=plan.recorder,
+        )
+        return ExecutionResult(
+            plan=plan,
+            backend=self.spec.name,
+            unit="rounds",
+            times=result.times,
+            stopped=result.stopped,
+            final_counts=result.final_counts,
+            raw=result,
+        )
+
+
+class KernelAsyncBackend(_BackendBase):
+    """The wavefront async kernel (:mod:`repro.engine.kernels.asynchronous`).
+
+    Same semantics as ``ensemble-async`` — bit-for-bit for processes whose
+    sample rule draws no extra randomness — with the per-tick Python loop
+    replaced by conflict-free wavefront batches.
+    """
+
+    def supports(self, plan: SimulationPlan) -> bool:
+        return (
+            plan.scheduler == "asynchronous"
+            and plan.adversary is None
+            and plan.rng_mode == "batched"
+            and async_kernel_eligible(plan.spawn_process())
+        )
+
+    def cost(self, plan: SimulationPlan) -> float:
+        # Measured ~2× under ensemble-async's 4R+8 per-tick slope: the
+        # wavefront amortises the tick loop but pays scatter bookkeeping.
+        per_tick = 2.0 * plan.repetitions + 8.0
+        return per_tick * _async_horizon(plan)
+
+    def rejection(self, plan: SimulationPlan) -> Exception:
+        process = plan.spawn_process()
+        if not async_kernel_eligible(process):
+            return TypeError(
+                f"backend 'kernel-async' needs a pure per-sample rule "
+                f"(AgentProcess.update_from_samples); {process.name} does "
+                "not expose one"
+            )
+        return super().rejection(plan)
+
+    def execute(self, plan: SimulationPlan) -> ExecutionResult:
+        result = run_fused_asynchronous_ensemble(
+            plan.spawn_process(),
+            plan.initial,
+            plan.repetitions,
+            rng=plan.rng,
+            stop=plan.stop,
+            max_ticks=plan.max_rounds,
+            check_every=plan.check_every,
+            recorder=plan.recorder,
+        )
+        return ExecutionResult(
+            plan=plan,
+            backend=self.spec.name,
+            unit="ticks",
+            times=result.ticks,
+            stopped=result.stopped,
+            final_counts=result.final_counts,
+            raw=result,
+        )
+
+
 class AdversarySequentialBackend(_BackendBase):
     """One :func:`run_with_adversary` per replica — the §5 reference path."""
 
@@ -1039,6 +1184,14 @@ def _register_default_backends() -> None:
     register_backend(AdversaryEnsembleBackend(_spec(
         "ensemble-adversary-counts", "ensemble", "synchronous", True, "counts", True,
         "(R, k) robust runs, exact count-level corruption laws",
+    )))
+    register_backend(KernelSyncBackend(_spec(
+        "kernel-agent", "kernel", "synchronous", False, "counts", False,
+        "fused agent rounds: exact switch-and-redistribute counts lumping",
+    )))
+    register_backend(KernelAsyncBackend(_spec(
+        "kernel-async", "kernel", "asynchronous", False, "agent", False,
+        "fused async ticks: conflict-free dependency wavefronts",
     )))
     for inner, name in [
         ("ensemble-agent", "sharded-agent"),

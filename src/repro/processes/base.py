@@ -97,6 +97,16 @@ class AgentProcess(abc.ABC):
     #: one entry.  Processes whose rule needs more than (own color, sampled
     #: colors) — graph topologies, auxiliary per-node state — leave it off.
     has_sample_update: bool = False
+    #: True when :meth:`kernel_switch_law` is implemented — the
+    #: switch-and-redistribute form consumed by the fused kernels
+    #: (:mod:`repro.engine.kernels`).
+    has_kernel_form: bool = False
+    #: True when dead colors stay dead under this process (``q_i = 0``
+    #: whenever ``c_i = 0``), so the fused kernels may compact zero-support
+    #: slots out of the counts matrix.  All uniform-pull rules implemented
+    #: here qualify (a node can only adopt a color it sampled); a process
+    #: with spontaneous mutation would not.
+    kernel_absorbing_support: bool = False
 
     @abc.abstractmethod
     def update(self, colors: np.ndarray, rng: np.random.Generator) -> np.ndarray:
@@ -158,6 +168,43 @@ class AgentProcess(abc.ABC):
             [self.update(colors[r], rng) for r in range(colors.shape[0])]
         )
 
+    def kernel_switch_law(
+        self, counts: np.ndarray
+    ) -> "tuple[np.ndarray | None, np.ndarray]":
+        """The one-round law in switch-and-redistribute form.
+
+        For an ``(R, k)`` counts matrix (each row summing to ``n``), return
+        ``(sigma, q)`` where, conditioned on the current fractions
+        ``x = c / n``:
+
+        * ``sigma`` — ``(R, k)`` per-class *switch* probability: each node
+          of class ``i`` abandons its color independently with probability
+          ``sigma[r, i]``.  ``None`` means every node redraws (``σ ≡ 1``).
+        * ``q`` — ``(R, k)`` *destination* law: every switching node picks
+          its new color iid from ``q[r]`` (rows sum to 1).
+
+        On the complete graph under Uniform Pull, each node's samples are
+        iid ``x`` and nodes act independently given ``x``, so any rule of
+        the form "switch with a class-dependent probability, land by a
+        shared law" is *exactly* lumped by
+        ``c' = c − Bin(c, σ) + Mult(Σ switchers, q)`` — the counts chain
+        the fused kernels run (:mod:`repro.engine.kernels.sync`).  Only
+        processes whose agent dynamics genuinely factor this way may set
+        :attr:`has_kernel_form`.
+        """
+        raise NotImplementedError(
+            f"{self.name} has no switch-and-redistribute kernel form"
+        )
+
+    def kernel_supported(self, config: Configuration) -> bool:
+        """Whether the fused kernels may run this process from ``config``.
+
+        Defaults to :attr:`has_kernel_form`; processes whose law is only
+        tractable for narrow configurations (enumerated ``α``) override
+        with their width limits.
+        """
+        return self.has_kernel_form
+
     def initial_colors(self, config: Configuration) -> np.ndarray:
         """Expand a configuration into a per-node assignment for this process.
 
@@ -192,6 +239,10 @@ class ACAgentProcess(AgentProcess):
     """
 
     is_anonymous = True
+    # Every AC-process is trivially in switch-and-redistribute form:
+    # all nodes redraw (σ ≡ 1) and land by α(x) — Definition 1 verbatim.
+    has_kernel_form = True
+    kernel_absorbing_support = True
 
     def __init__(self, process_function: ACProcessFunction):
         self._function = process_function
@@ -210,6 +261,17 @@ class ACAgentProcess(AgentProcess):
         override this with their width limits.
         """
         return True
+
+    def kernel_switch_law(
+        self, counts: np.ndarray
+    ) -> "tuple[np.ndarray | None, np.ndarray]":
+        """``σ ≡ 1``, ``q = α(x)`` — the AC one-round law (Definition 1)."""
+        return None, self._function.probabilities_batch(counts)
+
+    def kernel_supported(self, config: Configuration) -> bool:
+        """Kernel tractability coincides with count-chain tractability:
+        both need ``α`` evaluable at the configuration's width."""
+        return self.has_kernel_form and self.supports_count_backend(config)
 
     def adoption_probabilities(self, config: Configuration) -> np.ndarray:
         """``α(c)`` for the given configuration."""

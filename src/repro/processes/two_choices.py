@@ -44,6 +44,8 @@ class TwoChoices(AgentProcess):
     is_anonymous = False
     has_vectorized_ensemble = True
     has_sample_update = True
+    has_kernel_form = True
+    kernel_absorbing_support = True
 
     def update(self, colors: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         n = colors.shape[0]
@@ -64,6 +66,27 @@ class TwoChoices(AgentProcess):
         sampled = rng.integers(0, n, size=(reps, 2 * n))
         picks = row_gather(colors, sampled).reshape(reps, n, 2)
         return self.update_from_samples(colors, picks, rng)
+
+    def kernel_switch_law(
+        self, counts: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """2-Choices in switch-and-redistribute form.
+
+        A node switches iff its two samples agree — probability
+        ``σ = Σ_j x_j² = ‖x‖²`` regardless of its own color — and the
+        agreed color is ``j`` with probability ``x_j²``, so switchers land
+        by ``q_j = x_j² / ‖x‖²``.  Nodes act independently given ``x``,
+        which is exactly the factorisation :class:`AgentProcess.kernel_switch_law`
+        requires; 2-Choices not being an AC-process (the keep branch) is
+        irrelevant at the counts level, because the *switch* event does not
+        depend on the node's own color — only survival does, and survival
+        is what ``c − Bin(c, σ)`` tracks per class.
+        """
+        x = counts / counts.sum(axis=1, keepdims=True)
+        x_sq = x * x
+        norm_sq = x_sq.sum(axis=1, keepdims=True)
+        sigma = np.broadcast_to(norm_sq, counts.shape)
+        return sigma, x_sq / norm_sq
 
     def expected_next_fractions(self, config: Configuration) -> np.ndarray:
         """Exact expected next fraction vector (footnote 2's identity)."""

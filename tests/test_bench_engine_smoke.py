@@ -54,6 +54,6 @@ def test_engine_throughput_smoke(tmp_path):
     # Every section records the runtime cost model's backend decision.
     assert headline["resolved_backend"] == "ensemble-counts"
     assert report["sharded"]["resolved_backend"].startswith(("ensemble-", "sharded-"))
-    assert report["async"]["resolved_backend"] == "ensemble-async"
+    assert report["async"]["resolved_backend"] == "kernel-async"
     assert report["adversary"]["resolved_backend"] == "ensemble-adversary-counts"
     assert (tmp_path / "BENCH_engine.json").exists()

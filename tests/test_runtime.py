@@ -136,9 +136,17 @@ class TestResolution:
     def test_auto_prefers_sequential_for_single_runs(self):
         assert resolve_backend(_plan(repetitions=1)).spec.kind == "sequential"
 
-    def test_auto_falls_back_to_agent_beyond_slot_limit(self):
+    def test_auto_routes_wide_slot_plans_to_the_fused_kernel(self):
+        # Beyond the count chain's slot limit the plain counts backends
+        # drop out; the fused kernel (whose active-slot compaction makes
+        # wide starts cheap) is now the batched winner, while per-replica
+        # exact streams still fall back to the agent ensemble.
         plan = _plan(initial=Configuration.singletons(8192))
-        assert resolve_backend(plan).spec.name == "ensemble-agent"
+        assert resolve_backend(plan).spec.name == "kernel-agent"
+        per_replica = _plan(
+            initial=Configuration.singletons(8192), rng_mode="per-replica"
+        )
+        assert resolve_backend(per_replica).spec.name == "ensemble-agent"
 
     def test_auto_ignores_sharding_without_explicit_workers(self):
         assert resolve_backend(_plan(repetitions=64)).spec.kind != "sharded"
@@ -146,8 +154,13 @@ class TestResolution:
         assert resolve_backend(forced).spec.kind == "sharded"
 
     def test_non_ac_process_resolves_to_agent_family(self):
+        # 2-Choices is not an AC-process, but its switch-and-redistribute
+        # form makes the fused kernel the batched winner; exact-stream
+        # plans keep resolving to the agent representation.
         plan = _plan(process=TwoChoices)
-        assert resolve_backend(plan).spec.name == "ensemble-agent"
+        assert resolve_backend(plan).spec.name == "kernel-agent"
+        per_replica = _plan(process=TwoChoices, rng_mode="per-replica")
+        assert resolve_backend(per_replica).spec.name == "ensemble-agent"
 
     def test_counts_backend_rejects_non_ac_process(self):
         for name in ("counts", "ensemble-counts"):

@@ -29,6 +29,7 @@ from repro.engine import (
     shared_executor,
     spawn_generators,
 )
+from repro.engine.kernels import HAVE_NUMBA, force_numpy, kernel_mode
 from repro.faults import (
     Byzantine,
     CrashRecovery,
@@ -145,12 +146,27 @@ def test_async_plan_matches_sequential_runner():
         ThreeMajority(), initial, 4, rng=SEED, max_ticks=budget
     )
     assert np.array_equal(ensemble.times, direct.ticks)
-    # The cost model sends repeated async measurements to the ensemble.
+    # The cost model sends repeated async measurements to the fused
+    # wavefront kernel (bit-for-bit the ensemble engine for processes
+    # whose sample rule draws nothing — pinned below on Voter).
     auto = _plan(
         ThreeMajority, initial, "auto", repetitions=4,
         scheduler="asynchronous", max_rounds=budget, rng_mode="batched",
     )
-    assert resolve_backend(auto).spec.name == "ensemble-async"
+    assert resolve_backend(auto).spec.name == "kernel-async"
+    kernel = execute(auto)
+    voter_auto = _plan(
+        Voter, initial, "auto", repetitions=4,
+        scheduler="asynchronous", max_rounds=budget, rng_mode="batched",
+    )
+    assert resolve_backend(voter_auto).spec.name == "kernel-async"
+    voter_kernel = execute(voter_auto)
+    voter_engine = run_asynchronous_ensemble(
+        Voter(), initial, 4, rng=SEED, max_ticks=budget
+    )
+    assert np.array_equal(voter_kernel.times, voter_engine.ticks)
+    assert np.array_equal(voter_kernel.final_counts, voter_engine.final_counts)
+    assert kernel.unit == "ticks"
 
 
 def test_adversary_plan_matches_sequential_runner():
@@ -315,6 +331,105 @@ def test_active_byzantine_cross_backend_equivalence(
         assert np.array_equal(
             result.final_counts, reference.final_counts
         ), label
+
+
+#: Every kernel implementation mode available in this environment.  The
+#: numpy fallback is always exercised (forced even when numba is
+#: importable); the numba mode only runs where the dependency exists —
+#: both modes consume the generator identically, so their results must
+#: agree bit for bit wherever both run.
+KERNEL_MODES = [pytest.param("numpy", id="numpy-fallback")] + (
+    [pytest.param("numba", id="numba")] if HAVE_NUMBA else []
+)
+
+
+def _kernel_mode_context(mode):
+    import contextlib
+
+    return force_numpy() if mode == "numpy" else contextlib.nullcontext()
+
+
+@pytest.mark.parametrize("mode", KERNEL_MODES)
+def test_kernel_backends_exercised_in_each_mode(mode):
+    """Both kernel backends run under each implementation mode, and the
+    numba mode (when present) reproduces the numpy fallback bit for bit."""
+    sync_plan = _plan(
+        TwoChoices, Configuration.biased(120, 4, 24), "kernel-agent",
+        rng_mode="batched",
+    )
+    async_plan = _plan(
+        Voter, Configuration.balanced(128, 2), "kernel-async",
+        repetitions=4, scheduler="asynchronous", max_rounds=4000,
+        rng_mode="batched",
+    )
+    with force_numpy():
+        sync_reference = execute(sync_plan)
+        async_reference = execute(async_plan)
+    with _kernel_mode_context(mode):
+        assert kernel_mode() == mode
+        sync_result = execute(sync_plan)
+        async_result = execute(async_plan)
+    assert sync_result.backend == "kernel-agent"
+    assert async_result.backend == "kernel-async"
+    assert np.array_equal(sync_result.times, sync_reference.times)
+    assert np.array_equal(sync_result.final_counts, sync_reference.final_counts)
+    assert np.array_equal(async_result.times, async_reference.times)
+    assert np.array_equal(
+        async_result.final_counts, async_reference.final_counts
+    )
+
+
+@pytest.mark.parametrize("mode", KERNEL_MODES)
+def test_kernel_agent_statistically_matches_sequential(mode):
+    """KS-style cross-validation: the lumped chain's first-passage sample
+    is drawn from the same distribution as the per-replica agent runs."""
+    from scipy.stats import ks_2samp
+
+    initial = Configuration.biased(120, 4, 24)
+    with _kernel_mode_context(mode):
+        kernel = execute(_plan(
+            TwoChoices, initial, "kernel-agent",
+            repetitions=160, rng_mode="batched",
+        ))
+    sequential = execute(_plan(
+        TwoChoices, initial, "agent", repetitions=160,
+        rng_mode="per-replica", rng=SEED + 1,
+    ))
+    assert kernel.all_stopped and sequential.all_stopped
+    statistic = ks_2samp(kernel.times, sequential.times)
+    assert statistic.pvalue > 1e-3, (
+        f"kernel-agent first-passage sample diverges from the sequential "
+        f"reference (KS p={statistic.pvalue:.2e}, "
+        f"means {kernel.times.mean():.2f} vs {sequential.times.mean():.2f})"
+    )
+
+
+def test_per_replica_plans_never_resolve_to_kernels():
+    """The exact-stream contract: kernels are batched-only, so the whole
+    per-replica matrix above runs on the established engines."""
+    for factory, initial, scheduler in [
+        (ThreeMajority, Configuration.balanced(240, 3), "synchronous"),
+        (TwoChoices, Configuration.biased(120, 4, 24), "synchronous"),
+        (ThreeMajority, Configuration.balanced(128, 2), "asynchronous"),
+    ]:
+        plan = _plan(
+            factory, initial, "auto",
+            scheduler=scheduler,
+            max_rounds=20_000 if scheduler == "synchronous" else 4000,
+        )
+        assert plan.rng_mode == "per-replica"
+        assert resolve_backend(plan).spec.kind != "kernel", factory
+    # Naming a kernel backend outright raises rather than silently
+    # changing the stream contract.
+    with pytest.raises(ValueError, match="batched-only"):
+        resolve_backend(
+            _plan(TwoChoices, Configuration.biased(120, 4, 24), "kernel-agent")
+        )
+    with pytest.raises(ValueError):
+        resolve_backend(_plan(
+            ThreeMajority, Configuration.balanced(128, 2), "kernel-async",
+            scheduler="asynchronous",
+        ))
 
 
 def test_shared_pool_persists_across_plans():

@@ -26,12 +26,18 @@
 #      SIGKILL'd mid-run, its journal truncated at a random byte offset,
 #      then resumed — the resumed store must be bit-for-bit identical to
 #      an uninterrupted run.
-#   6. smoke     — the engine-throughput benchmark in ≤30 s mode
+#   6. parallel-smoke — the concurrent-study contract: the same spec run
+#      sequentially and with workers=2 (bit-for-bit results_equal), a
+#      parallel subprocess SIGKILL'd mid-run and resumed to the identical
+#      store, and a second run over the warm result cache replaying every
+#      cell (100% hits) — plus the committed BENCH_engine.json carrying a
+#      study-parallel section with positive parallel throughput.
+#   7. smoke     — the engine-throughput benchmark in ≤30 s mode
 #      (sequential vs ensemble headline, the persistent sharded pool at
 #      R=4 / workers=2, async / adversary engines, fault-path overhead,
 #      the fused-kernel section, and the runtime's resolved-backend
 #      record per section).
-#   7. kernels-smoke — the fused-kernel regression gate: re-measures the
+#   8. kernels-smoke — the fused-kernel regression gate: re-measures the
 #      smoke-size kernel scenarios under REPRO_NO_NUMBA=0 and =1 and
 #      fails on a >20% speedup drop vs the baselines recorded in the
 #      committed BENCH_engine.json (kernels.smoke_reference).  Both env
@@ -120,6 +126,8 @@ print("faults-smoke OK: failure recorded with traceback; healthy cell untouched"
 EOF
 echo "== supervision-smoke: deadline kill + torn-journal resume =="
 python scripts/supervision_smoke.py
+echo "== parallel-smoke: workers=2 bit-for-bit + SIGKILL resume + warm cache =="
+python scripts/parallel_smoke.py
 python benchmarks/bench_engine_throughput.py --smoke
 echo "== kernels-smoke: fused-kernel regression gate (numba + numpy fallback) =="
 REPRO_NO_NUMBA=0 python benchmarks/bench_engine_throughput.py --kernels-check

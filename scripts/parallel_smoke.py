@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Parallel-study smoke: concurrent scheduling + result cache, end to end.
+
+Three scenarios that exercise the ``workers``/``cache`` layer the way a
+user would hit it, including the one that cannot run comfortably inside
+pytest (a real ``kill -9`` of a *parallel* run):
+
+Part A — parallel equality.  The spec runs sequentially (the reference)
+and with ``workers=2`` against a fresh cache directory; the parallel
+store must be ``results_equal`` bit-for-bit.
+
+Part B — SIGKILL mid-parallel-run.  A subprocess runs the same spec with
+``workers=2`` and is SIGKILL'd once the journal shows progress —
+skipping every ``finally`` while cells are genuinely in flight.  Resume
+(also with ``workers=2``) must complete the wreckage bit-for-bit.
+
+Part C — warm cache.  A second full run against the now-warm cache must
+replay every cell (100% hits) and beat the cold run's wall time; the
+committed ``BENCH_engine.json`` must carry the ``study-parallel``
+section with a positive parallel throughput.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import api
+from repro.study import StudySpec, journal_path, save_spec
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def smoke_spec() -> StudySpec:
+    return StudySpec(
+        name="parallel smoke",
+        seed=29,
+        repetitions=3,
+        axes={
+            "process": ["3-majority"],
+            "n": [32, 48, 64, 80, 96, 128],
+            "rng_mode": ["per-replica"],
+        },
+    )
+
+
+def part_a_parallel_equality(tmp: str, cache_dir: str):
+    spec = smoke_spec()
+    start = time.perf_counter()
+    reference = api.study(spec.to_dict())
+    seq_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = api.study(spec.to_dict(), workers=2, cache=cache_dir)
+    par_seconds = time.perf_counter() - start
+    assert parallel.results_equal(reference), (
+        "workers=2 store diverged from the sequential run"
+    )
+    print(
+        f"part A: workers=2 bit-for-bit equal the sequential run "
+        f"(sequential {seq_seconds:.2f}s, parallel {par_seconds:.2f}s)"
+    )
+    return reference, seq_seconds
+
+
+_CHILD = """
+import sys, time
+from repro import api
+api.study(
+    sys.argv[1],
+    store_path=sys.argv[2],
+    workers=2,
+    progress=lambda cell, record: time.sleep(0.2),
+)
+"""
+
+
+def _run_child_until_killed(spec_path: str, store_path: str) -> bool:
+    """SIGKILL a parallel study subprocess mid-run (True when it landed)."""
+    child = subprocess.Popen(
+        [sys.executable, "-c", _CHILD, spec_path, store_path],
+        env={
+            **os.environ,
+            "PYTHONPATH": os.path.join(os.path.dirname(__file__), "..", "src"),
+        },
+    )
+    jpath = journal_path(store_path)
+    try:
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if child.poll() is not None:
+                return False  # finished before the kill: retry
+            try:
+                with open(jpath, "rb") as handle:
+                    if handle.read().count(b"\n") >= 2:
+                        break
+            except FileNotFoundError:
+                pass
+            time.sleep(0.01)
+        if child.poll() is not None:
+            return False
+        child.send_signal(signal.SIGKILL)
+        child.wait()
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait()
+    return os.path.exists(jpath)
+
+
+def part_b_sigkill_resume(tmp: str, reference) -> None:
+    spec_path = os.path.join(tmp, "parallel.toml")
+    save_spec(smoke_spec(), spec_path)
+    store_path = os.path.join(tmp, "killed.json")
+    jpath = journal_path(store_path)
+    for attempt in range(5):
+        if _run_child_until_killed(spec_path, store_path):
+            break
+        for stale in (store_path, jpath):
+            if os.path.exists(stale):
+                os.remove(stale)
+    else:
+        raise AssertionError("could not SIGKILL the parallel study mid-run")
+    assert not os.path.exists(store_path), "SIGKILL should skip compaction"
+    resumed = api.study(spec_path, store_path=store_path, resume=True, workers=2)
+    assert resumed.is_complete(), "resume left cells unrun"
+    assert resumed.results_equal(reference), (
+        "resumed parallel store diverged from the uninterrupted run"
+    )
+    assert not os.path.exists(jpath), "journal not compacted after resume"
+    print("part B: SIGKILL'd parallel run resumed bit-for-bit")
+
+
+def part_c_warm_cache(cache_dir: str, reference, seq_seconds: float) -> None:
+    start = time.perf_counter()
+    warm = api.study(smoke_spec().to_dict(), workers=2, cache=cache_dir)
+    warm_seconds = time.perf_counter() - start
+    records = warm.records()
+    hits = sum(record.cache_hit for record in records)
+    assert hits == len(records), f"warm run hit only {hits}/{len(records)} cells"
+    assert warm.results_equal(reference), "cached records diverged"
+    cells_per_second = len(records) / warm_seconds
+    assert cells_per_second > 0
+    print(
+        f"part C: warm cache replayed {hits}/{len(records)} cells in "
+        f"{warm_seconds:.2f}s ({cells_per_second:.1f} cells/s, "
+        f"cold run {seq_seconds:.2f}s)"
+    )
+    report = json.loads(BENCH_PATH.read_text())
+    section = report.get("study-parallel")
+    assert section, f"{BENCH_PATH} has no study-parallel section"
+    assert section["cells_per_second_parallel"] > 0, section
+    assert section["parallel_results_equal"], section
+    assert section["cache_hit_rate"] == 1.0, section
+    print(
+        f"part C: {BENCH_PATH.name} study-parallel section OK "
+        f"({section['cells_per_second_parallel']} cells/s parallel, "
+        f"warm speedup {section['warm_speedup']}x)"
+    )
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_dir = os.path.join(tmp, "cache")
+        reference, seq_seconds = part_a_parallel_equality(tmp, cache_dir)
+        part_b_sigkill_resume(tmp, reference)
+        part_c_warm_cache(cache_dir, reference, seq_seconds)
+    print(
+        "parallel-smoke OK: workers=2 bit-for-bit, SIGKILL resumed, "
+        "warm cache at 100% hits"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -234,16 +234,23 @@ def study(
     max_attempts: "int | None" = None,
     policy=None,
     deadline_s: "float | None" = None,
+    workers: "int | None" = None,
+    max_inflight: "int | None" = None,
+    cache=None,
 ) -> StudyStore:
     """Run a study from a :class:`StudySpec`, a TOML path, or a dict.
 
     A thin veneer over :func:`repro.study.run_study` that also accepts
     the on-disk spec forms: a path to a ``.toml`` file or a plain dict
     (e.g. parsed JSON).  See :func:`repro.study.runner.run_study` for
-    ``store_path`` / ``resume`` / ``max_cells`` and the supervision
-    knobs ``on_error`` / ``policy`` / ``max_attempts`` / ``deadline_s``
-    — in particular, resumed runs complete interrupted stores (journal
-    and all) bit-for-bit and re-attempt failed or timed-out cells.
+    ``store_path`` / ``resume`` / ``max_cells``, the supervision knobs
+    ``on_error`` / ``policy`` / ``max_attempts`` / ``deadline_s``, the
+    concurrency knobs ``workers`` / ``max_inflight`` (parallel cell
+    scheduling, bit-for-bit equal to sequential), and ``cache`` (the
+    shared content-addressed result cache; ``True`` / ``False`` / a
+    directory) — in particular, resumed runs complete interrupted
+    stores (journal and all) bit-for-bit and re-attempt failed or
+    timed-out cells.
     """
     if isinstance(spec, str):
         spec = load_spec(spec)
@@ -264,4 +271,7 @@ def study(
         max_attempts=max_attempts,
         policy=policy,
         deadline_s=deadline_s,
+        workers=workers,
+        max_inflight=max_inflight,
+        cache=cache,
     )

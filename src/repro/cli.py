@@ -22,9 +22,13 @@ facade (everything they do is a few lines of library calls, shown in
 ``study``
     The declarative suite runner: ``study run spec.toml`` executes a
     :class:`~repro.study.StudySpec` and checkpoints a provenance-carrying
-    result store after every cell; ``study resume`` completes an
-    interrupted store bit-for-bit; ``study report`` renders a saved
-    store without re-simulating.
+    result store after every cell — ``--workers N`` schedules cells
+    concurrently (bit-for-bit equal to sequential) and ``--cache`` /
+    ``--no-cache`` controls the shared content-addressed result cache;
+    ``study resume`` completes an interrupted store bit-for-bit;
+    ``study report`` renders a saved store without re-simulating;
+    ``study cache stats`` / ``study cache gc`` inspect and bound the
+    shared cache.
 
 ``counterexample``
     Print the Appendix-B report (the exact ``7/12`` computation).
@@ -212,6 +216,34 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help=(
+            "schedule up to N cells concurrently (default: the spec's "
+            "[parallel] table, else sequential); results are bit-for-bit "
+            "identical to a sequential run"
+        ),
+    )
+    run.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help=(
+            "cap on cells in flight at once under --workers "
+            "(default: 2 x workers)"
+        ),
+    )
+    run.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=None,
+        help=(
+            "consult/populate the shared content-addressed result cache "
+            "($REPRO_CACHE_DIR, default ~/.cache/repro); --no-cache forces "
+            "it off even for a spec whose [cache] table enables it "
+            "(default: the spec's table, else off)"
+        ),
+    )
+    run.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="use DIR as the result cache (implies --cache)",
+    )
+    run.add_argument(
         "--quiet", action="store_true", help="suppress the final report table"
     )
 
@@ -226,12 +258,42 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--max-cells", type=int, default=None)
     resume.add_argument("--deadline", type=float, default=None, metavar="SECONDS")
     resume.add_argument("--max-attempts", type=int, default=None, metavar="N")
+    resume.add_argument("--workers", type=int, default=None, metavar="N")
+    resume.add_argument("--max-inflight", type=int, default=None, metavar="N")
+    resume.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=None
+    )
+    resume.add_argument("--cache-dir", default=None, metavar="DIR")
     resume.add_argument("--quiet", action="store_true")
 
     report = study_sub.add_parser(
         "report", help="render a saved study store (no simulation)"
     )
     report.add_argument("store", help="path to a study store JSON file")
+
+    cache = study_sub.add_parser(
+        "cache", help="inspect / garbage-collect the shared result cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entries, bytes, and the hit rate since the last gc"
+    )
+    cache_stats.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    cache_gc = cache_sub.add_parser(
+        "gc", help="expire old entries and bound the cache size"
+    )
+    cache_gc.add_argument(
+        "--max-age", type=float, default=None, metavar="SECONDS",
+        help="drop entries not used for more than this many seconds",
+    )
+    cache_gc.add_argument(
+        "--max-bytes", type=int, default=None, metavar="BYTES",
+        help="evict least-recently-used entries down to this many bytes",
+    )
+    cache_gc.add_argument("--dir", default=None, metavar="DIR")
 
     sub.add_parser("counterexample", help="print the Appendix-B 7/12 report")
     return parser
@@ -384,6 +446,8 @@ def _progress_printer(total: int):
             )
             return
         backend = record.resolved_backend
+        if record.cache_hit:
+            backend += " (cached)"
         if record.degraded_from:
             backend += f" (degraded from {record.degraded_from})"
         print(
@@ -395,7 +459,35 @@ def _progress_printer(total: int):
     return progress
 
 
+def _cmd_study_cache(args: argparse.Namespace) -> int:
+    from .study import ResultCache
+
+    cache = ResultCache(args.dir)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        rate = stats["hit_rate"]
+        rate_text = f"{rate:.1%}" if rate is not None else "n/a (no lookups)"
+        print(f"cache dir : {stats['dir']}")
+        print(f"entries   : {stats['entries']}")
+        print(f"bytes     : {stats['bytes']}")
+        print(
+            f"hit rate  : {rate_text} "
+            f"({stats['hits']} hits / {stats['misses']} misses since last gc)"
+        )
+        return 0
+    swept = cache.gc(max_age_s=args.max_age, max_bytes=args.max_bytes)
+    print(
+        f"gc removed {swept['removed']} entr"
+        f"{'y' if swept['removed'] == 1 else 'ies'}; "
+        f"{swept['entries']} kept ({swept['bytes']} bytes); "
+        "hit/miss counters reset"
+    )
+    return 0
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
+    if args.study_command == "cache":
+        return _cmd_study_cache(args)
     if args.study_command == "report":
         try:
             store = load_study_store(args.store)
@@ -417,6 +509,9 @@ def _cmd_study(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"no store to resume at {store_path} (run `repro study run` first)"
         )
+    cache = args.cache
+    if args.cache_dir is not None and cache is not False:
+        cache = args.cache_dir
     try:
         store = api.study(
             spec,
@@ -426,6 +521,9 @@ def _cmd_study(args: argparse.Namespace) -> int:
             progress=_progress_printer(spec.num_cells()),
             max_attempts=args.max_attempts,
             deadline_s=args.deadline,
+            workers=args.workers,
+            max_inflight=args.max_inflight,
+            cache=cache,
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise SystemExit(f"cannot run this study: {exc}") from exc
@@ -445,6 +543,9 @@ def _cmd_study(args: argparse.Namespace) -> int:
         state = "complete"
     else:
         state = f"{done}/{total} cells (resumable)"
+    hits = sum(1 for record in store.records() if record.cache_hit)
+    if hits:
+        state += f" ({hits} cell{'s' if hits != 1 else ''} from cache)"
     print(f"store saved to {store_path} — {state}")
     if not args.quiet:
         print(study_report(store).render())

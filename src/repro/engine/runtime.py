@@ -68,6 +68,7 @@ whose ``--backend`` choices are derived from this registry).
 from __future__ import annotations
 
 import atexit
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Protocol
 
@@ -410,15 +411,20 @@ def degradation_ladder(name: str) -> "tuple[str, ...]":
 
 _SHARED_EXECUTOR: "ShardedEnsembleExecutor | None" = None
 
+#: Guards the module-global executor slot: the study runner's cell
+#: scheduler may reach it from several worker threads at once.
+_SHARED_EXECUTOR_LOCK = threading.Lock()
+
 
 def shared_executor(workers: int) -> ShardedEnsembleExecutor:
     """The runtime's persistent pool, respawned lazily on count changes."""
     global _SHARED_EXECUTOR
-    if _SHARED_EXECUTOR is None:
-        _SHARED_EXECUTOR = ShardedEnsembleExecutor(workers=workers)
-    else:
-        _SHARED_EXECUTOR.workers = workers
-    return _SHARED_EXECUTOR
+    with _SHARED_EXECUTOR_LOCK:
+        if _SHARED_EXECUTOR is None:
+            _SHARED_EXECUTOR = ShardedEnsembleExecutor(workers=workers)
+        else:
+            _SHARED_EXECUTOR.workers = workers
+        return _SHARED_EXECUTOR
 
 
 def pool_is_warm(workers: int) -> bool:
@@ -431,11 +437,12 @@ def pool_is_warm(workers: int) -> bool:
 
 
 def shutdown_pools() -> None:
-    """Tear the shared pool down (safe to call repeatedly)."""
+    """Tear the shared pool down (safe to call repeatedly, any thread)."""
     global _SHARED_EXECUTOR
-    if _SHARED_EXECUTOR is not None:
-        _SHARED_EXECUTOR.close()
-        _SHARED_EXECUTOR = None
+    with _SHARED_EXECUTOR_LOCK:
+        executor, _SHARED_EXECUTOR = _SHARED_EXECUTOR, None
+    if executor is not None:
+        executor.close()
 
 
 atexit.register(shutdown_pools)

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 import weakref
 from dataclasses import dataclass
@@ -169,6 +170,12 @@ class ShardedEnsembleExecutor:
         self.mp_context = mp_context
         self._pool = None
         self._finalizer = None
+        # Pool lifecycle is lock-guarded: with the study runner's cell
+        # scheduler, several worker threads may race the first map (both
+        # spawning a pool and leaking one) or a deadline's pool teardown
+        # may race an inflight spawn.  Mapping itself needs no guard —
+        # ``apply_async`` is thread-safe — only create/teardown does.
+        self._pool_lock = threading.RLock()
 
     @property
     def workers(self) -> int:
@@ -187,21 +194,23 @@ class ShardedEnsembleExecutor:
         return self._pool is not None
 
     def _ensure_pool(self):
-        if self._pool is None:
-            context = multiprocessing.get_context(self.mp_context)
-            self._pool = context.Pool(processes=self._workers)
-            self._finalizer = weakref.finalize(
-                self, _terminate_pool, self._pool
-            )
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                context = multiprocessing.get_context(self.mp_context)
+                self._pool = context.Pool(processes=self._workers)
+                self._finalizer = weakref.finalize(
+                    self, _terminate_pool, self._pool
+                )
+            return self._pool
 
     def close(self) -> None:
         """Tear the worker pool down (a later call respawns it lazily)."""
-        if self._pool is not None:
-            self._finalizer.detach()
-            _terminate_pool(self._pool)
-            self._pool = None
-            self._finalizer = None
+        with self._pool_lock:
+            if self._pool is not None:
+                self._finalizer.detach()
+                _terminate_pool(self._pool)
+                self._pool = None
+                self._finalizer = None
 
     def __enter__(self) -> "ShardedEnsembleExecutor":
         return self

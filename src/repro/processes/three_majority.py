@@ -2,7 +2,13 @@
 
 Each node samples three nodes independently and uniformly at random.  If
 some color appears in at least two samples, the node adopts it; otherwise
-it adopts the color of a uniformly random sample.
+it adopts the color of one of the samples.  The paper states the
+tie-break as a uniformly random sample and notes (footnote 1) that a
+*fixed* sample induces the same adoption law — the samples are
+exchangeable — so this implementation adopts the third sample: the rule
+is then *draw-count-stable* (exactly ``3n`` draws per round, tie or no
+tie), which keeps every backend, the fused wavefront kernel included,
+on identical rng streams.
 
 The paper's alternative formulation makes the relation to 2-Choices
 explicit: sample two nodes; if they agree, adopt ("2-Choices branch");
@@ -51,13 +57,15 @@ class ThreeMajority(ACAgentProcess):
         self, own: np.ndarray, picks: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
         a, b, c = picks[..., 0], picks[..., 1], picks[..., 2]
-        # A color seen at least twice wins; with all three distinct, a
-        # uniformly random sample is adopted (footnote 1: a *fixed* sample
-        # would do as well — the distributions coincide — but we implement
-        # the stated rule).
-        random_pick = rng.integers(0, 3, size=a.shape)
-        fallback = np.take_along_axis(picks, random_pick[..., None], axis=-1)[..., 0]
-        return np.where(a == b, a, np.where(b == c, b, np.where(a == c, a, fallback)))
+        # A color seen at least twice wins; with all three distinct, the
+        # *third* sample is adopted.  Footnote 1: the three samples are
+        # exchangeable, so a fixed sample's color has exactly the uniform
+        # tie-break's marginal law — the adoption law is Equation (2)
+        # either way.  Taking the fixed sample makes the rule draw-free
+        # (3n draws per round, tie or no tie), which is what lets every
+        # engine — including the wavefront kernel, whose draw *shapes*
+        # differ — consume identical streams and stay bit-for-bit.
+        return np.where(a == b, a, np.where(b == c, b, np.where(a == c, a, c)))
 
     def update_ensemble(
         self, colors: np.ndarray, rng: np.random.Generator

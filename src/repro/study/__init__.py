@@ -24,12 +24,28 @@ This package makes the set itself a first-class artifact:
   per-cell failures as ``status="failed"`` / ``"timeout"`` records,
   journals each record crash-safely, and supports bit-for-bit
   ``resume=`` of interrupted runs (broken cells are re-attempted).
+* :class:`CellScheduler` (``scheduler.py``) — concurrent cell dispatch
+  (``workers`` / ``max_inflight``, the ``[parallel]`` spec table):
+  independent cells run on a bounded worker set while the store keeps a
+  single writer and ``results_equal`` stays bit-for-bit vs sequential.
+* :class:`ResultCache` (``cache.py``) — the shared content-addressed
+  result cache (the ``[cache]`` spec table, ``$REPRO_CACHE_DIR``):
+  overlapping studies replay clean records (``cache_hit=True``) instead
+  of re-simulating.
 * :func:`study_report` (``report.py``) — renders a store as tables.
 
 The user-facing entry points are re-exported by :mod:`repro.api`
 (``simulate`` / ``sweep`` / ``study``).
 """
 
+from .cache import (
+    CACHE_KEYS,
+    ResultCache,
+    canonical_cache_value,
+    default_cache_dir,
+    encode_cache_value,
+    resolve_cache,
+)
 from .compile import (
     ADVERSARY_NAMES,
     StudyCell,
@@ -48,6 +64,13 @@ from .policy import (
 )
 from .report import study_report
 from .runner import execute_cells, run_study
+from .scheduler import (
+    PARALLEL_KEYS,
+    CellScheduler,
+    canonical_parallel_value,
+    encode_parallel_value,
+    resolve_parallel,
+)
 from .spec import AXIS_NAMES, StudySpec, spec_hash
 from .store import (
     STORE_FORMAT_VERSION,
@@ -62,9 +85,13 @@ from .toml_io import load_spec, loads_spec, dumps_spec, save_spec
 __all__ = [
     "ADVERSARY_NAMES",
     "AXIS_NAMES",
+    "CACHE_KEYS",
+    "PARALLEL_KEYS",
     "POLICY_KEYS",
     "CellDeadlineExceeded",
+    "CellScheduler",
     "ExecutionPolicy",
+    "ResultCache",
     "RunRecord",
     "STORE_FORMAT_VERSION",
     "StoreCorruptError",
@@ -73,9 +100,14 @@ __all__ = [
     "StudyStore",
     "as_execution_policy",
     "build_adversary",
+    "canonical_cache_value",
+    "canonical_parallel_value",
     "canonical_policy_value",
     "compile_study",
+    "default_cache_dir",
     "dumps_spec",
+    "encode_cache_value",
+    "encode_parallel_value",
     "encode_policy_value",
     "execute_cells",
     "journal_path",
@@ -83,6 +115,8 @@ __all__ = [
     "load_study_store",
     "loads_spec",
     "parse_stop",
+    "resolve_cache",
+    "resolve_parallel",
     "resolve_policy",
     "run_study",
     "save_spec",

@@ -38,6 +38,26 @@ records a resumed run adds are exactly the records the uninterrupted run
 would have produced — enforced by ``tests/test_study.py`` and the
 ``study-smoke`` / ``faults-smoke`` / ``supervision-smoke`` steps of
 ``scripts/check.sh``.
+
+Parallel scheduling and the result cache
+----------------------------------------
+
+Cells are independent by construction (seeds never depend on execution
+order, each compiled cell carries its own recorder), so with
+``workers > 1`` the pending cells dispatch onto a
+:class:`~repro.study.scheduler.CellScheduler` instead of the sequential
+loop: records are journaled in completion order the moment each future
+lands (the main thread stays the store's single writer), and the store
+still satisfies ``results_equal`` bit-for-bit against a sequential run
+because record identity is ``cell_id``, not order.  Supervision
+survives: each worker thread runs the same ``_record_cell`` loop, whose
+deadline automatically takes the timer/pool-teardown path off the main
+thread, and the scheduler's watchdog abandons the one shape that path
+cannot interrupt (a pure in-process hang).  With a cache enabled
+(:mod:`repro.study.cache`), every pending cell is looked up before it is
+scheduled — a hit is journaled immediately with ``cache_hit=True`` and
+never simulates — and every fresh clean record is memoized for the next
+overlapping study.
 """
 
 from __future__ import annotations
@@ -60,6 +80,7 @@ from ..engine.runtime import (
     resolve_backend,
     shutdown_pools,
 )
+from .cache import resolve_cache
 from .compile import StudyCell, compile_study
 from .policy import (
     CellDeadlineExceeded,
@@ -68,6 +89,7 @@ from .policy import (
     classify_error,
     resolve_policy,
 )
+from .scheduler import CellScheduler, resolve_parallel
 from .spec import StudySpec, spec_hash
 from .store import RunRecord, StudyStore, journal_path, load_study_store
 
@@ -366,8 +388,9 @@ def execute_cells(
     the exception, not a record.
     """
     records = []
+    policy = ExecutionPolicy()  # resolved once, reused across the run
     for cell in cells:
-        record = _record_cell(cell)
+        record = _record_cell(cell, policy=policy)
         records.append(record)
         if progress is not None:
             progress(cell, record)
@@ -385,6 +408,9 @@ def run_study(
     max_attempts: "int | None" = None,
     policy: "ExecutionPolicy | None" = None,
     deadline_s: "float | None" = None,
+    workers: "int | None" = None,
+    max_inflight: "int | None" = None,
+    cache=None,
 ) -> StudyStore:
     """Execute a study spec; optionally checkpoint and resume.
 
@@ -428,6 +454,25 @@ def run_study(
         An explicit :class:`ExecutionPolicy`.  Precedence: this argument,
         else the spec's ``[execution]`` table, else the defaults — then
         the ``max_attempts`` / ``deadline_s`` overrides.
+    workers, max_inflight:
+        Concurrent cell scheduling (the ``--workers`` CLI knob).
+        Precedence: these arguments, else the spec's ``[parallel]``
+        table, else sequential.  ``workers > 1`` dispatches pending
+        cells onto a :class:`~repro.study.scheduler.CellScheduler` with
+        at most ``max_inflight`` (default ``2 * workers``) cells in
+        flight; results are identical to the sequential run, bit for
+        bit.  Passed as arguments (rather than spec edits) they leave
+        the ``spec_hash`` — and therefore resume and ``results_equal``
+        against sequential stores — untouched.
+    cache:
+        The content-addressed result cache
+        (:mod:`repro.study.cache`).  ``None`` defers to the spec's
+        ``[cache]`` table (default: off); ``False`` (``--no-cache``)
+        forces caching off; ``True`` enables it in the shared default
+        directory; a string names the directory; a
+        :class:`~repro.study.cache.ResultCache` is used as-is.  Hits
+        are stamped ``cache_hit=True``; ``results_equal`` ignores the
+        stamp.
     """
     if max_cells is not None and max_cells < 1:
         raise ValueError("max_cells must be positive")
@@ -441,6 +486,10 @@ def run_study(
         max_attempts=max_attempts,
         deadline_s=deadline_s,
     )
+    run_workers, run_inflight = resolve_parallel(
+        spec.parallel, workers=workers, max_inflight=max_inflight
+    )
+    result_cache = resolve_cache(cache, spec.cache)
     resume_path = resume if isinstance(resume, str) else store_path
     store = None
     if resume:
@@ -467,22 +516,89 @@ def run_study(
         store = StudyStore(spec)
     if store_path is not None:
         store.begin_journal(store_path)
-    executed = 0
-    try:
+    started = 0
+
+    def finish(cell: StudyCell, record: RunRecord) -> None:
+        """Land one record: store, journal, memoize, report.
+
+        Called only on the main thread — whatever the worker count, the
+        store (and its journal) has exactly one writer.
+        """
+        store.add(record)
+        if store_path is not None:
+            store.checkpoint(record)
+        if result_cache is not None and not record.cache_hit:
+            result_cache.put(record)
+        if progress is not None:
+            progress(cell, record)
+
+    def pending_cells():
+        """The cells this run must execute, cache hits already landed.
+
+        Skips cells an existing store covers, caps *started* work at
+        ``max_cells`` (hits count: they produce new records), and lands
+        cache hits inline — a hit re-stamps the current compile's index
+        (an overlapping spec may order shared cells differently) and
+        never reaches the scheduler.
+        """
+        nonlocal started
         for cell in compile_study(spec):
             existing = store.get(cell.cell_id)
             if existing is not None and existing.ok:
                 continue
-            if max_cells is not None and executed >= max_cells:
-                break
-            record = _record_cell(cell, on_error=on_error, policy=live_policy)
-            store.add(record)
-            executed += 1
-            if store_path is not None:
-                store.checkpoint(record)
-            if progress is not None:
-                progress(cell, record)
+            if max_cells is not None and started >= max_cells:
+                return
+            if result_cache is not None:
+                cached = result_cache.get(cell.cell_id)
+                if cached is not None:
+                    started += 1
+                    finish(
+                        cell,
+                        replace(cached, index=cell.index, cache_hit=True),
+                    )
+                    continue
+            started += 1
+            yield cell
+
+    try:
+        if run_workers <= 1:
+            for cell in pending_cells():
+                record = _record_cell(
+                    cell, on_error=on_error, policy=live_policy
+                )
+                finish(cell, record)
+        else:
+            # Per-cell total budget before a worker the deadline fallback
+            # cannot interrupt is written off (see CellScheduler).
+            watchdog_s = None
+            abandon = None
+            if live_policy.deadline_s is not None:
+                watchdog_s = (
+                    live_policy.deadline_s * live_policy.max_attempts + 1.0
+                )
+
+                def abandon(cell, elapsed):
+                    exc = CellDeadlineExceeded(live_policy.deadline_s)
+                    return _timeout_record(cell, exc, 1, [elapsed], elapsed)
+
+            scheduler = CellScheduler(
+                lambda cell: _record_cell(
+                    cell, on_error=on_error, policy=live_policy
+                ),
+                run_workers,
+                max_inflight=run_inflight,
+                watchdog_s=watchdog_s,
+            )
+            try:
+                for cell, record in scheduler.run(
+                    pending_cells(), abandon=abandon
+                ):
+                    finish(cell, record)
+            finally:
+                scheduler.shutdown()
     finally:
+        if result_cache is not None:
+            result_cache.flush()
         if store_path is not None:
             # Compaction is atomic (save lands before the journal
             # unlinks), so even an exception path leaves one consistent

@@ -46,13 +46,19 @@ faults       ``None`` | ``{"crash": p, "recover": q, "loss": r,
 ``None`` appears in TOML/JSON as the string ``"none"`` (TOML has no
 null); the canonical in-memory form is the Python ``None``.
 
-Beyond the axes, a spec may carry an optional ``[execution]`` table —
-the declarative form of :class:`~repro.study.policy.ExecutionPolicy`
-(``deadline_s``, ``max_attempts``, ``backoff_s``, ``backoff_max_s``,
-``jitter``, ``degrade``).  It configures how cells are *supervised*,
-never what they measure: the table is elided from :meth:`to_dict` when
-it equals the defaults (so pre-existing ``spec_hash``\\ es survive) and
-never enters cell params (so cell ids are policy-independent).
+Beyond the axes, a spec may carry three optional *supervision* tables,
+all sharing the same contract — elided from :meth:`to_dict` when they
+equal the defaults (so pre-existing ``spec_hash``\\ es survive) and
+never entering cell params (so cell ids stay independent of them):
+
+* ``[execution]`` — the declarative
+  :class:`~repro.study.policy.ExecutionPolicy` (``deadline_s``,
+  ``max_attempts``, ``backoff_s``, ``backoff_max_s``, ``jitter``,
+  ``degrade``): how cells are supervised;
+* ``[parallel]`` — the :mod:`~repro.study.scheduler` knobs
+  (``workers``, ``max_inflight``): how cells are scheduled;
+* ``[cache]`` — the :mod:`~repro.study.cache` knobs (``enabled``,
+  ``dir``): where completed results may be replayed from.
 """
 
 from __future__ import annotations
@@ -64,7 +70,9 @@ from typing import Any, Mapping
 
 from ..engine.plan import RNG_MODES, SCHEDULERS
 from ..faults import canonical_fault_value, encode_fault_value
+from .cache import canonical_cache_value, encode_cache_value
 from .policy import canonical_policy_value, encode_policy_value
+from .scheduler import canonical_parallel_value, encode_parallel_value
 
 __all__ = ["AXIS_NAMES", "REQUIRED_AXES", "StudySpec", "spec_hash"]
 
@@ -284,6 +292,14 @@ class StudySpec:
     #: ``None`` = the all-defaults policy.  Supervision only — elided
     #: when default, never part of cell params or cell ids.
     execution: "dict | None" = None
+    #: Declarative scheduling (the ``[parallel]`` TOML table:
+    #: ``workers``, ``max_inflight``); ``None`` = sequential.  Same
+    #: elision contract as ``execution``.
+    parallel: "dict | None" = None
+    #: Declarative result caching (the ``[cache]`` TOML table:
+    #: ``enabled``, ``dir``); ``None`` = caching off.  Same elision
+    #: contract as ``execution``.
+    cache: "dict | None" = None
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -308,6 +324,14 @@ class StudySpec:
             self.execution = canonical_policy_value(self.execution)
         except (KeyError, TypeError, ValueError) as exc:
             raise ValueError(f"execution: {exc}") from exc
+        try:
+            self.parallel = canonical_parallel_value(self.parallel)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"parallel: {exc}") from exc
+        try:
+            self.cache = canonical_cache_value(self.cache)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"cache: {exc}") from exc
         if self.expansion == "zip":
             lengths = {len(v) for v in self.axes.values() if len(v) > 1}
             if len(lengths) > 1:
@@ -360,6 +384,12 @@ class StudySpec:
             # Elided when default, like the faults axis: adding the
             # policy table must not orphan pre-existing spec hashes.
             out["execution"] = encoded_execution
+        encoded_parallel = encode_parallel_value(self.parallel)
+        if encoded_parallel:
+            out["parallel"] = encoded_parallel
+        encoded_cache = encode_cache_value(self.cache)
+        if encoded_cache:
+            out["cache"] = encoded_cache
         axes: dict = {}
         for axis, values in self.axes.items():
             if axis == "faults" and values == [None]:
@@ -384,6 +414,7 @@ class StudySpec:
             "name", "seed", "repetitions", "expansion", "workers",
             "check_every", "stable_fraction", "stable_rounds",
             "raise_on_limit", "record", "description", "execution",
+            "parallel", "cache",
         }
         unknown = set(data) - known
         if unknown:

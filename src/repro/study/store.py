@@ -13,10 +13,12 @@ completes the same study rather than guessing from file names.
 
 The format is schema-versioned like the sweep JSON
 (:mod:`repro.experiments.persistence`): readers accept the current
-version (and upgrade version-1/2 files in memory) and reject unknown
+version (and upgrade version-1/2/3 files in memory) and reject unknown
 future versions with a clear error.  Version 2 added the failure
-bookkeeping columns (``status`` / ``error``); version 3 adds
-``degraded_from`` and the ``"timeout"`` status.  A truncated or
+bookkeeping columns (``status`` / ``error``); version 3 added
+``degraded_from`` and the ``"timeout"`` status; version 4 adds
+``cache_hit`` (the record was replayed from the content-addressed
+result cache, :mod:`repro.study.cache`).  A truncated or
 hand-mangled store file surfaces as :class:`StoreCorruptError` naming
 the file, never as a bare JSON traceback.
 
@@ -58,10 +60,10 @@ __all__ = [
     "load_study_store",
 ]
 
-STORE_FORMAT_VERSION = 3
+STORE_FORMAT_VERSION = 4
 
 #: Formats this build can read (older versions upgrade in memory).
-_READABLE_VERSIONS = (1, 2, 3)
+_READABLE_VERSIONS = (1, 2, 3, 4)
 
 _JOURNAL_KIND = "repro-study-journal"
 
@@ -81,6 +83,7 @@ _COLUMNS = (
     "status",
     "error",
     "degraded_from",
+    "cache_hit",
 )
 
 #: Statuses a record may carry; everything but ``"ok"`` is re-attempted
@@ -130,6 +133,9 @@ class RunRecord:
     #: The backend originally resolved, when transient failures forced
     #: the runner down the degradation ladder; ``None`` otherwise.
     degraded_from: "str | None" = None
+    #: The record was replayed from the content-addressed result cache
+    #: instead of being simulated (:mod:`repro.study.cache`).
+    cache_hit: bool = False
 
     @property
     def ok(self) -> bool:
@@ -146,7 +152,9 @@ class RunRecord:
         execution-environment noise, not a result.  ``degraded_from`` is
         likewise environment history (which pool happened to die), not a
         result: the per-replica rng contract makes the degraded samples
-        identical, and this predicate is what proves it.
+        identical, and this predicate is what proves it.  ``cache_hit``
+        is ignored for the same reason — where a result came from is not
+        what it is.
         """
         return (
             self.cell_id == other.cell_id
@@ -183,6 +191,7 @@ def _encode_record(record: RunRecord) -> dict:
         "status": record.status,
         "error": record.error,
         "degraded_from": record.degraded_from,
+        "cache_hit": bool(record.cache_hit),
     }
 
 
@@ -206,6 +215,7 @@ def _decode_record(row: Mapping) -> RunRecord:
         status=status,
         error=row.get("error"),
         degraded_from=row.get("degraded_from"),
+        cache_hit=bool(row.get("cache_hit", False)),
     )
 
 
@@ -411,11 +421,13 @@ class StudyStore:
         columns = payload["columns"]
         count = len(columns["cell_id"])
         # Version-1 files predate the failure columns, version-2 files
-        # the degradation column: upgrade in memory.
+        # the degradation column, version-3 files the cache column:
+        # upgrade in memory.
         defaults = {
             "status": ["ok"] * count,
             "error": [None] * count,
             "degraded_from": [None] * count,
+            "cache_hit": [False] * count,
         }
         for i in range(count):
             row = {

@@ -4,8 +4,8 @@ Reading uses the standard library's :mod:`tomllib`; writing is a small
 purpose-built emitter (the stdlib has no TOML writer and the container
 pins its package set), covering exactly the value shapes a spec dict
 contains: strings, ints, floats, booleans, homogeneous-or-mixed arrays,
-and one level of sub-tables (``[record]``, ``[execution]``, ``[axes]``)
-whose array
+and one level of sub-tables (``[record]``, ``[execution]``,
+``[parallel]``, ``[cache]``, ``[axes]``) whose array
 entries may be inline tables.  The contract is round-trip losslessness:
 
 >>> loads_spec(dumps_spec(spec)) == spec   # doctest: +SKIP
@@ -65,17 +65,16 @@ def dumps_spec(spec: StudySpec) -> str:
     """Serialise a spec to a TOML document string."""
     payload = spec.to_dict()
     axes = payload.pop("axes")
-    record = payload.pop("record", None)
-    execution = payload.pop("execution", None)
+    tables = [
+        (name, payload.pop(name, None))
+        for name in ("record", "execution", "parallel", "cache")
+    ]
     lines = [f"{_key(k)} = {_value(v)}" for k, v in payload.items()]
-    if record is not None:
-        lines.append("")
-        lines.append("[record]")
-        lines.extend(f"{_key(k)} = {_value(v)}" for k, v in record.items())
-    if execution is not None:
-        lines.append("")
-        lines.append("[execution]")
-        lines.extend(f"{_key(k)} = {_value(v)}" for k, v in execution.items())
+    for name, table in tables:
+        if table is not None:
+            lines.append("")
+            lines.append(f"[{name}]")
+            lines.extend(f"{_key(k)} = {_value(v)}" for k, v in table.items())
     lines.append("")
     lines.append("[axes]")
     lines.extend(f"{_key(k)} = {_value(v)}" for k, v in axes.items())

@@ -51,6 +51,12 @@ def test_engine_throughput_smoke(tmp_path):
     assert report["async"]["speedup"] > 1.0, report["async"]
     assert report["adversary"]["speedup"] > 1.0, report["adversary"]
     assert report["adversary"]["counts_all_valid"] is True
+    # Study-layer correctness gates (deterministic): workers=2 must be
+    # bit-for-bit the sequential run, and the second pass over the warm
+    # result cache must replay every cell.
+    study = report["study-parallel"]
+    assert study["parallel_results_equal"] is True, study
+    assert study["cache_hit_rate"] == 1.0, study
     # Every section records the runtime cost model's backend decision.
     assert headline["resolved_backend"] == "ensemble-counts"
     assert report["sharded"]["resolved_backend"].startswith(("ensemble-", "sharded-"))

@@ -147,14 +147,18 @@ def test_async_plan_matches_sequential_runner():
     )
     assert np.array_equal(ensemble.times, direct.ticks)
     # The cost model sends repeated async measurements to the fused
-    # wavefront kernel (bit-for-bit the ensemble engine for processes
-    # whose sample rule draws nothing — pinned below on Voter).
+    # wavefront kernel, which is bit-for-bit the ensemble engine for
+    # draw-free sample rules — since the fixed-sample tie-break
+    # (footnote 1) that now includes 3-Majority itself.
     auto = _plan(
         ThreeMajority, initial, "auto", repetitions=4,
         scheduler="asynchronous", max_rounds=budget, rng_mode="batched",
     )
     assert resolve_backend(auto).spec.name == "kernel-async"
     kernel = execute(auto)
+    assert kernel.unit == "ticks"
+    assert np.array_equal(kernel.times, direct.ticks)
+    assert np.array_equal(kernel.final_counts, direct.final_counts)
     voter_auto = _plan(
         Voter, initial, "auto", repetitions=4,
         scheduler="asynchronous", max_rounds=budget, rng_mode="batched",
@@ -166,7 +170,6 @@ def test_async_plan_matches_sequential_runner():
     )
     assert np.array_equal(voter_kernel.times, voter_engine.ticks)
     assert np.array_equal(voter_kernel.final_counts, voter_engine.final_counts)
-    assert kernel.unit == "ticks"
 
 
 def test_adversary_plan_matches_sequential_runner():

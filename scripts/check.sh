@@ -32,12 +32,19 @@
 #      store, and a second run over the warm result cache replaying every
 #      cell (100% hits) — plus the committed BENCH_engine.json carrying a
 #      study-parallel section with positive parallel throughput.
-#   7. smoke     — the engine-throughput benchmark in ≤30 s mode
+#   7. serve-smoke — the service contract end-to-end: a daemon
+#      subprocess accepts studies/consensus_scaling.toml over HTTP,
+#      streams ndjson progress, is SIGKILL'd mid-run, and a second
+#      daemon on the same state dir resumes the job to a store
+#      bit-for-bit equal to an uninterrupted foreground run; then
+#      resubmission dedup (attach, no recompute) and a renamed spec
+#      served at 100% cache hits from the state-dir result cache.
+#   8. smoke     — the engine-throughput benchmark in ≤30 s mode
 #      (sequential vs ensemble headline, the persistent sharded pool at
 #      R=4 / workers=2, async / adversary engines, fault-path overhead,
 #      the fused-kernel section, and the runtime's resolved-backend
 #      record per section).
-#   8. kernels-smoke — the fused-kernel regression gate: re-measures the
+#   9. kernels-smoke — the fused-kernel regression gate: re-measures the
 #      smoke-size kernel scenarios under REPRO_NO_NUMBA=0 and =1 and
 #      fails on a >20% speedup drop vs the baselines recorded in the
 #      committed BENCH_engine.json (kernels.smoke_reference).  Both env
@@ -128,6 +135,8 @@ echo "== supervision-smoke: deadline kill + torn-journal resume =="
 python scripts/supervision_smoke.py
 echo "== parallel-smoke: workers=2 bit-for-bit + SIGKILL resume + warm cache =="
 python scripts/parallel_smoke.py
+echo "== serve-smoke: daemon SIGKILL -> restart resume + dedup + cache =="
+python scripts/serve_smoke.py
 python benchmarks/bench_engine_throughput.py --smoke
 echo "== kernels-smoke: fused-kernel regression gate (numba + numpy fallback) =="
 REPRO_NO_NUMBA=0 python benchmarks/bench_engine_throughput.py --kernels-check

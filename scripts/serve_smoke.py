@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""Serve smoke: the daemon's full service contract, end to end.
+
+The one scenario that cannot run comfortably inside pytest — a real
+``kill -9`` of the *daemon* while it executes a submitted study — plus
+the dedup/caching story, against the repo's headline experiment
+(``studies/consensus_scaling.toml``):
+
+Part A — foreground reference.  The spec runs in-process (no daemon,
+no cache); this store is the bit-for-bit yardstick for everything the
+service produces.
+
+Part B — kill/restart durability.  A daemon subprocess starts on a
+fresh state dir, the spec is submitted over HTTP, and the ndjson event
+stream is followed until the first ``record`` lands — then the daemon
+is SIGKILL'd (no ``finally``, no checkpointing courtesy).  A second
+daemon on the *same* state dir must replay its job journal, re-enqueue
+the in-flight job, finish it, and serve a result store
+``results_equal`` to Part A's — while a reconnected watcher sees the
+journal's valid prefix replayed plus the new records, no duplicates.
+
+Part C — content-addressed dedup.  Resubmitting the finished spec
+attaches to the done job (no recomputation); submitting a *renamed*
+copy (new spec_hash, identical cells) completes entirely from the
+state-dir result cache — 100% ``cache_hit`` records, results still
+bit-for-bit the reference.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import api
+from repro.serve import ServeClient, ServeError
+from repro.study import StudySpec, load_spec
+
+SPEC_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "studies", "consensus_scaling.toml"
+)
+
+
+def start_daemon(state_dir: str) -> "tuple[subprocess.Popen, str]":
+    """Launch ``repro serve`` on an ephemeral port; return (proc, url)."""
+    child = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--state-dir", state_dir],
+        env={
+            **os.environ,
+            "PYTHONPATH": os.path.join(os.path.dirname(__file__), "..", "src"),
+        },
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        line = child.stdout.readline()
+        match = re.search(r"listening on (http://\S+)", line or "")
+        if match:
+            return child, match.group(1)
+        if child.poll() is not None:
+            break
+        time.sleep(0.01)
+    raise AssertionError("daemon never announced its address")
+
+
+def part_b_kill_restart(tmp: str, reference) -> str:
+    state_dir = os.path.join(tmp, "state")
+    daemon, url = start_daemon(state_dir)
+    spec = load_spec(SPEC_PATH)
+    try:
+        client = ServeClient(url)
+        view = client.submit(spec)
+        job_id = view["id"]
+        print(f"part B: submitted job {job_id} ({view['num_cells']} cells)")
+        # Follow the stream just long enough to prove cells are landing,
+        # then SIGKILL the daemon mid-run.
+        streamed_before = 0
+        for event in client.events(job_id):
+            if event["event"] == "record":
+                streamed_before += 1
+                if streamed_before >= 1:
+                    break
+        assert streamed_before >= 1, "no record ever streamed"
+    finally:
+        daemon.send_signal(signal.SIGKILL)
+        daemon.wait()
+        daemon.stdout.close()
+    print(f"part B: SIGKILL'd the daemon after {streamed_before} streamed record(s)")
+
+    daemon, url = start_daemon(state_dir)
+    try:
+        client = ServeClient(url)
+        resumed_view = client.status(job_id)
+        assert resumed_view["state"] in ("queued", "running", "done"), resumed_view
+        killed_mid_run = resumed_view["counts"]["ok"] < resumed_view["num_cells"]
+        seen = []
+        final = client.wait(job_id, progress=seen.append)
+        assert final["state"] == "done", final
+        ids = [event["cell_id"] for event in seen]
+        assert len(ids) == len(set(ids)), "reattached stream duplicated records"
+        store = client.results_store(job_id)
+        assert store.results_equal(reference), (
+            "restarted daemon's store diverged from the foreground run"
+        )
+        print(
+            "part B: restart resumed the job "
+            f"({'mid-run' if killed_mid_run else 'already complete'}; "
+            f"{len(seen)} records on the reattached stream) — results "
+            "bit-for-bit the foreground run"
+        )
+        return state_dir, job_id
+    finally:
+        daemon.send_signal(signal.SIGTERM)
+        daemon.wait()
+        daemon.stdout.close()
+
+
+def part_c_dedup_and_cache(tmp: str, state_dir: str, job_id: str, reference):
+    daemon, url = start_daemon(state_dir)
+    spec = load_spec(SPEC_PATH)
+    try:
+        client = ServeClient(url)
+        again = client.submit(spec)
+        assert again["attached"] and again["id"] == job_id, again
+        assert again["state"] == "done", again
+        print("part C: resubmitting the finished spec attached (no recompute)")
+
+        renamed = StudySpec.from_dict(
+            {**spec.to_dict(), "name": "consensus-scaling (smoke rename)"}
+        )
+        view = client.submit(renamed)
+        assert view["id"] != job_id, "rename should be a new content hash"
+        final = client.wait(view["id"])
+        assert final["state"] == "done", final
+        counts = final["counts"]
+        assert counts["cached"] == counts["ok"] == view["num_cells"], counts
+        store = client.results_store(view["id"])
+        records = store.records()
+        assert all(record.cache_hit for record in records)
+        # results_equal compares spec hashes, which the rename changes by
+        # design; the *records* (same cell_ids, same seeds) must match.
+        assert len(records) == len(reference.records())
+        assert all(
+            mine.same_results(ref)
+            for mine, ref in zip(records, reference.records())
+        ), "cached records diverged"
+        print(
+            f"part C: renamed spec served {counts['cached']}/{view['num_cells']} "
+            "cells from the state-dir cache, bit-for-bit the reference"
+        )
+    finally:
+        daemon.send_signal(signal.SIGTERM)
+        daemon.wait()
+        daemon.stdout.close()
+
+
+def main() -> None:
+    reference = api.study(SPEC_PATH)
+    print(f"part A: foreground reference run complete ({len(reference)} cells)")
+    with tempfile.TemporaryDirectory() as tmp:
+        state_dir, job_id = part_b_kill_restart(tmp, reference)
+        part_c_dedup_and_cache(tmp, state_dir, job_id, reference)
+    print(
+        "serve-smoke OK: SIGKILL'd daemon resumed bit-for-bit on restart; "
+        "dedup attached; renamed spec at 100% cache hits"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -72,7 +72,7 @@ from .processes import (
 __version__ = "1.1.0"
 
 from . import api
-from .api import simulate, study, sweep
+from .api import simulate, study, sweep, validate
 from .study import (
     RunRecord,
     StoreCorruptError,
@@ -133,5 +133,6 @@ __all__ = [
     "run_ensemble",
     "strassen_coupling",
     "symmetry_breaking_time",
+    "validate",
     "verify_dominance_exhaustive",
 ]

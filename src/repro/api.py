@@ -1,6 +1,6 @@
-"""The public facade: ``repro.api`` — simulate, sweep, study.
+"""The public facade: ``repro.api`` — simulate, sweep, study, validate.
 
-Three verbs cover what users do with the library, all declarative and
+Four verbs cover what users do with the library, all declarative and
 all funnelled through the same stack (StudySpec → study cells →
 :class:`~repro.engine.plan.SimulationPlan` → the backend registry of
 :mod:`repro.engine.runtime`):
@@ -20,6 +20,11 @@ all funnelled through the same stack (StudySpec → study cells →
     A full experiment suite from a :class:`~repro.study.StudySpec` (or a
     TOML path), with a provenance-carrying result store and bit-for-bit
     ``resume=``.
+
+``validate(...)``
+    Compile-only: eagerly expand and validate a spec's whole grid
+    without running anything — the gate shared by ``repro study
+    validate`` and the daemon's ``POST /jobs``.
 
 Everything here is re-exported from the top-level package::
 
@@ -41,13 +46,13 @@ from .experiments.harness import SweepResult, sweep_result_from_records
 from .experiments.workloads import resolve_workload
 from .processes.base import AgentProcess
 from .processes.registry import make_process
-from .study.compile import build_adversary, parse_stop
+from .study.compile import build_adversary, parse_stop, validate_study
 from .study.runner import run_study
 from .study.spec import StudySpec
 from .study.store import StudyStore
 from .study.toml_io import load_spec
 
-__all__ = ["simulate", "sweep", "study"]
+__all__ = ["simulate", "sweep", "study", "validate"]
 
 
 def _as_process_factory(process) -> "Callable[[], AgentProcess]":
@@ -223,6 +228,32 @@ def sweep(
     )
 
 
+def _as_spec(spec) -> StudySpec:
+    """Accept a StudySpec, a TOML path, or a plain dict."""
+    if isinstance(spec, str):
+        return load_spec(spec)
+    if isinstance(spec, StudySpec):
+        return spec
+    if isinstance(spec, dict):
+        return StudySpec.from_dict(spec)
+    raise TypeError(
+        f"spec must be a StudySpec, a TOML path or a dict; got "
+        f"{type(spec).__name__}"
+    )
+
+
+def validate(spec) -> dict:
+    """Compile-only validation of a study spec; nothing runs.
+
+    Accepts the same spec forms as :func:`study` and returns
+    :func:`repro.study.compile.validate_study`'s summary — ``name``,
+    ``spec_hash``, ``num_cells``, ``repetitions`` and the per-cell
+    ``(index, cell_id, label)`` listing.  Invalid specs raise the
+    compiler's errors eagerly, for the *whole* grid.
+    """
+    return validate_study(_as_spec(spec))
+
+
 def study(
     spec,
     *,
@@ -237,6 +268,7 @@ def study(
     workers: "int | None" = None,
     max_inflight: "int | None" = None,
     cache=None,
+    stop_event=None,
 ) -> StudyStore:
     """Run a study from a :class:`StudySpec`, a TOML path, or a dict.
 
@@ -250,19 +282,12 @@ def study(
     shared content-addressed result cache; ``True`` / ``False`` / a
     directory) — in particular, resumed runs complete interrupted
     stores (journal and all) bit-for-bit and re-attempt failed or
-    timed-out cells.
+    timed-out cells.  ``stop_event`` is the cooperative stop flag of
+    :func:`~repro.study.runner.run_study`: setting it checkpoints the
+    cell in flight and returns a store with ``interrupted=True``.
     """
-    if isinstance(spec, str):
-        spec = load_spec(spec)
-    elif isinstance(spec, dict):
-        spec = StudySpec.from_dict(spec)
-    elif not isinstance(spec, StudySpec):
-        raise TypeError(
-            f"spec must be a StudySpec, a TOML path or a dict; got "
-            f"{type(spec).__name__}"
-        )
     return run_study(
-        spec,
+        _as_spec(spec),
         store_path=store_path,
         resume=resume,
         max_cells=max_cells,
@@ -274,4 +299,5 @@ def study(
         workers=workers,
         max_inflight=max_inflight,
         cache=cache,
+        stop_event=stop_event,
     )

@@ -26,9 +26,19 @@ facade (everything they do is a few lines of library calls, shown in
     concurrently (bit-for-bit equal to sequential) and ``--cache`` /
     ``--no-cache`` controls the shared content-addressed result cache;
     ``study resume`` completes an interrupted store bit-for-bit;
+    ``study validate`` compiles a spec's whole grid without running it;
     ``study report`` renders a saved store without re-simulating;
     ``study cache stats`` / ``study cache gc`` inspect and bound the
-    shared cache.
+    shared cache.  The service verbs — ``study submit`` / ``status`` /
+    ``watch`` / ``results`` / ``cancel`` — talk to a running daemon
+    over its JSON wire protocol (``--url``, default
+    ``$REPRO_SERVE_URL`` or ``http://127.0.0.1:8321``).
+
+``serve``
+    The study-execution daemon (:mod:`repro.serve`): accepts specs over
+    HTTP, queues them through a single-writer executor, streams
+    progress, and survives kill/restart on the same ``--state-dir``
+    with bit-for-bit resume.
 
 ``counterexample``
     Print the Appendix-B report (the exact ``7/12`` computation).
@@ -60,6 +70,18 @@ from .study import (
 )
 
 __all__ = ["main", "build_parser"]
+
+#: The daemon's conventional port (any free port works; ``--port 0``
+#: binds an ephemeral one and announces it on stdout).
+DEFAULT_SERVE_PORT = 8321
+
+
+def _serve_base_url(args: argparse.Namespace) -> str:
+    if args.url:
+        return args.url
+    return os.environ.get(
+        "REPRO_SERVE_URL", f"http://127.0.0.1:{DEFAULT_SERVE_PORT}"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -271,6 +293,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("store", help="path to a study store JSON file")
 
+    validate = study_sub.add_parser(
+        "validate", help="compile a spec's whole grid without running it"
+    )
+    validate.add_argument("spec", help="path to a StudySpec TOML file")
+    validate.add_argument(
+        "--cells", action="store_true", help="also list every compiled cell"
+    )
+
+    def _serve_url(sub_parser):
+        sub_parser.add_argument(
+            "--url", default=None, metavar="URL",
+            help=(
+                "daemon address (default: $REPRO_SERVE_URL, else "
+                f"http://127.0.0.1:{DEFAULT_SERVE_PORT})"
+            ),
+        )
+
+    submit = study_sub.add_parser(
+        "submit", help="submit a spec to a running repro serve daemon"
+    )
+    submit.add_argument("spec", help="path to a StudySpec TOML file")
+    submit.add_argument(
+        "--watch", action="store_true",
+        help="stay attached and stream progress until the job finishes",
+    )
+    _serve_url(submit)
+
+    status = study_sub.add_parser("status", help="one job's state and cell counts")
+    status.add_argument("job", help="job id (the spec_hash from submit)")
+    _serve_url(status)
+
+    watch = study_sub.add_parser(
+        "watch", help="stream a job's progress events until it finishes"
+    )
+    watch.add_argument("job", help="job id (the spec_hash from submit)")
+    _serve_url(watch)
+
+    results = study_sub.add_parser(
+        "results", help="fetch a job's result store from the daemon"
+    )
+    results.add_argument("job", help="job id (the spec_hash from submit)")
+    results.add_argument(
+        "--output", "-o", default=None,
+        help="save the store as JSON here instead of rendering the report",
+    )
+    _serve_url(results)
+
+    cancel = study_sub.add_parser("cancel", help="cancel a queued or running job")
+    cancel.add_argument("job", help="job id (the spec_hash from submit)")
+    _serve_url(cancel)
+
     cache = study_sub.add_parser(
         "cache", help="inspect / garbage-collect the shared result cache"
     )
@@ -294,6 +367,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="evict least-recently-used entries down to this many bytes",
     )
     cache_gc.add_argument("--dir", default=None, metavar="DIR")
+
+    serve = sub.add_parser(
+        "serve", help="run the study-execution daemon (see repro.serve)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=DEFAULT_SERVE_PORT,
+                       help=f"listen port (0 = ephemeral; default {DEFAULT_SERVE_PORT})")
+    serve.add_argument(
+        "--state-dir", default="repro-serve", metavar="DIR",
+        help=(
+            "durable service state: the job journal, one store per job, "
+            "and the daemon's result cache (default: ./repro-serve); a "
+            "restarted daemon on the same dir resumes in-flight jobs "
+            "bit-for-bit"
+        ),
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="schedule up to N cells of the running job concurrently",
+    )
+    serve.add_argument("--max-inflight", type=int, default=None, metavar="N")
+    serve.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=True,
+        help=(
+            "keep a result cache inside the state dir so resubmitted "
+            "specs replay at 100%% hits (default: on)"
+        ),
+    )
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="use DIR as the cache instead of <state-dir>/cache")
+    serve.add_argument(
+        "--verbose", action="store_true", help="log each HTTP request"
+    )
 
     sub.add_parser("counterexample", help="print the Appendix-B 7/12 report")
     return parser
@@ -485,9 +591,126 @@ def _cmd_study_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_study_validate(args: argparse.Namespace) -> int:
+    try:
+        summary = api.validate(args.spec)
+    except (OSError, KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(f"invalid spec: {exc}") from exc
+    print(
+        f"{summary['name']}: {summary['num_cells']} cells x "
+        f"{summary['repetitions']} repetitions (spec_hash {summary['spec_hash']})"
+    )
+    if args.cells:
+        for cell in summary["cells"]:
+            print(f"  [{cell['index']}] {cell['cell_id']}  {cell['label']}")
+    return 0
+
+
+def _print_job(view: dict) -> None:
+    counts = view["counts"]
+    done = counts["ok"] + counts["failed"] + counts["timeout"]
+    line = (
+        f"job {view['id']} ({view['name']}): {view['state']} — "
+        f"{done}/{view['num_cells']} cells"
+    )
+    detail = [
+        f"{counts[key]} {key}"
+        for key in ("failed", "timeout", "cached", "degraded")
+        if counts.get(key)
+    ]
+    if detail:
+        line += f" ({', '.join(detail)})"
+    if view.get("error"):
+        line += f" — {view['error']}"
+    print(line)
+
+
+def _print_event(event: dict, total: int) -> None:
+    index = event["index"] + 1
+    if event["status"] != "ok":
+        print(f"[{index}/{total}] cell {event['cell_id']}: {event['status'].upper()} "
+              f"({event['wall_time_s']:.2f}s; resubmit to retry)")
+        return
+    backend = event["backend"]
+    if event["cache_hit"]:
+        backend += " (cached)"
+    if event["degraded_from"]:
+        backend += f" (degraded from {event['degraded_from']})"
+    print(
+        f"[{index}/{total}] cell {event['cell_id']}: "
+        f"mean {event['mean']:.1f} {event['unit']} "
+        f"({backend}, {event['wall_time_s']:.2f}s)"
+    )
+
+
+def _cmd_study_serve_verb(args: argparse.Namespace) -> int:
+    from .serve import ServeClient, ServeError
+
+    client = ServeClient(_serve_base_url(args))
+    try:
+        if args.study_command == "submit":
+            try:
+                spec = load_spec(args.spec)
+            except (OSError, ValueError) as exc:
+                raise SystemExit(f"cannot load spec: {exc}") from exc
+            view = client.submit(spec)
+            verb = "attached to" if view["attached"] else "submitted"
+            print(f"{verb} job {view['id']} ({view['state']}, "
+                  f"{view['num_cells']} cells)")
+            if not args.watch:
+                return 0
+            args.job = view["id"]
+        if args.study_command in ("watch", "submit"):
+            total = client.status(args.job)["num_cells"]
+            final = client.wait(args.job, progress=lambda e: _print_event(e, total))
+            _print_job(final)
+            return 0 if final["state"] == "done" else 1
+        if args.study_command == "status":
+            _print_job(client.status(args.job))
+            return 0
+        if args.study_command == "cancel":
+            _print_job(client.cancel(args.job))
+            return 0
+        # results
+        payload = client.results(args.job)
+        if args.output:
+            from .study import StudyStore
+
+            StudyStore.from_dict(payload["store"]).save(args.output)
+            print(f"store saved to {args.output} (job state: {payload['state']})")
+            return 0
+        from .study import StudyStore
+
+        print(study_report(StudyStore.from_dict(payload["store"])).render())
+        return 0
+    except ServeError as exc:
+        raise SystemExit(f"daemon error: {exc}") from exc
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import serve
+
+    cache = args.cache
+    if args.cache_dir is not None and cache is not False:
+        cache = args.cache_dir
+    return serve(
+        host=args.host,
+        port=args.port,
+        state_dir=args.state_dir,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        cache=cache,
+        verbose=args.verbose,
+    )
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     if args.study_command == "cache":
         return _cmd_study_cache(args)
+    if args.study_command == "validate":
+        return _cmd_study_validate(args)
+    if args.study_command in ("submit", "status", "watch", "results", "cancel"):
+        return _cmd_study_serve_verb(args)
     if args.study_command == "report":
         try:
             store = load_study_store(args.store)
@@ -541,6 +764,13 @@ def _cmd_study(args: argparse.Namespace) -> int:
         )
     elif done == total:
         state = "complete"
+    elif store.interrupted:
+        # A graceful SIGTERM/SIGINT: the cell in flight was checkpointed
+        # and the journal compacted, so this is a clean exit, not a crash.
+        state = (
+            f"{done}/{total} cells — interrupted, checkpoint intact "
+            "(`repro study resume` continues bit-for-bit)"
+        )
     else:
         state = f"{done}/{total} cells (resumable)"
     hits = sum(1 for record in store.records() if record.cache_hit)
@@ -572,6 +802,8 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         return _cmd_sweep(args)
     if args.command == "study":
         return _cmd_study(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "counterexample":
         return _cmd_counterexample()
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover

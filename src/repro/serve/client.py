@@ -1,0 +1,137 @@
+"""A thin stdlib client for the study daemon.
+
+:class:`ServeClient` wraps ``urllib.request`` around the wire protocol
+of ``protocol.py``: every call sends/receives protocol-stamped JSON,
+raises :class:`ServeError` with the server's own message on non-2xx
+responses, and hands back plain dicts (the job views and event lines
+exactly as documented there).  ``results_store`` rebuilds a full
+:class:`~repro.study.StudyStore` from the ``/results`` payload, so a
+client-side ``results_equal`` against a local run needs no extra glue.
+
+The CLI's ``repro study submit / status / watch / results / cancel``
+verbs are one call each on this class.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Iterator
+
+from ..study.spec import StudySpec
+from ..study.store import StudyStore
+from .protocol import PROTOCOL_VERSION, check_protocol, submit_request
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A request the daemon rejected (carries its error message)."""
+
+    def __init__(self, message: str, status: "int | None" = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServeClient:
+    """One daemon endpoint, e.g. ``ServeClient("http://127.0.0.1:8321")``."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _open(self, path: str, payload: "dict | None" = None, *, timeout=None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers
+        )
+        try:
+            return urllib.request.urlopen(
+                request, timeout=self.timeout if timeout is None else timeout
+            )
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+                message = body.get("error", str(exc))
+            except (UnicodeDecodeError, json.JSONDecodeError, AttributeError):
+                message = str(exc)
+            raise ServeError(message, status=exc.code) from None
+        except urllib.error.URLError as exc:
+            raise ServeError(
+                f"cannot reach daemon at {self.base_url}: {exc.reason}"
+            ) from None
+
+    def _call(self, path: str, payload: "dict | None" = None) -> dict:
+        with self._open(path, payload) as response:
+            return check_protocol(json.loads(response.read().decode("utf-8")))
+
+    # -- the verbs ---------------------------------------------------------
+
+    def submit(self, spec) -> dict:
+        """Submit a :class:`StudySpec` (or its dict form); return the view."""
+        if isinstance(spec, StudySpec):
+            spec = spec.to_dict()
+        return self._call("/jobs", submit_request(spec))
+
+    def jobs(self) -> "list[dict]":
+        """All job views, submission order."""
+        return self._call("/jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        """One job's view: state plus per-cell status counts."""
+        return self._call(f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        """Cancel a queued/running job; returns the resulting view."""
+        return self._call(f"/jobs/{job_id}/cancel", {"protocol": PROTOCOL_VERSION})
+
+    def results(self, job_id: str) -> dict:
+        """The raw ``/results`` payload (``"store"`` is the dict form)."""
+        return self._call(f"/jobs/{job_id}/results")
+
+    def results_store(self, job_id: str) -> StudyStore:
+        """The job's results as a live :class:`StudyStore`."""
+        return StudyStore.from_dict(self.results(job_id)["store"])
+
+    def events(self, job_id: str, *, pings: bool = False) -> "Iterator[dict]":
+        """Stream a job's ndjson events until its terminal ``done`` line.
+
+        Yields each event dict as it arrives (``ping`` heartbeats are
+        dropped unless ``pings=True``).  The generator ends when the
+        server closes the stream; closing the generator closes the
+        connection.
+        """
+        response = self._open(f"/jobs/{job_id}/events", timeout=max(self.timeout, 60.0))
+        try:
+            for line in response:
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line.decode("utf-8"))
+                if event.get("event") == "ping" and not pings:
+                    continue
+                yield event
+        finally:
+            response.close()
+
+    def wait(self, job_id: str, *, progress=None) -> dict:
+        """Follow the event stream to completion; return the final view.
+
+        ``progress`` (if given) receives each ``record`` event.  If the
+        stream ends without a ``done`` line (daemon shut down mid-run),
+        the last known status is fetched and returned instead.
+        """
+        final = None
+        for event in self.events(job_id):
+            if event.get("event") == "record" and progress is not None:
+                progress(event)
+            elif event.get("event") == "done":
+                final = event["job"]
+        return final if final is not None else self.status(job_id)

@@ -1,0 +1,397 @@
+"""The daemon's job queue: a single-writer executor over ``run_study``.
+
+:class:`JobManager` owns everything stateful about the service:
+
+* the job table (id → :class:`Job`), keyed by ``spec_hash`` so
+  submission is idempotent and dedup is content-addressed;
+* a FIFO queue drained by ONE executor thread — the store layer's
+  single-writer discipline, lifted to the service: however many HTTP
+  threads accept submissions, exactly one ``run_study`` runs at a time
+  (cells still parallelise *inside* it via the ``[parallel]`` table or
+  the daemon's ``--workers``);
+* the state directory::
+
+      <state_dir>/jobs.jsonl             # the job journal (CRC lines)
+      <state_dir>/stores/<id>.store.json # one study store per job
+      <state_dir>/cache/                 # shared result cache (default)
+
+The job journal reuses the store journal's CRC-guarded line format
+(``{"crc", "data"}`` envelopes, fsync per append) under its own header
+kind, so a killed daemon restarted on the same state dir replays the
+valid prefix, truncates any torn tail, and re-enqueues every job that
+was ``queued`` / ``running`` / ``interrupted`` — in original submission
+order.  The *result* durability is the store journal's: ``run_study``
+with ``resume=True`` completes each re-enqueued job bit-for-bit.
+
+Graceful shutdown sets the running job's stop event; ``run_study``
+checkpoints the cell in flight, the job lands as ``interrupted``, and
+the next daemon on this state dir picks it back up.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..study import StudySpec, spec_hash, validate_study
+from ..study.runner import run_study
+from ..study.store import (
+    _journal_line,
+    _parse_journal_line,
+    journal_path,
+    load_study_store,
+)
+from .protocol import ACTIVE_STATES, JOB_STATES, PROTOCOL_VERSION, envelope
+
+__all__ = ["Job", "JobManager"]
+
+_JOBS_KIND = "repro-serve-jobs"
+
+_ZERO_COUNTS = {"ok": 0, "failed": 0, "timeout": 0, "degraded": 0, "cached": 0}
+
+
+@dataclass
+class Job:
+    """One submitted spec and its current service-side state."""
+
+    id: str
+    spec: StudySpec = field(repr=False)
+    num_cells: int
+    state: str = "queued"
+    error: "str | None" = None
+    #: Per-cell status tallies (``degraded``/``cached`` overlap ``ok``).
+    counts: dict = field(default_factory=lambda: dict(_ZERO_COUNTS))
+    #: Set to ask the executor (or ``run_study``) to stop this job.
+    stop: threading.Event = field(default_factory=threading.Event, repr=False)
+    cancelled: bool = False
+
+    def view(self) -> dict:
+        """The protocol-stamped status payload for this job."""
+        return envelope(
+            {
+                "id": self.id,
+                "name": self.spec.name,
+                "state": self.state,
+                "num_cells": int(self.num_cells),
+                "counts": dict(self.counts),
+                "error": self.error,
+            }
+        )
+
+
+class JobManager:
+    """Durable FIFO of study jobs with a single executor thread."""
+
+    def __init__(
+        self,
+        state_dir: str,
+        *,
+        workers: "int | None" = None,
+        max_inflight: "int | None" = None,
+        cache=True,
+        deadline_s: "float | None" = None,
+        max_attempts: "int | None" = None,
+    ):
+        self.state_dir = state_dir
+        self._stores_dir = os.path.join(state_dir, "stores")
+        os.makedirs(self._stores_dir, exist_ok=True)
+        self._journal_file = os.path.join(state_dir, "jobs.jsonl")
+        # ``cache=True`` keeps the cache *inside* the state dir: a
+        # resubmitted finished spec replays at 100% hits without ever
+        # touching (or polluting) the user's shared ~/.cache/repro.
+        if cache is True:
+            cache = os.path.join(state_dir, "cache")
+        self._cache = cache
+        self._workers = workers
+        self._max_inflight = max_inflight
+        self._deadline_s = deadline_s
+        self._max_attempts = max_attempts
+
+        self._lock = threading.RLock()
+        self._jobs: "dict[str, Job]" = {}
+        self._order: "list[str]" = []  # submission order, for replay
+        self._queue: "queue.Queue[str]" = queue.Queue()
+        self._shutdown = threading.Event()
+        self._thread: "threading.Thread | None" = None
+        self._handle = None
+
+        self._replay()
+        self._handle = open(self._journal_file, "ab")
+        if not self._jobs and self._handle.tell() == 0:
+            self._append({"kind": _JOBS_KIND, "protocol": PROTOCOL_VERSION})
+        for job_id in self._order:
+            job = self._jobs[job_id]
+            if job.state in ("queued", "running", "interrupted"):
+                # A killed daemon's in-flight work: re-enqueue with a
+                # fresh journaled 'queued' so the file replays the same
+                # way next time.
+                self._set_state(job, "queued")
+                job.counts = self._counts_from_disk(job_id)
+                self._queue.put(job_id)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the executor thread (idempotent)."""
+        with self._lock:
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._drain, name="repro-serve-executor", daemon=True
+                )
+                self._thread.start()
+
+    def close(self) -> None:
+        """Graceful shutdown: checkpoint the running job, then stop.
+
+        The running job's stop event makes ``run_study`` finish the cell
+        in flight, journal it, and return with ``interrupted=True``; the
+        job lands as ``interrupted`` and a restarted daemon resumes it.
+        """
+        self._shutdown.set()
+        with self._lock:
+            for job in self._jobs.values():
+                if job.state == "running":
+                    job.stop.set()
+            thread = self._thread
+        if thread is not None:
+            thread.join()
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    # -- the journal -------------------------------------------------------
+
+    def _append(self, data: dict) -> None:
+        self._handle.write(_journal_line(data))
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def _replay(self) -> None:
+        """Rebuild the job table from the journal's valid prefix."""
+        try:
+            with open(self._journal_file, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            return
+        header = None
+        valid_bytes = 0
+        offset = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline < 0:
+                break
+            data = _parse_journal_line(raw[offset : newline + 1])
+            if data is None:
+                break
+            if header is None:
+                if not isinstance(data, dict) or data.get("kind") != _JOBS_KIND:
+                    break
+                header = data
+            else:
+                self._apply(data)
+            offset = newline + 1
+            valid_bytes = offset
+        if valid_bytes < len(raw):
+            # Torn tail (the daemon died mid-append): truncate so the
+            # next append starts on a clean line boundary.
+            with open(self._journal_file, "r+b") as handle:
+                handle.truncate(valid_bytes)
+
+    def _apply(self, data: dict) -> None:
+        """One replayed journal event → the in-memory job table."""
+        try:
+            event = data["event"]
+            if event == "submitted":
+                spec = StudySpec.from_dict(data["spec"])
+                job_id = data["id"]
+                if job_id not in self._jobs:
+                    self._jobs[job_id] = Job(
+                        id=job_id, spec=spec, num_cells=int(data["num_cells"])
+                    )
+                    self._order.append(job_id)
+            elif event == "state":
+                job = self._jobs.get(data["id"])
+                if job is not None and data["state"] in JOB_STATES:
+                    job.state = data["state"]
+                    job.error = data.get("error")
+        except (KeyError, TypeError, ValueError):
+            # A malformed-but-CRC-valid line means a newer (or buggy)
+            # writer; skipping it degrades to recomputing that job.
+            return
+
+    def _set_state(self, job: Job, state: str, error: "str | None" = None) -> None:
+        job.state = state
+        job.error = error
+        self._append({"event": "state", "id": job.id, "state": state, "error": error})
+
+    # -- paths and derived views ------------------------------------------
+
+    def store_path(self, job_id: str) -> str:
+        """The job's study-store path inside the state dir."""
+        return os.path.join(self._stores_dir, f"{job_id}.store.json")
+
+    def _counts_from_disk(self, job_id: str) -> dict:
+        """Recount per-cell statuses from the checkpointed store."""
+        counts = dict(_ZERO_COUNTS)
+        try:
+            store = load_study_store(self.store_path(job_id))
+        except (OSError, KeyError, ValueError):
+            return counts
+        for record in store.records():
+            self._tally(counts, record)
+        return counts
+
+    @staticmethod
+    def _tally(counts: dict, record) -> None:
+        counts[record.status] = counts.get(record.status, 0) + 1
+        if record.cache_hit:
+            counts["cached"] += 1
+        if record.degraded_from:
+            counts["degraded"] += 1
+
+    # -- the client-facing surface ----------------------------------------
+
+    def submit(self, spec_payload: Mapping) -> dict:
+        """Validate, dedup and enqueue one spec; return the job view.
+
+        Raises the compiler's ``ValueError``/``KeyError``/``TypeError``
+        unchanged for invalid specs — the server maps those to 400.
+        """
+        spec = StudySpec.from_dict(spec_payload)
+        summary = validate_study(spec)  # eager whole-grid validation
+        job_id = summary["spec_hash"]
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None and job.state in ACTIVE_STATES:
+                view = job.view()
+                view["attached"] = True
+                return view
+            if job is None:
+                job = Job(id=job_id, spec=spec, num_cells=summary["num_cells"])
+                self._jobs[job_id] = job
+                self._order.append(job_id)
+                self._append(
+                    {
+                        "event": "submitted",
+                        "id": job_id,
+                        "spec": spec.to_dict(),
+                        "num_cells": summary["num_cells"],
+                    }
+                )
+                self._set_state(job, "queued")
+            else:
+                # failed / cancelled / interrupted: re-enqueue; the
+                # executor resumes the checkpointed store bit-for-bit.
+                job.cancelled = False
+                job.stop = threading.Event()
+                self._set_state(job, "queued")
+                job.counts = self._counts_from_disk(job_id)
+            self._queue.put(job_id)
+            view = job.view()
+            view["attached"] = False
+            return view
+
+    def view(self, job_id: str) -> dict:
+        """The job's status payload; raises ``KeyError`` when unknown."""
+        with self._lock:
+            return self._jobs[job_id].view()
+
+    def views(self) -> "list[dict]":
+        """All jobs, in submission order."""
+        with self._lock:
+            return [self._jobs[job_id].view() for job_id in self._order]
+
+    def state(self, job_id: str) -> str:
+        with self._lock:
+            return self._jobs[job_id].state
+
+    def cancel(self, job_id: str) -> dict:
+        """Cancel a queued or running job; terminal states are no-ops."""
+        with self._lock:
+            job = self._jobs[job_id]
+            if job.state == "queued":
+                job.cancelled = True
+                self._set_state(job, "cancelled")
+            elif job.state == "running":
+                job.cancelled = True
+                job.stop.set()  # the executor journals the state change
+            return job.view()
+
+    # -- the executor ------------------------------------------------------
+
+    def _drain(self) -> None:
+        while not self._shutdown.is_set():
+            try:
+                job_id = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            with self._lock:
+                job = self._jobs[job_id]
+                if job.cancelled or job.state != "queued":
+                    continue  # cancelled while queued (already journaled)
+                job.stop = threading.Event()
+                if self._shutdown.is_set():
+                    # Too late to start: leave it for the next daemon.
+                    self._set_state(job, "interrupted")
+                    continue
+                self._set_state(job, "running")
+                job.counts = self._counts_from_disk(job_id)
+            self._run(job)
+
+    def _run(self, job: Job) -> None:
+        def progress(cell, record) -> None:
+            with self._lock:
+                self._tally(job.counts, record)
+
+        try:
+            store = run_study(
+                job.spec,
+                store_path=self.store_path(job.id),
+                resume=True,
+                progress=progress,
+                on_error="record",
+                workers=self._workers,
+                max_inflight=self._max_inflight,
+                cache=self._cache,
+                deadline_s=self._deadline_s,
+                max_attempts=self._max_attempts,
+                stop_event=job.stop,
+            )
+        except Exception as exc:  # the runner itself failed
+            with self._lock:
+                self._set_state(job, "failed", error=f"{type(exc).__name__}: {exc}")
+            return
+        with self._lock:
+            job.counts = dict(_ZERO_COUNTS)
+            for record in store.records():
+                self._tally(job.counts, record)
+            if job.cancelled:
+                self._set_state(job, "cancelled")
+            elif store.interrupted:
+                self._set_state(job, "interrupted")
+            elif store.is_complete():
+                self._set_state(job, "done")
+            else:
+                broken = [r for r in store.records() if not r.ok]
+                self._set_state(
+                    job,
+                    "failed",
+                    error=(
+                        f"{len(broken)} of {job.num_cells} cells broken "
+                        "(resubmit to re-attempt them)"
+                    ),
+                )
+
+    # -- results -----------------------------------------------------------
+
+    def journal_path(self, job_id: str) -> str:
+        """The job store's live sidecar journal (the /events tail)."""
+        return journal_path(self.store_path(job_id))
+
+    def load_store(self, job_id: str):
+        """The job's checkpointed store; raises ``FileNotFoundError``."""
+        return load_study_store(self.store_path(job_id))

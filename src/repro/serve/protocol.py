@@ -1,0 +1,171 @@
+"""The daemon's versioned JSON wire protocol.
+
+Every body the daemon sends or accepts is a JSON object stamped with
+``"protocol": PROTOCOL_VERSION``; a client (or server) receiving a
+version it does not speak rejects the message with
+:class:`ProtocolError` instead of guessing.  The payloads themselves
+reuse the study layer's canonical encodings — a submission carries
+:meth:`StudySpec.to_dict` verbatim, results carry
+:meth:`StudyStore.to_dict` verbatim — so the wire format inherits the
+stability guarantees (and tests) of the on-disk formats rather than
+inventing parallel ones.
+
+Job lifecycle
+-------------
+
+A job is identified by its spec's content hash (``spec_hash``), which
+makes submission idempotent: re-submitting a spec that is already
+``queued`` / ``running`` / ``done`` *attaches* to the existing job
+(``"attached": true`` in the response) instead of recomputing.  States:
+
+``queued``
+    Accepted and validated (the whole grid compiled eagerly), waiting
+    for the single-writer executor.
+``running``
+    The executor is driving ``run_study`` for this spec.
+``done``
+    Every cell recorded ``ok``; the columnar store is final.
+``failed``
+    The run finished but some cells are ``failed``/``timeout`` (or the
+    runner itself raised).  Re-submitting re-enqueues: ``resume=True``
+    re-attempts exactly the broken cells.
+``cancelled``
+    Cancelled by a client before or during execution.  Re-submitting
+    re-enqueues and resumes from the checkpoint.
+``interrupted``
+    The daemon shut down gracefully mid-run; the journal checkpoint is
+    intact.  A restarted daemon re-enqueues these automatically.
+
+Event stream
+------------
+
+``GET /jobs/<id>/events`` is newline-delimited JSON (one event object
+per line): a ``hello`` first, then one ``record`` per completed cell
+(light fields only — the full records travel via ``/results``),
+``ping`` heartbeats while idle, and a final ``done`` carrying the
+terminal job view.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = [
+    "ACTIVE_STATES",
+    "JOB_STATES",
+    "PROTOCOL_VERSION",
+    "RESUMABLE_STATES",
+    "TERMINAL_STATES",
+    "ProtocolError",
+    "check_protocol",
+    "done_event",
+    "envelope",
+    "error_body",
+    "hello_event",
+    "parse_submit_request",
+    "ping_event",
+    "record_event",
+    "submit_request",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Every state a job can report.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled", "interrupted")
+#: States in which a re-submission attaches instead of re-enqueueing.
+ACTIVE_STATES = ("queued", "running", "done")
+#: Terminal-until-resubmitted states: a new submission re-enqueues the
+#: job with ``resume=True`` semantics (broken cells re-attempted, the
+#: checkpointed prefix kept bit-for-bit).
+RESUMABLE_STATES = ("failed", "cancelled", "interrupted")
+#: States after which an event stream ends (``interrupted`` included:
+#: the daemon is going away; a restarted daemon resumes the job and a
+#: re-attached watcher sees the replayed prefix plus the new records).
+TERMINAL_STATES = ("done", "failed", "cancelled", "interrupted")
+
+
+class ProtocolError(ValueError):
+    """A wire message this endpoint does not speak."""
+
+
+def envelope(payload: dict) -> dict:
+    """Stamp a payload with the protocol version (a fresh dict)."""
+    return {"protocol": PROTOCOL_VERSION, **payload}
+
+
+def check_protocol(payload) -> dict:
+    """Validate an incoming body's shape and version; return it as dict."""
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(f"expected a JSON object, got {type(payload).__name__}")
+    version = payload.get("protocol")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version {version!r} not supported; this endpoint "
+            f"speaks version {PROTOCOL_VERSION}"
+        )
+    return dict(payload)
+
+
+# -- requests ---------------------------------------------------------------
+
+
+def submit_request(spec_payload: dict) -> dict:
+    """The ``POST /jobs`` body for a :meth:`StudySpec.to_dict` payload."""
+    return envelope({"spec": spec_payload})
+
+
+def parse_submit_request(payload) -> dict:
+    """Validate a ``POST /jobs`` body; return the spec payload."""
+    body = check_protocol(payload)
+    spec = body.get("spec")
+    if not isinstance(spec, Mapping):
+        raise ProtocolError("submit body needs a 'spec' table (StudySpec.to_dict)")
+    return dict(spec)
+
+
+# -- event-stream lines -----------------------------------------------------
+
+
+def hello_event(view: dict) -> dict:
+    """The stream's opening line: protocol stamp plus the job view."""
+    return envelope({"event": "hello", "job": view})
+
+
+def record_event(record) -> dict:
+    """One completed cell, light fields only.
+
+    ``record`` is a :class:`~repro.study.store.RunRecord`; the heavy
+    columns (per-replica times, trajectories) stay out of the stream —
+    clients fetch the full store via ``/results`` when the job is done.
+    """
+    ok = record.status == "ok"
+    return {
+        "event": "record",
+        "index": int(record.index),
+        "cell_id": record.cell_id,
+        "status": record.status,
+        "backend": record.resolved_backend,
+        "cache_hit": bool(record.cache_hit),
+        "degraded_from": record.degraded_from,
+        "wall_time_s": round(float(record.wall_time_s), 6),
+        "unit": record.unit,
+        "mean": round(float(record.times.mean()), 6) if ok and len(record.times) else None,
+    }
+
+
+def ping_event() -> dict:
+    """Heartbeat while no cell has finished; keeps client reads alive."""
+    return {"event": "ping"}
+
+
+def done_event(view: dict) -> dict:
+    """The stream's final line: the terminal job view."""
+    return envelope({"event": "done", "job": view})
+
+
+# -- errors -----------------------------------------------------------------
+
+
+def error_body(message: str) -> dict:
+    """A uniform error payload for non-2xx responses."""
+    return envelope({"error": str(message)})

@@ -52,6 +52,7 @@ from .compile import (
     build_adversary,
     compile_study,
     parse_stop,
+    validate_study,
 )
 from .policy import (
     POLICY_KEYS,
@@ -74,6 +75,7 @@ from .scheduler import (
 from .spec import AXIS_NAMES, StudySpec, spec_hash
 from .store import (
     STORE_FORMAT_VERSION,
+    JournalReader,
     RunRecord,
     StoreCorruptError,
     StudyStore,
@@ -91,6 +93,7 @@ __all__ = [
     "CellDeadlineExceeded",
     "CellScheduler",
     "ExecutionPolicy",
+    "JournalReader",
     "ResultCache",
     "RunRecord",
     "STORE_FORMAT_VERSION",
@@ -122,4 +125,5 @@ __all__ = [
     "save_spec",
     "spec_hash",
     "study_report",
+    "validate_study",
 ]

@@ -30,11 +30,17 @@ params: caching changes where results come *from*, never what they
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import warnings
 from typing import Mapping
+
+try:  # POSIX file locking for the shared stats counters (linux/mac).
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX hosts
+    fcntl = None
 
 __all__ = [
     "CACHE_DIR_ENV",
@@ -281,29 +287,75 @@ class ResultCache:
     def _stats_path(self) -> str:
         return os.path.join(self.root, _STATS_FILE)
 
+    @contextlib.contextmanager
+    def _stats_lock(self):
+        """Serialise the counters' read-modify-write across writers.
+
+        Multiple scheduler threads flushing their caches, or a daemon
+        plus a foreground CLI run sharing one cache directory, would
+        otherwise interleave read → add → replace and silently drop
+        increments.  An exclusive ``flock`` on a sidecar lock file makes
+        the fold atomic across *processes and threads* (flock locks
+        attach to the open file description, so two handles conflict
+        even in one process); hosts without :mod:`fcntl` fall back to
+        the historical lock-free behaviour.
+        """
+        os.makedirs(self.root, exist_ok=True)
+        if fcntl is None:  # pragma: no cover - non-POSIX hosts
+            yield
+            return
+        with open(os.path.join(self.root, f"{_STATS_FILE}.lock"), "ab") as lock:
+            fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
+
     def _read_counters(self) -> dict:
+        """Decode ``stats.json``; damaged or missing counters read as zero.
+
+        The file is CRC-guarded with the same ``{"crc", "data"}``
+        envelope as entries and the store journal, so a torn write is
+        *detected* (and discarded) rather than half-read; plain legacy
+        ``{"hits", "misses"}`` files still decode.
+        """
         try:
-            with open(self._stats_path(), "r", encoding="utf-8") as handle:
-                data = json.load(handle)
+            with open(self._stats_path(), "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            return {"hits": 0, "misses": 0}
+        data = _parse_entry(raw)
+        if data is None:  # not enveloped: a pre-envelope (legacy) file?
+            try:
+                data = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                return {"hits": 0, "misses": 0}
+        try:
             return {"hits": int(data["hits"]), "misses": int(data["misses"])}
-        except (OSError, ValueError, KeyError, TypeError):
+        except (KeyError, TypeError, ValueError):
             return {"hits": 0, "misses": 0}
 
     def _write_counters(self, counters: Mapping) -> None:
         os.makedirs(self.root, exist_ok=True)
         tmp = f"{self._stats_path()}.tmp.{os.getpid()}"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(dict(counters), handle)
+        with open(tmp, "wb") as handle:
+            handle.write(_wrap_entry(dict(counters)))
         os.replace(tmp, self._stats_path())
 
     def flush(self) -> None:
-        """Fold this process's hit/miss counters into ``stats.json``."""
+        """Fold this process's hit/miss counters into ``stats.json``.
+
+        Atomic under concurrent writers: the read-modify-write holds the
+        stats lock, the payload is CRC-enveloped, and the file lands via
+        ``os.replace`` — the same discipline cache entries use.
+        """
         if not (self.hits or self.misses):
             return
-        counters = self._read_counters()
-        counters["hits"] += self.hits
-        counters["misses"] += self.misses
-        self._write_counters(counters)
+        with self._stats_lock():
+            counters = self._read_counters()
+            counters["hits"] += self.hits
+            counters["misses"] += self.misses
+            self._write_counters(counters)
         self.hits = 0
         self.misses = 0
 
@@ -368,7 +420,8 @@ class ResultCache:
                     pass
         self.hits = 0
         self.misses = 0
-        self._write_counters({"hits": 0, "misses": 0})
+        with self._stats_lock():
+            self._write_counters({"hits": 0, "misses": 0})
         kept_bytes = sum(size for _mtime, size, _path in survivors)
         return {"removed": removed, "entries": len(survivors),
                 "bytes": kept_bytes}

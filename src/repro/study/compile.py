@@ -45,7 +45,7 @@ from ..engine.stopping import (
 from ..experiments.workloads import resolve_workload
 from ..faults import build_fault_schedule, encode_fault_value
 from ..processes.registry import make_process
-from .spec import AXIS_NAMES, StudySpec
+from .spec import AXIS_NAMES, StudySpec, spec_hash
 
 __all__ = [
     "ADVERSARY_NAMES",
@@ -56,6 +56,7 @@ __all__ = [
     "describe_axes",
     "expand_axes",
     "parse_stop",
+    "validate_study",
 ]
 
 #: §5 adversary strategies a spec (or the CLI) can name declaratively.
@@ -285,3 +286,32 @@ def compile_study(spec: StudySpec) -> "list[StudyCell]":
 def _process_factory(value: dict):
     name, kwargs = value["name"], value["kwargs"]
     return lambda: make_process(name, **kwargs)
+
+
+def validate_study(spec: StudySpec) -> dict:
+    """Compile-only validation: the whole grid is expanded, nothing runs.
+
+    The shared gate behind ``repro study validate`` and the daemon's
+    ``POST /jobs`` path: every axis value of every cell is resolved
+    eagerly (:func:`compile_study`'s contract), so a typo in the last
+    cell of a large grid is rejected *before* a job is accepted or an
+    hour of simulation starts.  Returns a summary a client can print or
+    a server can ship::
+
+        {"name", "spec_hash", "num_cells", "repetitions", "cells"}
+
+    where ``cells`` is the per-cell ``(index, cell_id, label)`` listing.
+    Invalid specs raise the compiler's ``ValueError``/``KeyError``/
+    ``TypeError`` unchanged.
+    """
+    cells = compile_study(spec)
+    return {
+        "name": spec.name,
+        "spec_hash": spec_hash(spec),
+        "num_cells": len(cells),
+        "repetitions": int(spec.repetitions),
+        "cells": [
+            {"index": cell.index, "cell_id": cell.cell_id, "label": cell.label()}
+            for cell in cells
+        ],
+    }

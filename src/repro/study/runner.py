@@ -39,6 +39,20 @@ would have produced — enforced by ``tests/test_study.py`` and the
 ``study-smoke`` / ``faults-smoke`` / ``supervision-smoke`` steps of
 ``scripts/check.sh``.
 
+Graceful interruption
+---------------------
+
+``run_study`` stops *cleanly* on ``SIGTERM`` / ``SIGINT`` (main thread)
+or when a caller-supplied ``stop_event`` is set (any thread — this is
+how the ``repro serve`` daemon winds a job down): the cell in flight
+finishes and its journal record is checkpointed, no new cell starts, the
+journal compacts as usual, and the returned store carries
+``interrupted=True`` so callers can exit 0 with a "resume to continue"
+message instead of relying on crash-safety for an ordinary Ctrl-C.  A
+*second* signal abandons the courtesy and raises ``KeyboardInterrupt``
+(the historical behaviour — crash-safety still bounds the damage to the
+record in flight).
+
 Parallel scheduling and the result cache
 ----------------------------------------
 
@@ -96,6 +110,46 @@ from .store import RunRecord, StudyStore, journal_path, load_study_store
 __all__ = ["execute_cells", "run_study"]
 
 _ON_ERROR = ("record", "raise")
+
+
+class _GracefulStop:
+    """SIGTERM/SIGINT → a cooperative stop flag, while a study runs.
+
+    Installed only on the main thread (signals are undeliverable
+    elsewhere; daemon-driven studies pass a ``stop_event`` instead).  The
+    first signal sets the event — the runner checkpoints the in-flight
+    record and stops scheduling new cells; a second signal raises
+    :class:`KeyboardInterrupt` immediately for users who really mean it.
+    The previous handlers are restored on exit, so nested or subsequent
+    runs (and pytest) see the interpreter's defaults again.
+    """
+
+    def __init__(self, stop_event: threading.Event):
+        self._stop = stop_event
+        self._previous: "dict[int, object]" = {}
+
+    def _handler(self, signum, _frame):
+        if self._stop.is_set():
+            raise KeyboardInterrupt(signal.Signals(signum).name)
+        self._stop.set()
+
+    def __enter__(self):
+        if threading.current_thread() is not threading.main_thread():
+            return self
+        for name in ("SIGTERM", "SIGINT"):
+            signum = getattr(signal, name, None)
+            if signum is None:
+                continue
+            try:
+                self._previous[signum] = signal.signal(signum, self._handler)
+            except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                pass
+        return self
+
+    def __exit__(self, _exc_type, _exc, _tb):
+        for signum, previous in self._previous.items():
+            signal.signal(signum, previous)
+        return False
 
 
 class _CellDeadline:
@@ -411,6 +465,7 @@ def run_study(
     workers: "int | None" = None,
     max_inflight: "int | None" = None,
     cache=None,
+    stop_event: "threading.Event | None" = None,
 ) -> StudyStore:
     """Execute a study spec; optionally checkpoint and resume.
 
@@ -473,6 +528,14 @@ def run_study(
         :class:`~repro.study.cache.ResultCache` is used as-is.  Hits
         are stamped ``cache_hit=True``; ``results_equal`` ignores the
         stamp.
+    stop_event:
+        A :class:`threading.Event` that requests a graceful stop: the
+        cell in flight completes and is checkpointed, no further cell
+        starts, and the returned store has ``interrupted=True`` when
+        cells remain.  ``SIGTERM``/``SIGINT`` set the same flag when the
+        run owns the main thread (see :class:`_GracefulStop`); the
+        ``repro serve`` daemon sets it from its shutdown and cancel
+        paths.
     """
     if max_cells is not None and max_cells < 1:
         raise ValueError("max_cells must be positive")
@@ -516,6 +579,7 @@ def run_study(
         store = StudyStore(spec)
     if store_path is not None:
         store.begin_journal(store_path)
+    stop = stop_event if stop_event is not None else threading.Event()
     started = 0
 
     def finish(cell: StudyCell, record: RunRecord) -> None:
@@ -543,6 +607,8 @@ def run_study(
         """
         nonlocal started
         for cell in compile_study(spec):
+            if stop.is_set():
+                return
             existing = store.get(cell.cell_id)
             if existing is not None and existing.ok:
                 continue
@@ -561,41 +627,46 @@ def run_study(
             yield cell
 
     try:
-        if run_workers <= 1:
-            for cell in pending_cells():
-                record = _record_cell(
-                    cell, on_error=on_error, policy=live_policy
-                )
-                finish(cell, record)
-        else:
-            # Per-cell total budget before a worker the deadline fallback
-            # cannot interrupt is written off (see CellScheduler).
-            watchdog_s = None
-            abandon = None
-            if live_policy.deadline_s is not None:
-                watchdog_s = (
-                    live_policy.deadline_s * live_policy.max_attempts + 1.0
-                )
-
-                def abandon(cell, elapsed):
-                    exc = CellDeadlineExceeded(live_policy.deadline_s)
-                    return _timeout_record(cell, exc, 1, [elapsed], elapsed)
-
-            scheduler = CellScheduler(
-                lambda cell: _record_cell(
-                    cell, on_error=on_error, policy=live_policy
-                ),
-                run_workers,
-                max_inflight=run_inflight,
-                watchdog_s=watchdog_s,
-            )
-            try:
-                for cell, record in scheduler.run(
-                    pending_cells(), abandon=abandon
-                ):
+        with _GracefulStop(stop):
+            if run_workers <= 1:
+                for cell in pending_cells():
+                    record = _record_cell(
+                        cell, on_error=on_error, policy=live_policy
+                    )
                     finish(cell, record)
-            finally:
-                scheduler.shutdown()
+            else:
+                # Per-cell total budget before a worker the deadline
+                # fallback cannot interrupt is written off (CellScheduler).
+                watchdog_s = None
+                abandon = None
+                if live_policy.deadline_s is not None:
+                    watchdog_s = (
+                        live_policy.deadline_s * live_policy.max_attempts + 1.0
+                    )
+
+                    def abandon(cell, elapsed):
+                        exc = CellDeadlineExceeded(live_policy.deadline_s)
+                        return _timeout_record(cell, exc, 1, [elapsed], elapsed)
+
+                scheduler = CellScheduler(
+                    lambda cell: _record_cell(
+                        cell, on_error=on_error, policy=live_policy
+                    ),
+                    run_workers,
+                    max_inflight=run_inflight,
+                    watchdog_s=watchdog_s,
+                )
+                try:
+                    for cell, record in scheduler.run(
+                        pending_cells(), abandon=abandon
+                    ):
+                        finish(cell, record)
+                finally:
+                    scheduler.shutdown()
+        if stop.is_set():
+            # Interrupted *and unfinished*: a stop landing after the last
+            # cell checkpointed is a completed run, not an interruption.
+            store.interrupted = not store.is_complete()
     finally:
         if result_cache is not None:
             result_cache.flush()

@@ -53,6 +53,7 @@ from .spec import StudySpec, spec_hash
 
 __all__ = [
     "STORE_FORMAT_VERSION",
+    "JournalReader",
     "RunRecord",
     "StoreCorruptError",
     "StudyStore",
@@ -284,6 +285,74 @@ def _scan_journal(path: str) -> "tuple[dict | None, list[dict], int, int]":
     return header, rows, valid_bytes, len(raw) - valid_bytes
 
 
+class JournalReader:
+    """Incrementally tail a store journal's valid prefix, while it grows.
+
+    The live counterpart of :func:`_scan_journal`: where the scan reads a
+    dead journal once, the reader is *re-pollable* — it remembers the
+    byte offset of the last complete, CRC-valid line and each
+    :meth:`poll` decodes only what landed since.  An incomplete or
+    CRC-failing tail line is treated as *in flight* (the writer may be
+    mid-``write``), so the offset never advances past it; the next poll
+    retries from the same place.  That is the consistency contract the
+    daemon's ``/events`` endpoint leans on: a reader attaching mid-run
+    replays the journal's valid prefix first, then streams records as
+    their fsync'd lines complete, and never observes a torn record.
+
+    The reader tolerates the journal's whole lifecycle: a file that does
+    not exist yet (``poll`` returns nothing), a crashed run's torn tail
+    being truncated by ``begin_journal`` on resume (only damaged bytes
+    vanish, the valid offset stays valid), and compaction unlinking the
+    file (subsequent polls return nothing; a *fresh* journal appearing
+    later — a different inode, or shorter than the old offset — resets
+    the reader).
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.header: "dict | None" = None
+        self._offset = 0
+        self._identity: "tuple[int, int] | None" = None
+
+    def poll(self) -> "list[RunRecord]":
+        """Decode the records whose journal lines completed since last poll."""
+        try:
+            with open(self.path, "rb") as handle:
+                stat = os.fstat(handle.fileno())
+                identity = (stat.st_dev, stat.st_ino)
+                if identity != self._identity or stat.st_size < self._offset:
+                    # A replaced or shorter file is a *new* journal
+                    # (compact + fresh run): start over, header and all.
+                    self._offset = 0
+                    self.header = None
+                self._identity = identity
+                handle.seek(self._offset)
+                raw = handle.read()
+        except OSError:
+            return []
+        records: "list[RunRecord]" = []
+        scanned = 0
+        while scanned < len(raw):
+            newline = raw.find(b"\n", scanned)
+            if newline < 0:
+                break  # unterminated: the record in flight, not ours yet
+            data = _parse_journal_line(raw[scanned : newline + 1])
+            if data is None:
+                break  # CRC mismatch: mid-write (or torn) — retry later
+            if self.header is None:
+                if not isinstance(data, dict) or data.get("kind") != _JOURNAL_KIND:
+                    break  # not a journal header: refuse to tail garbage
+                self.header = data
+            else:
+                try:
+                    records.append(_decode_record(data["record"]))
+                except (KeyError, TypeError, ValueError, IndexError):
+                    break  # cannot happen via our writer; stop at damage
+            scanned = newline + 1
+        self._offset += scanned
+        return records
+
+
 class StudyStore:
     """An append-only collection of :class:`RunRecord`\\ s for one spec."""
 
@@ -299,6 +368,11 @@ class StudyStore:
         #: Set by :func:`load_study_store` when a torn journal tail was
         #: salvaged: ``{"journal", "records_salvaged", "bytes_discarded"}``.
         self.salvage: "dict | None" = None
+        #: Set by :func:`~repro.study.runner.run_study` when the run was
+        #: stopped by a graceful interrupt (SIGTERM / SIGINT / a
+        #: ``stop_event``) before covering every cell; the store is
+        #: checkpointed and ``resume`` completes it bit-for-bit.
+        self.interrupted: bool = False
 
     # -- collection behaviour ---------------------------------------------
 
